@@ -1,0 +1,88 @@
+"""E14 — adversary sensitivity: what schedule control does (not) buy.
+
+A cross-cutting measurement motivated by Section 2's adversary: for each
+protocol, how many distinct outputs / boards / bit totals can the
+adversary force on a fixed input?  The regenerated table contrasts
+
+* schedule-*invariant* protocols (BUILD: SIMASYNC fixes everything
+  before the first write; BFS: the certificates re-serialise the run),
+* schedule-*variant but always-correct* protocols (MIS: the adversary
+  picks *which* maximal independent set, never whether it is one), and
+* schedule-*fragile* executions (the ASYNC BFS protocol off its promise
+  class, where some schedules deadlock).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sensitivity import analyze
+from repro.core import ASYNC, SIMASYNC, SIMSYNC, SYNC
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import is_rooted_mis
+from repro.core.simulator import all_executions
+from repro.protocols.bfs import BipartiteBfsAsyncProtocol, EobBfsProtocol, SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+
+
+def sensitivity_table():
+    rows = []
+    build_g = gen.random_k_degenerate(5, 2, seed=1)
+    rows.append(analyze(build_g, DegenerateBuildProtocol(2), SIMASYNC))
+    mis_g = gen.path_graph(5)  # P5 admits several MIS containing node 1
+    rows.append(analyze(mis_g, RootedMisProtocol(1), SIMSYNC))
+    eob_g = gen.random_even_odd_bipartite(5, 0.6, seed=3)
+    rows.append(analyze(eob_g, EobBfsProtocol(), ASYNC))
+    bfs_g = LabeledGraph(5, [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5)])
+    rows.append(analyze(bfs_g, SyncBfsProtocol(), SYNC))
+    off_promise = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+    rows.append(analyze(off_promise, BipartiteBfsAsyncProtocol(), ASYNC))
+    return rows
+
+
+def test_sensitivity_table(benchmark, write_report):
+    rows = benchmark(sensitivity_table)
+    build, mis, eob, bfs, fragile = rows
+
+    assert build.output_invariant and build.distinct_write_orders == 120
+    assert mis.distinct_outputs > 1
+    assert eob.output_invariant and eob.deadlocks == 0
+    assert bfs.output_invariant and bfs.distinct_boards > 1
+    assert fragile.deadlocks == fragile.executions
+
+    lines = ["Adversary sensitivity (exhaustive over all schedules, n = 5)", ""]
+    header = (f"{'protocol':<26} {'outputs':>8} {'boards':>7} {'orders':>7} "
+              f"{'bit range':>14} {'deadlocks':>10}")
+    lines.append(header)
+    for rep in rows:
+        lines.append(
+            f"{rep.protocol_name:<26} {rep.distinct_outputs:>8} "
+            f"{rep.distinct_boards:>7} {rep.distinct_write_orders:>7} "
+            f"{f'[{rep.min_total_bits},{rep.max_total_bits}]':>14} "
+            f"{rep.deadlocks:>10}"
+        )
+    lines += [
+        "",
+        "readings: BUILD's board *content* is schedule-independent up to",
+        "order (one multiset); BFS pays schedule-dependent d0 fields yet",
+        "lands on one canonical forest; MIS exposes the adversary's choice",
+        "in the output; off-promise ASYNC BFS hands the adversary a",
+        "deadlock on every schedule.",
+    ]
+    write_report("adversary_sensitivity", "\n".join(lines))
+
+
+def test_mis_every_schedule_output_is_valid(benchmark):
+    """The flip side of output variance: each of the adversary's many MIS
+    outcomes is a correct one (counted exhaustively)."""
+    g = gen.random_connected_graph(5, 0.5, seed=2)
+
+    def all_outputs():
+        outs = set()
+        for r in all_executions(g, RootedMisProtocol(1), SIMSYNC):
+            assert is_rooted_mis(g, r.output, 1)
+            outs.add(r.output)
+        return outs
+
+    outs = benchmark(all_outputs)
+    assert len(outs) >= 1

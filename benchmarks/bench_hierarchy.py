@@ -1,0 +1,104 @@
+"""E10 — Theorem 4 / Lemma 4: the computing-power lattice, exercised.
+
+Runs each positive protocol through every Lemma 4 adapter chain and
+confirms solvability is monotone along SIMASYNC ⊆ SIMSYNC ⊆ ASYNC ⊆
+SYNC; also demonstrates Theorem 9's orthogonal message-size axis with
+the SUBGRAPH_f protocol at several f.
+"""
+
+from __future__ import annotations
+
+from repro.core import ALL_MODELS, ASYNC, SIMASYNC, SIMSYNC, SYNC, RandomScheduler, run
+from repro.core.models import MODELS_BY_NAME, at_most_as_strong, lemma4_chain
+from repro.graphs import generators as gen
+from repro.graphs.properties import canonical_bfs_forest, is_rooted_mis
+from repro.hierarchy.adapters import lift
+from repro.protocols.bfs import EobBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.protocols.subgraph import SubgraphProtocol, subgraph_reference
+
+
+def lattice_matrix() -> dict[str, dict[str, bool]]:
+    """For each protocol (tagged with its design model), try to run it
+    under every model reachable by Lemma 4 and record correctness."""
+    cases = {
+        "BUILD(SIMASYNC)": (
+            DegenerateBuildProtocol(2),
+            gen.random_k_degenerate(10, 2, seed=1),
+            lambda g, out: out == g,
+        ),
+        "MIS(SIMSYNC)": (
+            RootedMisProtocol(2),
+            gen.random_connected_graph(10, 0.3, seed=2),
+            lambda g, out: is_rooted_mis(g, out, 2),
+        ),
+        "EOB-BFS(ASYNC)": (
+            EobBfsProtocol(),
+            gen.random_even_odd_bipartite(10, 0.4, seed=3),
+            lambda g, out: out == canonical_bfs_forest(g),
+        ),
+    }
+    out: dict[str, dict[str, bool]] = {}
+    for name, (proto, graph, check) in cases.items():
+        row = {}
+        source = MODELS_BY_NAME[proto.designed_for]
+        for model in ALL_MODELS:
+            if not at_most_as_strong(source, model):
+                row[model.name] = None  # not claimed by Lemma 4
+                continue
+            r = run(graph, lift(proto, model), model, RandomScheduler(7))
+            row[model.name] = bool(r.success and check(graph, r.output))
+        out[name] = row
+    return out
+
+
+def test_lemma4_monotonicity(benchmark, write_report):
+    matrix = benchmark(lattice_matrix)
+    lines = ["Lemma 4 — protocols lifted along the lattice", ""]
+    header = f"{'protocol':<18}" + "".join(f" {m.name:<10}" for m in ALL_MODELS)
+    lines.append(header)
+    for name, row in matrix.items():
+        cells = "".join(
+            f" {('-' if v is None else ('ok' if v else 'FAIL')):<10}"
+            for v in (row[m.name] for m in ALL_MODELS)
+        )
+        lines.append(f"{name:<18}{cells}")
+        assert all(v is not False for v in row.values()), name
+    lines.append("")
+    lines.append("chain: " + " ⊆ ".join(m.name for m in lemma4_chain()))
+    write_report("hierarchy_lattice", "\n".join(lines))
+
+
+def test_theorem9_orthogonal_axis(benchmark, write_report):
+    """SUBGRAPH_f at increasing f: the weakest model with more bits does
+    what the strongest with fewer cannot (message size is a resource)."""
+    n = 64
+    g = gen.random_graph(n, 0.3, seed=5)
+    benchmark(run, g, SubgraphProtocol(), SIMASYNC, RandomScheduler(1))
+    lines = ["Theorem 9 — SUBGRAPH_f in SIMASYNC[f]: bits track f", ""]
+    lines.append(f"{'f':>5} {'max message bits':>17} {'edges recovered':>16}")
+    prev_bits = 0
+    for f in (4, 8, 16, 32, 56):
+        p = SubgraphProtocol(f=lambda _n, _f=f: _f)
+        r = run(g, p, SIMASYNC, RandomScheduler(0))
+        assert r.output == subgraph_reference(g, f)
+        lines.append(f"{f:>5} {r.max_message_bits:>17} {len(r.output):>16}")
+        assert r.max_message_bits >= prev_bits - 8  # grows with f (mod noise)
+        prev_bits = r.max_message_bits
+    lines.append("")
+    lines.append("Lemma 3 on the class of graphs supported on {1..f}: any model "
+                 "needs >= C(f,2)/n bits per message, so SYNC[g] with g=o(f) "
+                 "fails while SIMASYNC[f] succeeds — the two axes are orthogonal.")
+    write_report("theorem9_orthogonality", "\n".join(lines))
+
+
+def test_adapter_overhead(benchmark):
+    """Cost of the sequential lift: the wrapper adds a (SEQ, id) frame."""
+    g = gen.random_connected_graph(40, 0.1, seed=4)
+    lifted = lift(RootedMisProtocol(1), SYNC)
+    plain = run(g, RootedMisProtocol(1), SIMSYNC, RandomScheduler(0))
+    lifted_r = benchmark(run, g, lifted, SYNC, RandomScheduler(0))
+    assert lifted_r.success
+    overhead = lifted_r.max_message_bits - plain.max_message_bits
+    assert 0 < overhead <= 64  # the O(log n) sender tag plus SEQ frame

@@ -1,0 +1,74 @@
+"""E5 — Lemma 1: Theorem 2's messages are O(k² log n) bits, measured.
+
+For every k and n in the sweep we run the BUILD protocol, record the
+*exact* encoded size of the largest message, compare against the
+analytic bound, and fit the growth law.  The series (measured bits vs
+k² log n) is the reproduction of the paper's quantitative claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.scaling import fit_klog, fit_log, is_sublinear
+from repro.core import SIMASYNC, MinIdScheduler, run
+from repro.graphs.generators import random_k_degenerate
+from repro.protocols.build import DegenerateBuildProtocol
+
+SIZES = (16, 32, 64, 128, 256)
+KS = (1, 2, 3, 4, 5)
+
+
+def measure(k: int, n: int) -> int:
+    g = random_k_degenerate(n, k, seed=n * 31 + k)
+    r = run(g, DegenerateBuildProtocol(k), SIMASYNC, MinIdScheduler())
+    assert r.output == g
+    return r.max_message_bits
+
+
+def analytic_bound_bits(k: int, n: int) -> float:
+    """(k+2) fields, each <= (k+1) log2(n+1) magnitude bits, roughly
+    doubled by the self-delimiting gamma codec, plus structure."""
+    return (k + 2) * (2 * (k + 1) * math.log2(n + 1) + 5) + 10
+
+
+def test_lemma1_law(benchmark, write_report):
+    table: dict[tuple[int, int], int] = {}
+    for k in KS:
+        for n in SIZES:
+            table[(k, n)] = measure(k, n)
+
+    # Timed section: one representative measurement.
+    benchmark(measure, 3, 128)
+
+    lines = ["Lemma 1 — max message bits of Theorem 2's protocol", ""]
+    header = f"{'k':>3} |" + "".join(f"  n={n:<7}" for n in SIZES) + " bound@256"
+    lines.append(header)
+    for k in KS:
+        row = f"{k:>3} |"
+        for n in SIZES:
+            row += f"  {table[(k, n)]:<8}"
+        row += f" {analytic_bound_bits(k, 256):8.0f}"
+        lines.append(row)
+
+    # Claims to verify:
+    for k in KS:
+        ns = list(SIZES)
+        bits = [table[(k, n)] for n in ns]
+        # (a) within the analytic bound everywhere
+        for n, b in zip(ns, bits):
+            assert b <= analytic_bound_bits(k, n), (k, n, b)
+        # (b) sublinear in n (the o(n) requirement)
+        assert is_sublinear(ns, bits)
+        # (c) clean log-law fit
+        fit = fit_log(ns, bits)
+        lines.append(f"k={k}: {fit}")
+        assert fit.r_squared > 0.85, (k, fit)
+
+    # (d) k-dependence at fixed n follows k^2 log n
+    n = 256
+    kfit = fit_klog(KS, [table[(k, n)] for k in KS], n)
+    lines.append(f"at n={n}: {kfit}")
+    assert kfit.r_squared > 0.95
+
+    write_report("lemma1_message_size", "\n".join(lines))

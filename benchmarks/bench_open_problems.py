@@ -1,0 +1,91 @@
+"""E11 — the paper's open problems, measured where measurement is possible.
+
+* Open Problems 2/3 (BFS / connectivity in ASYNC): we measure how often
+  the Corollary 4 protocol deadlocks on non-bipartite inputs, and verify
+  it is *never wrong* — failures are always corrupted configurations,
+  supporting the paper's conjecture that the obstacle is fundamental.
+* Open Problem 1 (2-CLIQUES in SIMASYNC): deterministically open; the
+  Section 7 randomized public-coin protocol solves it with vanishing
+  error, measured over many shared seeds.
+* Open Problem 4 (randomized SIMASYNC): error-rate sweep of the
+  fingerprint protocol.
+"""
+
+from __future__ import annotations
+
+from repro.core import ASYNC, SIMASYNC, RandomScheduler, run
+from repro.core.schedulers import default_portfolio
+from repro.graphs import generators as gen
+from repro.graphs.properties import canonical_bfs_forest, is_bipartite
+from repro.protocols.bfs import BipartiteBfsAsyncProtocol
+from repro.protocols.randomized import RandomizedTwoCliquesProtocol
+from repro.protocols.two_cliques import NOT_TWO_CLIQUES, TWO_CLIQUES
+
+
+def deadlock_stats(seeds: range) -> dict[str, int]:
+    proto = BipartiteBfsAsyncProtocol()
+    stats = {"bipartite_ok": 0, "nonbip_ok": 0, "nonbip_deadlock": 0, "wrong": 0}
+    for seed in seeds:
+        g = gen.random_connected_graph(10, 0.25, seed=seed)
+        for sched in default_portfolio((seed,)):
+            r = run(g, proto, ASYNC, sched)
+            if r.success:
+                if r.output == canonical_bfs_forest(g):
+                    key = "bipartite_ok" if is_bipartite(g) else "nonbip_ok"
+                    stats[key] += 1
+                else:
+                    stats["wrong"] += 1
+            else:
+                assert not is_bipartite(g), "bipartite inputs must never deadlock"
+                stats["nonbip_deadlock"] += 1
+    return stats
+
+
+def test_async_bfs_deadlock_rates(benchmark, write_report):
+    stats = benchmark(deadlock_stats, range(12))
+    assert stats["wrong"] == 0  # failure mode is deadlock, never bad output
+    assert stats["nonbip_deadlock"] > 0  # the obstacle is real
+
+    total = sum(stats.values())
+    write_report("open_problem_bfs_async", "\n".join([
+        "Open Problems 2/3 — Corollary 4's protocol beyond bipartite inputs",
+        "",
+        f"runs: {total}",
+        f"  bipartite, correct forest:      {stats['bipartite_ok']}",
+        f"  non-bipartite, correct forest:  {stats['nonbip_ok']}",
+        f"  non-bipartite, deadlocked:      {stats['nonbip_deadlock']}",
+        f"  wrong output:                   {stats['wrong']}  (must be 0)",
+        "",
+        "the protocol fails *safely* on odd cycles: intra-layer edges make "
+        "the layer certificate unsatisfiable, leaving a corrupted "
+        "configuration — evidence for the paper's conjecture that "
+        "BFS ∉ ASYNC[o(n)].",
+    ]))
+
+
+def test_randomized_two_cliques_error_rate(benchmark, write_report):
+    """Open Problems 1/4: the public-coin fingerprint protocol."""
+    yes = gen.two_cliques(8)
+    no = gen.connected_two_cliques_like(8, seed=0)
+
+    def sweep(trials: int) -> tuple[int, int]:
+        errors_yes = errors_no = 0
+        for seed in range(trials):
+            p = RandomizedTwoCliquesProtocol(shared_seed=seed)
+            if run(yes, p, SIMASYNC, RandomScheduler(seed)).output != TWO_CLIQUES:
+                errors_yes += 1
+            if run(no, p, SIMASYNC, RandomScheduler(seed)).output != NOT_TWO_CLIQUES:
+                errors_no += 1
+        return errors_yes, errors_no
+
+    errors_yes, errors_no = benchmark.pedantic(sweep, args=(60,), rounds=1, iterations=1)
+    assert errors_yes == 0 and errors_no == 0  # 4n^3/p ≈ 1e-15 at n=16
+
+    write_report("open_problem_randomized", "\n".join([
+        "Open Problems 1/4 — randomized 2-CLIQUES in SIMASYNC[log n]",
+        "",
+        "60 shared-coin seeds x (one YES + one NO) instance at n=16:",
+        f"  YES errors: {errors_yes}   NO errors: {errors_no}",
+        "theoretical error bound 4n^3/p ≈ 1.8e-14 with p = 2^61 - 1;",
+        "deterministic SIMASYNC status remains open (Open Problem 1).",
+    ]))

@@ -1,0 +1,157 @@
+"""E9 — the positive protocols (Theorems 5, 7, 10; Section 5.1; Cor. 4).
+
+For each protocol: a correctness sweep under the adversary portfolio
+(exhaustive over all write orders at small n), measured message sizes
+across n with a fitted growth law, and a timed representative run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import fit_log, is_sublinear
+from repro.analysis.verify import verify_protocol
+from repro.core import ASYNC, SIMSYNC, SYNC, RandomScheduler, run
+from repro.core.schedulers import default_portfolio
+from repro.graphs import generators as gen
+from repro.graphs.properties import (
+    canonical_bfs_forest,
+    is_even_odd_bipartite,
+    is_rooted_mis,
+    is_two_cliques,
+)
+from repro.protocols.bfs import EobBfsProtocol, SyncBfsProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.protocols.naive import NOT_EOB
+from repro.protocols.two_cliques import (
+    NOT_TWO_CLIQUES,
+    TWO_CLIQUES,
+    TwoCliquesProtocol,
+)
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def _bits_curve(proto_factory, graph_factory, model) -> dict[int, int]:
+    out = {}
+    for n in SIZES:
+        r = run(graph_factory(n), proto_factory(), model, RandomScheduler(n))
+        assert r.success
+        out[n] = r.max_message_bits
+    return out
+
+
+def test_mis_protocol(benchmark, write_report):
+    report = verify_protocol(
+        RootedMisProtocol(1), SIMSYNC,
+        [gen.random_graph(5, 0.5, seed=s) for s in range(4)]
+        + [gen.random_connected_graph(20, 0.2, seed=s) for s in range(3)],
+        lambda g, out, r: is_rooted_mis(g, out, 1),
+        schedulers=default_portfolio((0, 1, 2)),
+    )
+    assert report.ok
+
+    curve = _bits_curve(
+        lambda: RootedMisProtocol(1),
+        lambda n: gen.random_connected_graph(n, 0.15, seed=n),
+        SIMSYNC,
+    )
+    assert is_sublinear(list(curve), list(curve.values()))
+    fit = fit_log(list(curve), list(curve.values()))
+
+    g = gen.random_connected_graph(50, 0.1, seed=2)
+    benchmark(run, g, RootedMisProtocol(1), SIMSYNC, RandomScheduler(0))
+
+    write_report("protocol_mis", "\n".join([
+        "Theorem 5 — rooted MIS in SIMSYNC[log n]",
+        "",
+        report.summary(),
+        f"bits by n: {curve}",
+        f"growth fit: {fit}",
+    ]))
+
+
+def test_two_cliques_protocol(benchmark, write_report):
+    yes = [gen.two_cliques(h) for h in (2, 4, 8)]
+    no = [gen.connected_two_cliques_like(h, seed=h) for h in (4, 8)]
+    report = verify_protocol(
+        TwoCliquesProtocol(), SIMSYNC, yes + no,
+        lambda g, out, r: out == (TWO_CLIQUES if is_two_cliques(g) else NOT_TWO_CLIQUES),
+        schedulers=default_portfolio((0, 1, 2)),
+        exhaustive_threshold=4,
+    )
+    assert report.ok
+
+    g = gen.two_cliques(25)
+    result = benchmark(run, g, TwoCliquesProtocol(), SIMSYNC, RandomScheduler(1))
+    assert result.output == TWO_CLIQUES
+
+    write_report("protocol_two_cliques", "\n".join([
+        "Section 5.1 — 2-CLIQUES in SIMSYNC[log n]",
+        "",
+        report.summary(),
+        f"max message at n=50: {result.max_message_bits} bits",
+    ]))
+
+
+def test_eob_bfs_protocol(benchmark, write_report):
+    instances = [gen.random_even_odd_bipartite(n, 0.35, seed=n) for n in (5, 9, 15, 21)]
+    instances.append(gen.random_graph(8, 0.5, seed=99))  # likely invalid
+
+    def checker(g, out, r):
+        if is_even_odd_bipartite(g):
+            return out == canonical_bfs_forest(g)
+        return out == NOT_EOB
+
+    report = verify_protocol(
+        EobBfsProtocol(), ASYNC, instances, checker,
+        schedulers=default_portfolio((0, 1, 2)),
+    )
+    assert report.ok
+
+    curve = _bits_curve(
+        EobBfsProtocol,
+        lambda n: gen.random_even_odd_bipartite(n, 0.3, seed=n),
+        ASYNC,
+    )
+    assert is_sublinear(list(curve), list(curve.values()))
+
+    g = gen.random_even_odd_bipartite(60, 0.2, seed=3)
+    benchmark(run, g, EobBfsProtocol(), ASYNC, RandomScheduler(0))
+
+    write_report("protocol_eob_bfs", "\n".join([
+        "Theorem 7 — EOB-BFS in ASYNC[log n]",
+        "",
+        report.summary(),
+        f"bits by n: {curve}",
+        f"growth fit: {fit_log(list(curve), list(curve.values()))}",
+    ]))
+
+
+def test_sync_bfs_protocol(benchmark, write_report):
+    instances = (
+        [gen.random_graph(n, 0.25, seed=n) for n in (5, 9, 14)]
+        + [gen.petersen_graph(), gen.cycle_graph(9), gen.complete_graph(7)]
+    )
+    report = verify_protocol(
+        SyncBfsProtocol(), SYNC, instances,
+        lambda g, out, r: out == canonical_bfs_forest(g),
+        schedulers=default_portfolio((0, 1, 2)),
+    )
+    assert report.ok
+
+    curve = _bits_curve(
+        SyncBfsProtocol,
+        lambda n: gen.random_connected_graph(n, 0.08, seed=n),
+        SYNC,
+    )
+    assert is_sublinear(list(curve), list(curve.values()))
+
+    g = gen.random_connected_graph(60, 0.08, seed=1)
+    benchmark(run, g, SyncBfsProtocol(), SYNC, RandomScheduler(0))
+
+    write_report("protocol_sync_bfs", "\n".join([
+        "Theorem 10 — BFS in SYNC[log n] (arbitrary graphs)",
+        "",
+        report.summary(),
+        f"bits by n: {curve}",
+        f"growth fit: {fit_log(list(curve), list(curve.values()))}",
+    ]))

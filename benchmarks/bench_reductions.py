@@ -1,0 +1,128 @@
+"""E8 — Theorems 3, 6, 8: the lower-bound reductions, executed and timed.
+
+Each transformer takes a *claimed* protocol for the hard problem and
+mechanically produces a BUILD solver; we instantiate them with the
+O(n)-bit naive protocols (the only ones that exist, per the theorems!),
+verify the compiled solvers reconstruct perfectly, and account for the
+bit overhead each reduction adds — the quantity that turns a hypothetical
+o(n) protocol into a Lemma 3 contradiction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import SIMASYNC, MinIdScheduler, RandomScheduler, run
+from repro.encoding.bits import payload_bits
+from repro.graphs.generators import random_bipartite, random_graph
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.protocols.naive import (
+    NaiveEobBfsProtocol,
+    NaiveMisProtocol,
+    NaiveTriangleProtocol,
+)
+from repro.reductions.counting import simasync_messages
+from repro.reductions.transformers import (
+    EobBfsToBuildScheme,
+    MisToBuildProtocol,
+    TriangleToBuildProtocol,
+)
+
+
+def _eob_base(n: int, seed: int) -> LabeledGraph:
+    rng = random.Random(seed)
+    return LabeledGraph(n, [
+        (u, v)
+        for u in range(2, n + 1)
+        for v in range(u + 1, n + 1)
+        if (u - v) % 2 == 1 and rng.random() < 0.5
+    ])
+
+
+def test_theorem3_transformer(benchmark, write_report):
+    g = random_bipartite(4, 4, 0.5, seed=7)
+    compiler = TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol())
+
+    result = benchmark(run, g, compiler, SIMASYNC, MinIdScheduler())
+    assert result.output == g
+
+    inner_bits = max(
+        payload_bits(m) for m in simasync_messages(NaiveTriangleProtocol(), g)
+    )
+    lines = [
+        "Theorem 3 — TRIANGLE => BUILD(bipartite) compiler",
+        "",
+        f"instance: random bipartite n={g.n}, m={g.m}",
+        f"compiled protocol reconstructed the graph: {result.output == g}",
+        f"inner TRIANGLE message: {inner_bits} bits (naive, Θ(n))",
+        f"compiled message:       {result.max_message_bits} bits "
+        f"(= 2·f(n+1) + O(log n), as the theorem states)",
+        "",
+        "contradiction chain: a TRIANGLE protocol with f(n)=o(n) would give "
+        "BUILD on 2^{(n/2)^2} bipartite graphs with o(n)-bit messages, "
+        "violating Lemma 3.",
+    ]
+    assert result.max_message_bits <= 2 * inner_bits + 40
+    write_report("theorem3_reduction", "\n".join(lines))
+
+
+def test_theorem6_transformer(benchmark, write_report):
+    g = random_graph(8, 0.5, seed=5)
+    compiler = MisToBuildProtocol(lambda n, root: NaiveMisProtocol(root))
+
+    result = benchmark(run, g, compiler, SIMASYNC, RandomScheduler(1))
+    assert result.output == g
+
+    lines = [
+        "Theorem 6 — rooted-MIS => BUILD(all graphs) compiler",
+        "",
+        f"instance: G(8, .5); reconstructed: {result.output == g}",
+        f"compiled message: {result.max_message_bits} bits "
+        "(the pair (m_k, m'_k) of the claimed protocol's two possible messages)",
+        "",
+        "hence MIS ∉ SIMASYNC[o(n)], which with Theorem 5 (MIS ∈ "
+        "SIMSYNC[log n]) gives Corollary 2's strict separation.",
+    ]
+    write_report("theorem6_reduction", "\n".join(lines))
+
+
+def test_theorem8_scheme(benchmark, write_report):
+    scheme = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+    base = _eob_base(11, seed=3)
+
+    code = benchmark(scheme.encode, base)
+    decoded = scheme.decode(code, 11)
+    assert decoded == base
+
+    lines = [
+        "Theorem 8 — SIMSYNC EOB-BFS => fixed-order BUILD scheme",
+        "",
+        f"base: labels 2..11, m={base.m}; round-trip ok: {decoded == base}",
+        f"code word: {len(code)} messages, max {max(payload_bits(p) for p in code)} bits",
+        "",
+        "the code word is exactly the transcript prefix of the claimed "
+        "protocol under the order (v_2..v_{2n-1}, v_1); since there are "
+        "2^{Ω(n²)} even-odd-bipartite graphs, Lemma 3 forces Ω(n)-bit "
+        "messages — Corollary 3's separation.",
+    ]
+    write_report("theorem8_reduction", "\n".join(lines))
+
+
+def test_reductions_sweep(benchmark):
+    benchmark.pedantic(
+        lambda: run(random_bipartite(3, 4, 0.5, seed=0),
+                    TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol()),
+                    SIMASYNC, RandomScheduler(0)),
+        rounds=1, iterations=1,
+    )
+    """Round-trip all three reductions over several random instances."""
+    tri = TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol())
+    mis = MisToBuildProtocol(lambda n, root: NaiveMisProtocol(root))
+    eob = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+    for seed in range(5):
+        b = random_bipartite(3, 4, 0.5, seed=seed)
+        assert run(b, tri, SIMASYNC, RandomScheduler(seed)).output == b
+        g = random_graph(6, 0.5, seed=seed)
+        assert run(g, mis, SIMASYNC, RandomScheduler(seed)).output == g
+        base = _eob_base(9, seed)
+        assert eob.decode(eob.encode(base), 9) == base

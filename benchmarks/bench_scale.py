@@ -1,0 +1,90 @@
+"""E16 — laptop-scale stress runs.
+
+The reproduction bands promise "simple round-based simulation, runs on a
+laptop"; this benchmark pins numbers to that: end-to-end wall times for
+the flagship protocols at the largest sizes the test matrix uses, plus a
+simulator-throughput figure.  Regressions here mean the library stopped
+being interactive.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import SIMASYNC, SIMSYNC, SYNC, MinIdScheduler, RandomScheduler, run
+from repro.graphs import generators as gen
+from repro.graphs.properties import canonical_bfs_forest, is_rooted_mis
+from repro.protocols.bfs import SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.protocols.sketching import SketchSpanningForestProtocol
+
+
+def test_build_n512(benchmark):
+    g = gen.random_k_degenerate(512, 3, seed=1)
+    result = benchmark.pedantic(
+        run, args=(g, DegenerateBuildProtocol(3), SIMASYNC, MinIdScheduler()),
+        rounds=1, iterations=1,
+    )
+    assert result.output == g
+
+
+def test_sync_bfs_n256(benchmark):
+    g = gen.random_connected_graph(256, 0.02, seed=2)
+    result = benchmark.pedantic(
+        run, args=(g, SyncBfsProtocol(), SYNC, RandomScheduler(0)),
+        rounds=1, iterations=1,
+    )
+    assert result.output == canonical_bfs_forest(g)
+
+
+def test_mis_n512(benchmark):
+    g = gen.random_connected_graph(512, 0.01, seed=3)
+    result = benchmark.pedantic(
+        run, args=(g, RootedMisProtocol(7), SIMSYNC, RandomScheduler(1)),
+        rounds=1, iterations=1,
+    )
+    assert is_rooted_mis(g, result.output, 7)
+
+
+def test_sketch_forest_n48(benchmark):
+    from repro.graphs.labeled_graph import LabeledGraph
+    from repro.graphs.properties import connected_components
+
+    g = gen.random_connected_graph(48, 0.08, seed=4)
+    result = benchmark.pedantic(
+        run,
+        args=(g, SketchSpanningForestProtocol(shared_seed=5), SIMASYNC,
+              MinIdScheduler()),
+        rounds=1, iterations=1,
+    )
+    forest = LabeledGraph(g.n, result.output)
+    assert connected_components(forest) == connected_components(g)
+
+
+def test_scale_summary(benchmark, write_report):
+    rows = []
+    cases = [
+        ("BUILD k=3, n=512", lambda: run(
+            gen.random_k_degenerate(512, 3, seed=1),
+            DegenerateBuildProtocol(3), SIMASYNC, MinIdScheduler())),
+        ("SYNC BFS, n=256", lambda: run(
+            gen.random_connected_graph(256, 0.02, seed=2),
+            SyncBfsProtocol(), SYNC, RandomScheduler(0))),
+        ("MIS, n=512", lambda: run(
+            gen.random_connected_graph(512, 0.01, seed=3),
+            RootedMisProtocol(7), SIMSYNC, RandomScheduler(1))),
+    ]
+    for name, fn in cases:
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        assert result.success
+        rows.append((name, dt, result.max_message_bits))
+    benchmark.pedantic(cases[0][1], rounds=1, iterations=1)
+
+    lines = ["Laptop-scale stress runs", ""]
+    lines.append(f"{'case':<22} {'wall time':>10} {'max msg bits':>13}")
+    for name, dt, bits in rows:
+        lines.append(f"{name:<22} {dt:>9.2f}s {bits:>13}")
+    write_report("scale_stress", "\n".join(lines))

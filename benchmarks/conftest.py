@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artefacts (a table, a
+figure, or a quantitative law), asserts its correctness, measures the
+core computation with pytest-benchmark, and writes the regenerated
+artefact to ``reports/<experiment>.txt`` so EXPERIMENTS.md can reference
+concrete output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS = Path(__file__).resolve().parent.parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORTS.mkdir(exist_ok=True)
+    return REPORTS
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    def _write(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _write

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""BFS forests on the whiteboard: synchronisation power in action.
+
+Three protocols from Section 5.2 / Section 6, three behaviours:
+
+1. ``SYNC`` (Theorem 10): BFS forest of *any* graph — nodes may update
+   their pending message, so the ``d0`` same-layer counts make the layer
+   certificates exact even with odd cycles.
+2. ``ASYNC`` on a bipartite graph (Corollary 4): the frozen-message
+   protocol still works because bipartite layers have no internal edges.
+3. ``ASYNC`` on a non-bipartite graph: the layer certificate can never
+   be satisfied past an intra-layer edge — the execution *deadlocks*,
+   exactly the failure mode the paper describes (Open Problems 2/3).
+
+Run:  python examples/bfs_spanning_forest.py
+"""
+
+from repro.core import ASYNC, SYNC, LifoScheduler, RandomScheduler, run
+from repro.graphs import LabeledGraph, canonical_bfs_forest, is_bipartite, random_graph
+from repro.protocols import BipartiteBfsAsyncProtocol, SyncBfsProtocol
+
+
+def show_forest(result) -> None:
+    forest = result.output
+    print(f"  roots: {forest.roots}")
+    for v in sorted(forest.parent):
+        print(f"    node {v:>2}: layer {forest.layer[v]}, parent {forest.parent[v]}")
+
+
+def main() -> None:
+    # --- 1. SYNC on an arbitrary (disconnected, odd-cycle-rich) graph ---
+    graph = random_graph(12, 0.2, seed=5)
+    print(f"graph: n={graph.n}, m={graph.m}, bipartite={is_bipartite(graph)}")
+    result = run(graph, SyncBfsProtocol(), SYNC, LifoScheduler())
+    assert result.success and result.output == canonical_bfs_forest(graph)
+    print("SYNC BFS (Theorem 10) under a LIFO adversary: success")
+    show_forest(result)
+    print()
+
+    # --- 2. ASYNC on a bipartite graph ----------------------------------
+    grid = LabeledGraph(6, [(1, 2), (2, 3), (4, 5), (5, 6), (1, 4), (3, 6)])
+    assert is_bipartite(grid)
+    result = run(grid, BipartiteBfsAsyncProtocol(), ASYNC, RandomScheduler(3))
+    assert result.success and result.output == canonical_bfs_forest(grid)
+    print("ASYNC BFS (Corollary 4) on a bipartite 2x3 grid: success")
+    show_forest(result)
+    print()
+
+    # --- 3. ASYNC deadlock on a non-bipartite graph ---------------------
+    # Triangle in the first component: its layer-1 has an internal edge,
+    # so the exhaustion certificate never fires and node 5 starves.
+    bad = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+    result = run(bad, BipartiteBfsAsyncProtocol(), ASYNC, RandomScheduler(0))
+    print("ASYNC BFS on a graph with a triangle:")
+    print(f"  success: {result.success}")
+    print(f"  wrote: {result.write_order}, starved: {sorted(result.deadlocked_nodes)}")
+    print("  -> the corrupted configuration of Section 2: awake nodes remain "
+          "but no node is active")
+
+
+if __name__ == "__main__":
+    main()

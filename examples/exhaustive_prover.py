@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Proving impossibility by enumerating *every* protocol (tiny n).
+
+The paper's SIMASYNC lower bounds are asymptotic (Theorem 3 + Lemma 3).
+At n = 3 and n = 4 this library can settle the question outright: a
+SIMASYNC protocol is just a map from local views (ID, neighbourhood) to
+messages, the adversary reduces the whiteboard to a message *multiset*,
+and the space of such maps is finite.  `search_simasync_decision`
+backtracks over it with collision pruning.
+
+Output of this script (machine-checked, not sampled):
+
+* TRIANGLE on 3-node graphs: impossible with 1 message, possible with 2;
+* TRIANGLE on 4-node graphs: impossible with 2 messages (1 bit!),
+  possible with 3 — a finite companion to Theorem 3;
+* CONNECTIVITY on 4-node graphs: same phase transition.
+
+Run:  python examples/exhaustive_prover.py   (~10 s)
+"""
+
+from repro.graphs import all_labeled_graphs, has_triangle, is_connected
+from repro.reductions import (
+    output_table,
+    search_simasync_decision,
+    verify_assignment,
+)
+
+
+def explore(name, predicate, n, alphabets, budget=20_000_000):
+    graphs = list(all_labeled_graphs(n))
+    print(f"{name} on all {len(graphs)} labeled {n}-node graphs:")
+    for m in alphabets:
+        result = search_simasync_decision(graphs, predicate, m, budget)
+        print(f"  alphabet of {m} message(s): {result.status.upper():<11}"
+              f" [{result.nodes_explored:,} search nodes]")
+        if result.status == "solvable":
+            assert verify_assignment(graphs, predicate, result.assignment)
+            table = output_table(graphs, predicate, result.assignment)
+            yes = sum(1 for v in table.values() if v)
+            print(f"    witness protocol found: {len(table)} distinct "
+                  f"whiteboard multisets, {yes} map to YES")
+    print()
+
+
+def explore_construction(name, candidates, n, alphabets, budget=20_000_000):
+    from repro.reductions import (
+        search_simasync_construction,
+        verify_construction_assignment,
+    )
+
+    graphs = list(all_labeled_graphs(n))
+    print(f"{name} (construction) on all {len(graphs)} labeled {n}-node graphs:")
+    for m in alphabets:
+        result = search_simasync_construction(graphs, candidates, m, budget)
+        print(f"  alphabet of {m} message(s): {result.status.upper():<11}"
+              f" [{result.nodes_explored:,} search nodes]")
+        if result.status == "solvable":
+            assert verify_construction_assignment(graphs, candidates, result.assignment)
+    print()
+
+
+def main() -> None:
+    explore("TRIANGLE", has_triangle, n=3, alphabets=(1, 2))
+    explore("TRIANGLE", has_triangle, n=4, alphabets=(2, 3))
+    explore("CONNECTIVITY", is_connected, n=4, alphabets=(2, 3))
+
+    from repro.reductions import rooted_mis_candidates
+
+    explore_construction("rooted MIS", rooted_mis_candidates(1), n=3,
+                         alphabets=(2, 3))
+    explore_construction("rooted MIS", rooted_mis_candidates(1), n=4,
+                         alphabets=(3, 4))
+
+    print("Reading the results:")
+    print(" * 'unsolvable' cells are exhaustive proofs — no protocol with")
+    print("   that alphabet exists, under ANY message/output functions.")
+    print(" * The 2->3 message phase transition at n=4 is the finite shadow")
+    print("   of Theorem 3: as n grows, the required alphabet explodes —")
+    print("   Lemma 3 quantifies it as 2^Ω(n) messages (Ω(n) bits).")
+    print(" * Rooted MIS — the exact problem of Theorems 5/6 — needs one")
+    print("   more message than TRIANGLE at each n: the finite shadow of")
+    print("   Theorem 6, even though ANY valid MIS output is accepted.")
+
+
+if __name__ == "__main__":
+    main()

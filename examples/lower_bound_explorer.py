@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Touring the impossibility results: Lemma 3, Figures 1 & 2, pigeonholes.
+
+Lower bounds in this paper are *counting arguments made constructive by
+gadgets*.  This example walks through each step with real numbers:
+
+1. Lemma 3's inequality for the graph classes the reductions target;
+2. the Figure 1 gadget turning TRIANGLE answers into graph edges;
+3. the Figure 2 gadget turning BFS layers into neighbourhoods;
+4. an explicit pigeonhole collision: a concrete SIMASYNC protocol with
+   tiny messages and two different graphs it provably cannot tell apart.
+
+Run:  python examples/lower_bound_explorer.py
+"""
+
+from repro.analysis import render_figure1, render_figure2
+from repro.core import NodeView, Protocol
+from repro.graphs import all_labeled_graphs
+from repro.reductions import (
+    distinct_messages_upto,
+    find_simasync_collision,
+    log2_all_graphs,
+    log2_bipartite_fixed_parts,
+    log2_even_odd_bipartite,
+    min_message_bits_for_build,
+    simasync_multiset_capacity,
+)
+
+
+class DegreeParityProtocol(Protocol):
+    """A deliberately tiny SIMASYNC protocol: each node writes only its
+    degree's parity (1 bit of information)."""
+
+    name = "degree-parity"
+
+    def message(self, view: NodeView):
+        return view.degree % 2
+
+    def output(self, board, n):
+        return None
+
+
+def main() -> None:
+    # --- 1. Lemma 3 numbers ---------------------------------------------
+    print("Lemma 3 — minimum bits per message for BUILD on a class:")
+    print(f"{'n':>6} {'all graphs':>12} {'bipartite':>12} {'even-odd':>12}")
+    for n in (16, 64, 256, 1024):
+        print(f"{n:>6} "
+              f"{min_message_bits_for_build(log2_all_graphs(n), n):>12.1f} "
+              f"{min_message_bits_for_build(log2_bipartite_fixed_parts(n), n):>12.1f} "
+              f"{min_message_bits_for_build(log2_even_odd_bipartite(n), n):>12.1f}")
+    print("all three grow like n/4..n/2: any o(n)-bit protocol must fail.\n")
+
+    # --- 2 & 3. the gadgets, verified ------------------------------------
+    print(render_figure1())
+    print()
+    print(render_figure2())
+    print()
+
+    # --- 4. a concrete pigeonhole ----------------------------------------
+    n = 4
+    capacity = simasync_multiset_capacity(n, bits=1)
+    graphs = 2 ** int(log2_all_graphs(n))
+    print("pigeonhole on n=4, 1-bit messages:")
+    print(f"  distinct message multisets: C({distinct_messages_upto(1)}+{n}-1,{n})"
+          f" = {capacity};  labeled graphs: {graphs}")
+    witness = find_simasync_collision(DegreeParityProtocol(), all_labeled_graphs(4))
+    assert witness is not None
+    print("  concrete collision for the degree-parity protocol:")
+    print(f"    graph A edges: {sorted(witness.first.edges())}")
+    print(f"    graph B edges: {sorted(witness.second.edges())}")
+    print("    identical whiteboard multisets -> no output function can "
+          "distinguish them; this is Lemma 3's proof, executed.")
+
+
+if __name__ == "__main__":
+    main()

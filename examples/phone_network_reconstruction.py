@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: a massive call graph, one message each.
+
+Section 1: "nodes may represent phone numbers and links may indicate
+telephone calls" — links are *relationships*, not communication channels,
+so any node may write to a shared whiteboard, but each may write only
+once and only a little.
+
+This example builds a synthetic sparse "call graph" (planar-like,
+low-degeneracy, as real contact networks tend to be after thresholding),
+reconstructs it with Theorem 2's protocol, compares the whiteboard cost
+against the naive O(n)-bit-per-node baseline, and then answers two
+structural questions from the whiteboard alone: does the network contain
+a triangle (a calling clique of three), and what are its connected
+components?
+
+Run:  python examples/phone_network_reconstruction.py
+"""
+
+from repro.core import SIMASYNC, RandomScheduler, run
+from repro.graphs import connected_components, degeneracy, has_triangle, random_k_degenerate
+from repro.protocols import (
+    DegenerateBuildProtocol,
+    DegenerateTriangleProtocol,
+    NaiveBuildProtocol,
+)
+
+
+def main() -> None:
+    # Synthetic call graph: 60 numbers, each new number calls at most 3
+    # earlier ones (preferential-contact style), degeneracy <= 3.
+    calls = random_k_degenerate(n=60, k=3, seed=2024, fill=0.9)
+    print(f"call graph: n={calls.n}, m={calls.m}, degeneracy={degeneracy(calls)}")
+    print(f"components: {len(connected_components(calls))}, "
+          f"has calling-triangle: {has_triangle(calls)}")
+    print()
+
+    k = degeneracy(calls)
+    smart = run(calls, DegenerateBuildProtocol(k), SIMASYNC, RandomScheduler(1))
+    naive = run(calls, NaiveBuildProtocol(), SIMASYNC, RandomScheduler(1))
+
+    assert smart.output == calls and naive.output == calls
+    print("whiteboard cost comparison (both reconstruct the full graph):")
+    print(f"  Theorem 2 power-sum protocol: max {smart.max_message_bits:>5} bits/node, "
+          f"total {smart.total_bits:>6} bits")
+    print(f"  naive full-neighbourhood:     max {naive.max_message_bits:>5} bits/node, "
+          f"total {naive.total_bits:>6} bits")
+    ratio = naive.total_bits / smart.total_bits
+    print(f"  -> naive board is {ratio:.2f}x larger; the gap widens like n/log n")
+    print()
+
+    # Structural queries straight from the whiteboard: the TRIANGLE
+    # variant shares Theorem 2's messages but decides instead of building.
+    tri = run(calls, DegenerateTriangleProtocol(k), SIMASYNC, RandomScheduler(2))
+    print(f"triangle query answered from the whiteboard: "
+          f"{'triangle found' if tri.output == 1 else 'triangle-free'}")
+
+    rebuilt = smart.output
+    comps = connected_components(rebuilt)
+    print(f"components recovered from the whiteboard: "
+          f"{sorted(len(c) for c in comps)} (sizes)")
+
+
+if __name__ == "__main__":
+    main()

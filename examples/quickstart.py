@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: reconstruct a sparse graph from one tiny message per node.
+
+This is the paper's headline capability (Theorem 2): every node of a
+bounded-degeneracy graph writes a single O(k² log n)-bit message on a
+shared whiteboard — *simultaneously*, knowing nothing but its own
+neighbourhood — and the final whiteboard determines the entire graph.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SIMASYNC, RandomScheduler, run
+from repro.graphs import degeneracy, random_k_degenerate
+from repro.protocols import DegenerateBuildProtocol
+
+
+def main() -> None:
+    # A random graph of degeneracy <= 3 on 25 nodes.
+    graph = random_k_degenerate(n=25, k=3, seed=42)
+    print(f"input graph: n={graph.n}, m={graph.m}, degeneracy={degeneracy(graph)}")
+
+    # Theorem 2's protocol: one simultaneous power-sum message per node.
+    protocol = DegenerateBuildProtocol(k=3)
+
+    # The adversary writes the messages in an order of its choosing;
+    # SIMASYNC messages are computed before anything is on the board, so
+    # the order cannot matter — but we let an adversary scramble it anyway.
+    result = run(graph, protocol, SIMASYNC, RandomScheduler(seed=7))
+
+    print(f"execution successful: {result.success}")
+    print(f"messages written: {len(result.board)}")
+    print(f"largest message: {result.max_message_bits} bits "
+          f"(naive full-neighbourhood would need ~{graph.n} bits)")
+    print(f"whiteboard total: {result.total_bits} bits")
+
+    first = result.board.entries[0]
+    print(f"example message from node {first.author}: {first.payload}")
+    print("  (identifier, degree, and the first k power sums of its "
+          "neighbours' identifiers)")
+
+    reconstructed = result.output
+    print(f"reconstruction equals the input graph: {reconstructed == graph}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim for environments without the `wheel` package.
+
+`pip install -e .` needs wheel to build PEP 660 editables; fully offline
+boxes can instead run `python setup.py develop` (or add src/ to a .pth
+file as described in README.md).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Message-budget helpers: turning ``f(n)`` into enforceable limits.
+
+The classes ``MODEL[f(n)]`` are parametrized by an asymptotic message
+bound.  The simulator enforces *concrete* per-message bit budgets, so
+asymptotic claims need concrete envelopes.  This module centralises
+them:
+
+* :func:`logn_budget` — ``c · log2(n) + b`` bits, the envelope for the
+  paper's ``O(log n)`` protocols (constants calibrated in the tests
+  against measured sizes, then *enforced* so regressions that bloat
+  messages fail loudly);
+* :func:`klogn_budget` — ``c · k² · log2(n) + b``, Lemma 1's envelope;
+* :func:`polylog_budget` — ``c · log2(n)^e + b`` for the sketching
+  extension;
+* :func:`linear_budget` — ``c · n + b``, the trivial upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+__all__ = ["logn_budget", "klogn_budget", "polylog_budget", "linear_budget"]
+
+BudgetFn = Callable[[int], int]
+
+
+def _log2(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+def logn_budget(c: float = 8.0, b: int = 64) -> BudgetFn:
+    """``n -> ceil(c · log2 n) + b`` bits."""
+    return lambda n: math.ceil(c * _log2(n)) + b
+
+
+def klogn_budget(k: int, c: float = 4.0, b: int = 32) -> BudgetFn:
+    """Lemma 1 envelope: ``n -> ceil(c · k² · log2 n) + b`` bits."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    kk = max(1, k * k)
+    return lambda n: math.ceil(c * kk * _log2(n)) + b
+
+
+def polylog_budget(exponent: int = 3, c: float = 12.0, b: int = 512) -> BudgetFn:
+    """``n -> ceil(c · log2(n)^exponent) + b`` bits."""
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    return lambda n: math.ceil(c * _log2(n) ** exponent) + b
+
+
+def linear_budget(c: float = 2.0, b: int = 32) -> BudgetFn:
+    """``n -> ceil(c · n) + b`` bits — the naive-protocol envelope."""
+    return lambda n: math.ceil(c * n) + b

@@ -1,0 +1,86 @@
+"""Process-parallel verification sweeps.
+
+Correctness sweeps are embarrassingly parallel across instances: each
+(graph, protocol, adversary set) cell is independent.  For the pure-
+Python simulator the GIL rules out threads, so this module fans the
+instance list out to a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merges per-instance reports.
+
+Requirements imposed by pickling: the protocol, the schedulers and the
+checker must be picklable — lambdas are not, so use the callable classes
+in :mod:`repro.analysis.checkers` (or your own module-level callables).
+
+The serial path (:func:`repro.analysis.verify.verify_protocol`) remains
+the default everywhere; parallelism pays off once instances take
+hundreds of milliseconds each (see ``benchmarks/bench_parallel.py`` for
+the crossover measurement).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Sequence
+from typing import Optional
+
+from ..graphs.labeled_graph import LabeledGraph
+from ..core.models import MODELS_BY_NAME, ModelSpec
+from ..core.protocol import Protocol
+from ..core.schedulers import Scheduler, default_portfolio
+from .verify import Checker, VerificationReport, verify_protocol
+
+__all__ = ["verify_protocol_parallel"]
+
+
+def _verify_one(payload) -> VerificationReport:
+    """Worker: verify a single instance (top-level for pickling)."""
+    (protocol, model_name, graph, checker, schedulers,
+     exhaustive_threshold, allow_deadlock) = payload
+    return verify_protocol(
+        protocol,
+        MODELS_BY_NAME[model_name],
+        [graph],
+        checker,
+        schedulers=schedulers,
+        exhaustive_threshold=exhaustive_threshold,
+        allow_deadlock=allow_deadlock,
+    )
+
+
+def verify_protocol_parallel(
+    protocol: Protocol,
+    model: ModelSpec,
+    instances: Sequence[LabeledGraph],
+    checker: Checker,
+    schedulers: Optional[Sequence[Scheduler]] = None,
+    exhaustive_threshold: int = 5,
+    allow_deadlock: bool = False,
+    n_jobs: Optional[int] = None,
+) -> VerificationReport:
+    """Parallel counterpart of :func:`~repro.analysis.verify.verify_protocol`.
+
+    Splits ``instances`` across ``n_jobs`` worker processes (default:
+    ``os.cpu_count()``) and merges the per-instance reports.  Semantics
+    match the serial version exactly — asserted by the test suite, which
+    runs both and compares reports field by field.
+    """
+    scheds = list(schedulers) if schedulers is not None else default_portfolio()
+    payloads = [
+        (protocol, model.name, g, checker, scheds, exhaustive_threshold,
+         allow_deadlock)
+        for g in instances
+    ]
+    merged = VerificationReport(protocol.name, model.name)
+    if not payloads:
+        return merged
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        for report in pool.map(_verify_one, payloads):
+            merged.instances += report.instances
+            merged.executions += report.executions
+            merged.exhaustive_instances += report.exhaustive_instances
+            merged.failures.extend(report.failures)
+            merged.max_message_bits = max(
+                merged.max_message_bits, report.max_message_bits
+            )
+            for n, b in report.max_bits_by_n.items():
+                merged.max_bits_by_n[n] = max(merged.max_bits_by_n.get(n, 0), b)
+    return merged

@@ -1,0 +1,86 @@
+"""Growth-law fitting for measured message sizes.
+
+The paper's quantitative claims are asymptotic: message size
+``O(log n)`` for the Section 5/6 protocols, ``O(k^2 log n)`` for
+Theorem 2 (Lemma 1), ``f(n) + O(log n)`` for Theorem 9.  The benchmarks
+measure exact bit sizes with :mod:`repro.encoding.bits`; this module
+fits the measurements against the claimed laws (ordinary least squares
+on the design matrix ``[basis(n), 1]``) and reports the coefficient,
+intercept and ``R^2`` so EXPERIMENTS.md can state *measured vs claimed*
+precisely.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_against", "fit_log", "fit_klog", "is_sublinear"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares fit of ``y ≈ slope * basis(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    basis_name: str
+
+    def predict(self, basis_value: float) -> float:
+        return self.slope * basis_value + self.intercept
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.slope:.3f}·{self.basis_name} + {self.intercept:.2f} "
+            f"(R² = {self.r_squared:.4f})"
+        )
+
+
+def fit_against(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    basis: Callable[[float], float],
+    basis_name: str = "b(n)",
+) -> FitResult:
+    """OLS fit of ``ys`` against ``basis(xs)`` with intercept."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    bx = np.array([basis(x) for x in xs], dtype=float)
+    y = np.array(ys, dtype=float)
+    design = np.column_stack([bx, np.ones_like(bx)])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    slope, intercept = float(coef[0]), float(coef[1])
+    pred = design @ coef
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(slope, intercept, r2, basis_name)
+
+
+def fit_log(ns: Sequence[int], bits: Sequence[int]) -> FitResult:
+    """Fit measured bits against ``log2 n`` (the O(log n) protocols)."""
+    return fit_against(ns, bits, lambda n: math.log2(n), "log2(n)")
+
+
+def fit_klog(ks: Sequence[int], bits: Sequence[int], n: int) -> FitResult:
+    """Fit measured bits against ``k^2 log2 n`` at fixed ``n`` (Lemma 1)."""
+    return fit_against(ks, bits, lambda k: k * k * math.log2(n), f"k²·log2({n})")
+
+
+def is_sublinear(ns: Sequence[int], bits: Sequence[int], slack: float = 0.5) -> bool:
+    """Sanity predicate: measured sizes grow strictly slower than ``n``.
+
+    Compares the bits/n ratio at the largest and smallest measured
+    sizes; a truly ``Θ(n)`` curve keeps the ratio constant, an
+    ``O(log n)`` one drives it down.  ``slack`` is the required decay
+    factor.
+    """
+    pairs = sorted(zip(ns, bits))
+    (n0, b0), (n1, b1) = pairs[0], pairs[-1]
+    if n1 <= n0:
+        raise ValueError("need a non-trivial range of n")
+    return (b1 / n1) <= slack * (b0 / n0) + 1e-9

@@ -1,0 +1,104 @@
+"""JSON-friendly serialization of runs, reports and graphs.
+
+Downstream analysis (notebooks, pandas, dashboards) wants plain data,
+not simulator objects.  This module flattens the main result types into
+dictionaries of JSON-compatible primitives, and round-trips graphs
+through their graph6 form so whole experiment outputs can be archived
+and re-loaded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..graphs.codec import from_graph6, to_graph6
+from ..graphs.labeled_graph import LabeledGraph
+from ..core.simulator import RunResult
+from .verify import VerificationReport
+
+__all__ = [
+    "run_to_dict",
+    "report_to_dict",
+    "graph_to_dict",
+    "graph_from_dict",
+    "dumps_run",
+]
+
+
+def graph_to_dict(graph: LabeledGraph) -> dict[str, Any]:
+    """Graph as ``{"n": ..., "graph6": ...}`` (compact, lossless)."""
+    return {"n": graph.n, "m": graph.m, "graph6": to_graph6(graph)}
+
+
+def graph_from_dict(data: dict[str, Any]) -> LabeledGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    g = from_graph6(data["graph6"])
+    if g.n != data.get("n", g.n):
+        raise ValueError("inconsistent serialized graph")
+    return g
+
+
+def _payload_to_jsonable(payload: Any) -> Any:
+    if isinstance(payload, tuple):
+        return ["tuple"] + [_payload_to_jsonable(p) for p in payload]
+    return payload
+
+
+def run_to_dict(result: RunResult) -> dict[str, Any]:
+    """Flatten one execution to JSON-compatible data.
+
+    The protocol *output* is stringified (it may be an arbitrary Python
+    object); everything quantitative is preserved exactly.
+    """
+    return {
+        "protocol": result.protocol_name,
+        "model": result.model.name,
+        "n": result.n,
+        "success": result.success,
+        "write_order": list(result.write_order),
+        "activation_round": {str(k): v for k, v in result.activation_round.items()},
+        "max_message_bits": result.max_message_bits,
+        "total_bits": result.total_bits,
+        "deadlocked_nodes": sorted(result.deadlocked_nodes),
+        "output_repr": repr(result.output),
+        "board": [
+            {
+                "index": e.index,
+                "author": e.author,
+                "bits": e.bits,
+                "round": e.round_written,
+                "payload": _payload_to_jsonable(e.payload),
+            }
+            for e in result.board.entries
+        ],
+    }
+
+
+def report_to_dict(report: VerificationReport) -> dict[str, Any]:
+    """Flatten a verification report (failures summarized, graphs as
+    graph6)."""
+    return {
+        "protocol": report.protocol_name,
+        "model": report.model_name,
+        "instances": report.instances,
+        "executions": report.executions,
+        "exhaustive_instances": report.exhaustive_instances,
+        "ok": report.ok,
+        "max_message_bits": report.max_message_bits,
+        "max_bits_by_n": {str(k): v for k, v in report.max_bits_by_n.items()},
+        "failures": [
+            {
+                "kind": f.kind,
+                "graph": graph_to_dict(f.graph),
+                "schedule": list(f.schedule),
+                "output_repr": repr(f.output),
+            }
+            for f in report.failures
+        ],
+    }
+
+
+def dumps_run(result: RunResult, **kwargs: Any) -> str:
+    """``json.dumps`` of :func:`run_to_dict` (kwargs forwarded)."""
+    return json.dumps(run_to_dict(result), **kwargs)

@@ -1,0 +1,66 @@
+"""Human-readable execution narration.
+
+Turns a :class:`~repro.core.simulator.RunResult` into a round-by-round
+story: who activated when, who the adversary picked, what was written
+and how many bits it cost, and how the run ended (successful or
+corrupted configuration).  Used by ``python -m repro demo --trace`` and
+by the examples; handy when developing new protocols against the
+Section 2 semantics.
+"""
+
+from __future__ import annotations
+
+from ..core.simulator import RunResult
+
+__all__ = ["narrate", "activation_timeline"]
+
+
+def activation_timeline(result: RunResult) -> dict[int, list[int]]:
+    """Map write-event index -> nodes that activated at that event
+    (0 = the initial activation round)."""
+    timeline: dict[int, list[int]] = {}
+    for node, event in sorted(result.activation_round.items()):
+        timeline.setdefault(event, []).append(node)
+    return timeline
+
+
+def narrate(result: RunResult, max_payload_chars: int = 60) -> str:
+    """Render a full execution transcript."""
+    lines = [
+        f"execution of {result.protocol_name!r} under {result.model.name} "
+        f"on {result.n} nodes",
+        "",
+    ]
+    timeline = activation_timeline(result)
+    if 0 in timeline:
+        mode = "all nodes" if result.model.simultaneous else "nodes"
+        lines.append(f"round 0: {mode} {timeline[0]} become active"
+                     + (" (messages frozen)" if result.model.asynchronous else ""))
+    for entry in result.board.entries:
+        payload = repr(entry.payload)
+        if len(payload) > max_payload_chars:
+            payload = payload[: max_payload_chars - 3] + "..."
+        lines.append(
+            f"round {entry.round_written}: adversary picks node "
+            f"{entry.author}; it writes {payload} [{entry.bits} bits]"
+        )
+        woken = timeline.get(entry.round_written, [])
+        woken = [w for w in woken if w != entry.author]
+        if woken:
+            frozen = " (messages frozen)" if result.model.asynchronous else ""
+            lines.append(f"         -> nodes {woken} become active{frozen}")
+    lines.append("")
+    if result.success:
+        lines.append(
+            f"successful configuration: all {result.n} nodes terminated; "
+            f"board holds {result.total_bits} bits "
+            f"(max message {result.max_message_bits})"
+        )
+        lines.append(f"output: {result.output!r}")
+    else:
+        starved = sorted(result.deadlocked_nodes)
+        lines.append(
+            f"CORRUPTED configuration: nodes {starved} never became "
+            f"active-and-written (deadlock); no output"
+        )
+    return "\n".join(lines)

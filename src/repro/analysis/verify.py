@@ -1,0 +1,137 @@
+"""Verification harness: run a protocol over instances × adversaries and
+check every output against an oracle.
+
+The paper's positive results are universally quantified over adversaries;
+the harness approximates that with
+
+* **exhaustive** schedule enumeration when the instance is small enough
+  (``n <= exhaustive_threshold``), which makes the check a proof for
+  those instances, and
+* a **portfolio** of structured + seeded-random schedulers otherwise.
+
+Alongside correctness it records exact message-size statistics so the
+``O(log n)`` / ``O(k^2 log n)`` claims are measured by the same runs
+that establish correctness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..graphs.labeled_graph import LabeledGraph
+from ..core.models import ModelSpec
+from ..core.protocol import Protocol
+from ..core.schedulers import Scheduler, default_portfolio
+from ..core.simulator import RunResult, all_executions, run
+
+__all__ = ["Failure", "VerificationReport", "verify_protocol", "Checker"]
+
+#: ``checker(graph, output, result) -> bool`` — truthy means correct.
+Checker = Callable[[LabeledGraph, Any, RunResult], bool]
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One incorrect or deadlocked execution."""
+
+    graph: LabeledGraph
+    schedule: tuple[int, ...]
+    output: Any
+    kind: str  # "wrong-output" | "deadlock"
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated result of a verification sweep."""
+
+    protocol_name: str
+    model_name: str
+    instances: int = 0
+    executions: int = 0
+    exhaustive_instances: int = 0
+    failures: list[Failure] = field(default_factory=list)
+    max_message_bits: int = 0
+    max_bits_by_n: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, graph: LabeledGraph, result: RunResult, correct: bool) -> None:
+        self.executions += 1
+        self.max_message_bits = max(self.max_message_bits, result.max_message_bits)
+        prev = self.max_bits_by_n.get(graph.n, 0)
+        self.max_bits_by_n[graph.n] = max(prev, result.max_message_bits)
+        if result.corrupted:
+            self.failures.append(
+                Failure(graph, result.write_order, None, "deadlock")
+            )
+        elif not correct:
+            self.failures.append(
+                Failure(graph, result.write_order, result.output, "wrong-output")
+            )
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"{self.protocol_name} under {self.model_name}: {state} "
+            f"({self.instances} instances, {self.executions} executions, "
+            f"{self.exhaustive_instances} exhaustive, "
+            f"max message {self.max_message_bits} bits)"
+        )
+
+
+def verify_protocol(
+    protocol: Protocol,
+    model: ModelSpec,
+    instances: Iterable[LabeledGraph],
+    checker: Checker,
+    schedulers: Optional[Sequence[Scheduler]] = None,
+    exhaustive_threshold: int = 5,
+    exhaustive_limit: Optional[int] = None,
+    bit_budget: Optional[Callable[[int], int]] = None,
+    allow_deadlock: bool = False,
+) -> VerificationReport:
+    """Sweep ``protocol`` under ``model`` over ``instances``.
+
+    Parameters
+    ----------
+    checker:
+        Output oracle; called only on successful executions.
+    exhaustive_threshold:
+        Instances with ``n`` at most this are checked under *every*
+        adversary schedule.
+    bit_budget:
+        Optional ``n -> bits`` cap enforced during simulation.
+    allow_deadlock:
+        When ``True`` deadlocks are not failures (used for the
+        open-problem measurements, e.g. Corollary 4 on odd cycles).
+    """
+    scheds = list(schedulers) if schedulers is not None else default_portfolio()
+    report = VerificationReport(protocol.name, model.name)
+    for graph in instances:
+        report.instances += 1
+        budget = bit_budget(graph.n) if bit_budget else None
+        if graph.n <= exhaustive_threshold:
+            report.exhaustive_instances += 1
+            runs: Iterable[RunResult] = all_executions(
+                graph, protocol, model, bit_budget=budget, limit=exhaustive_limit
+            )
+        else:
+            runs = (
+                run(graph, protocol, model, sched, bit_budget=budget)
+                for sched in scheds
+            )
+        for result in runs:
+            if result.corrupted and allow_deadlock:
+                report.executions += 1
+                continue
+            correct = (
+                bool(checker(graph, result.output, result))
+                if result.success
+                else False
+            )
+            report.record(graph, result, correct)
+    return report

@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the installed ``repro-whiteboard``):
+
+* ``table2``  — regenerate the paper's Table 2 classification
+* ``fig1``    — regenerate Figure 1 (triangle gadget) with caption check
+* ``fig2``    — regenerate Figure 2 (EOB-BFS gadget) with caption check
+* ``lemma1``  — measure Theorem 2 message sizes against the
+  ``O(k^2 log n)`` bound
+* ``lemma3``  — print the counting-bound table for the paper's classes
+* ``demo``    — run one protocol on one graph and dump the whiteboard
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-whiteboard",
+        description="Shared whiteboard models (Becker et al.) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t2 = sub.add_parser("table2", help="regenerate Table 2")
+    t2.add_argument("--full", action="store_true", help="larger workloads")
+    t2.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("fig1", help="regenerate Figure 1")
+    sub.add_parser("fig2", help="regenerate Figure 2")
+
+    l1 = sub.add_parser("lemma1", help="Theorem 2 message-size law")
+    l1.add_argument("--kmax", type=int, default=4)
+    l1.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64, 128, 256])
+
+    l3 = sub.add_parser("lemma3", help="counting-bound table")
+    l3.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64, 128])
+
+    demo = sub.add_parser("demo", help="run a protocol and dump the whiteboard")
+    demo.add_argument("--protocol", default="build",
+                      choices=["build", "mis", "two-cliques", "eob-bfs", "bfs"])
+    demo.add_argument("--n", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--trace", action="store_true",
+                      help="narrate the execution round by round")
+
+    exp = sub.add_parser("experiment", help="regenerate one experiment (E1-E18)")
+    exp.add_argument("experiment_id", help="e.g. E5")
+    exp.add_argument("--full", action="store_true", help="larger workloads")
+
+    allp = sub.add_parser("reproduce-all", help="regenerate the whole E1-E18 index")
+    allp.add_argument("--full", action="store_true", help="larger workloads")
+
+    sub.add_parser("protocols", help="list every shipped protocol")
+    return parser
+
+
+def _cmd_table2(args) -> int:
+    from .analysis.table2 import generate_table2, render_table2
+
+    result = generate_table2(quick=not args.full, seed=args.seed)
+    print(render_table2(result))
+    print()
+    print("regeneration matches the paper:", result.matches_paper())
+    return 0 if result.all_ok else 1
+
+
+def _cmd_fig(which: int) -> int:
+    from .analysis.figures import render_figure1, render_figure2
+
+    print(render_figure1() if which == 1 else render_figure2())
+    return 0
+
+
+def _cmd_lemma1(args) -> int:
+    from .analysis.scaling import fit_klog, fit_log
+    from .core import SIMASYNC, MinIdScheduler, run
+    from .graphs.generators import random_k_degenerate
+    from .protocols.build import DegenerateBuildProtocol
+
+    print("Theorem 2 / Lemma 1: measured max message bits vs O(k^2 log n)")
+    print(f"{'k':>3} {'n':>6} {'max bits':>9} {'k(k+1)log2(n)+2log2(n)':>24}")
+    by_k: dict[int, list[tuple[int, int]]] = {}
+    for k in range(1, args.kmax + 1):
+        for n in args.sizes:
+            g = random_k_degenerate(n, k, seed=n + k)
+            r = run(g, DegenerateBuildProtocol(k), SIMASYNC, MinIdScheduler())
+            bound = (k * (k + 1) + 2) * math.log2(n)
+            print(f"{k:>3} {n:>6} {r.max_message_bits:>9} {bound:>24.1f}")
+            by_k.setdefault(k, []).append((n, r.max_message_bits))
+    for k, pairs in by_k.items():
+        fit = fit_log([p[0] for p in pairs], [p[1] for p in pairs])
+        print(f"  k={k}: {fit}")
+    return 0
+
+
+def _cmd_lemma3(args) -> int:
+    from .reductions.counting import (
+        log2_all_graphs,
+        log2_bipartite_fixed_parts,
+        log2_even_odd_bipartite,
+        log2_labeled_trees,
+        min_message_bits_for_build,
+    )
+
+    families = [
+        ("all graphs", log2_all_graphs),
+        ("bipartite (fixed parts)", log2_bipartite_fixed_parts),
+        ("even-odd-bipartite", log2_even_odd_bipartite),
+        ("labeled trees", log2_labeled_trees),
+    ]
+    print("Lemma 3: minimum bits/message for BUILD on each class")
+    header = f"{'class':<26}" + "".join(f" n={n:<8}" for n in args.sizes)
+    print(header)
+    for name, f in families:
+        row = f"{name:<26}"
+        for n in args.sizes:
+            row += f" {min_message_bits_for_build(f(n), n):<9.1f}"
+        print(row)
+    print("\n(all-graphs and bipartite rows grow like n — hence the o(n) "
+          "impossibility results; the trees row grows like log n — hence "
+          "Theorem 2 is tight.)")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from .core import ASYNC, SIMASYNC, SIMSYNC, SYNC, RandomScheduler, run
+    from .graphs import generators as gen
+    from .protocols import (
+        DegenerateBuildProtocol,
+        EobBfsProtocol,
+        RootedMisProtocol,
+        SyncBfsProtocol,
+        TwoCliquesProtocol,
+    )
+
+    n, seed = args.n, args.seed
+    if args.protocol == "build":
+        g = gen.random_k_degenerate(n, 2, seed=seed)
+        proto, model = DegenerateBuildProtocol(2), SIMASYNC
+    elif args.protocol == "mis":
+        g = gen.random_connected_graph(n, 0.3, seed=seed)
+        proto, model = RootedMisProtocol(1), SIMSYNC
+    elif args.protocol == "two-cliques":
+        g = gen.two_cliques(max(2, n // 2))
+        proto, model = TwoCliquesProtocol(), SIMSYNC
+    elif args.protocol == "eob-bfs":
+        g = gen.random_even_odd_bipartite(n, 0.4, seed=seed)
+        proto, model = EobBfsProtocol(), ASYNC
+    else:
+        g = gen.random_graph(n, 0.3, seed=seed)
+        proto, model = SyncBfsProtocol(), SYNC
+
+    result = run(g, proto, model, RandomScheduler(seed))
+    if args.trace:
+        from .analysis.trace import narrate
+
+        print(narrate(result))
+        return 0
+    print(f"graph: {g}")
+    print(f"protocol: {proto.name}  model: {model.name}")
+    print(f"success: {result.success}")
+    print("whiteboard (in write order):")
+    for e in result.board.entries:
+        print(f"  [{e.index:>3}] node {e.author:>3} ({e.bits:>3} bits): {e.payload}")
+    print(f"output: {result.output}")
+    print(f"max message: {result.max_message_bits} bits; "
+          f"board total: {result.total_bits} bits")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import get_experiment
+
+    exp = get_experiment(args.experiment_id)
+    print(f"{exp.experiment_id} — {exp.title}  (paper artefact: {exp.paper_artifact})")
+    print()
+    result = exp.run(quick=not args.full)
+    print(result.artifact)
+    print()
+    print("verdict:", "OK" if result.ok else "FAILED")
+    return 0 if result.ok else 1
+
+
+def _cmd_reproduce_all(args) -> int:
+    from .experiments import run_all
+
+    results = run_all(quick=not args.full)
+    failed = [r for r in results if not r.ok]
+    for r in results:
+        print(f"{r.experiment_id:<5} {'OK' if r.ok else 'FAILED'}   ", end="")
+        first = r.artifact.splitlines()[0] if r.artifact else ""
+        print(first)
+    print()
+    print(f"{len(results) - len(failed)}/{len(results)} experiments regenerated OK")
+    return 0 if not failed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table2":
+        return _cmd_table2(args)
+    if args.command == "fig1":
+        return _cmd_fig(1)
+    if args.command == "fig2":
+        return _cmd_fig(2)
+    if args.command == "lemma1":
+        return _cmd_lemma1(args)
+    if args.command == "lemma3":
+        return _cmd_lemma3(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "reproduce-all":
+        return _cmd_reproduce_all(args)
+    if args.command == "protocols":
+        from .protocols.census import render_census
+
+        print(render_census())
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the whiteboard simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "WhiteboardError",
+    "MessageTooLarge",
+    "ProtocolViolation",
+    "SchedulerError",
+]
+
+
+class WhiteboardError(Exception):
+    """Base class for simulator errors."""
+
+
+class MessageTooLarge(WhiteboardError):
+    """A node tried to write more bits than the model's budget ``f(n)``.
+
+    Raised only when the simulation is given an explicit bit budget;
+    unbudgeted runs record sizes without enforcing them.
+    """
+
+    def __init__(self, node: int, bits: int, budget: int) -> None:
+        super().__init__(
+            f"node {node} wrote {bits} bits, exceeding the budget of {budget}"
+        )
+        self.node = node
+        self.bits = bits
+        self.budget = budget
+
+
+class ProtocolViolation(WhiteboardError):
+    """A protocol broke a model rule (e.g. produced a non-payload message,
+    or tried to write twice)."""
+
+
+class SchedulerError(WhiteboardError):
+    """The adversary returned a node that is not eligible to write."""

@@ -1,0 +1,68 @@
+"""The four communication models (Table 1 of the paper).
+
+A model is two independent booleans:
+
+* ``simultaneous`` — must every node activate after the first round?
+  (``SIM*`` models: yes; free models: nodes choose when.)
+* ``asynchronous`` — is the message frozen when the node activates?
+  (``*ASYNC``: yes — "once a node raises its hand it cannot change its
+  mind"; ``*SYNC``: no — the stored message is recomputed from the
+  current whiteboard while the node waits.)
+
+The lattice order captures Lemma 4's inclusion chain
+``P_SIMASYNC ⊆ P_SIMSYNC ⊆ P_ASYNC ⊆ P_SYNC``.  Note that only the two
+trivial edges (dropping ``simultaneous`` or ``asynchronous``) are
+spec-weakenings; ``SIMSYNC ⊆ ASYNC`` needs the fixed-order adapter in
+:mod:`repro.hierarchy.adapters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ModelSpec",
+    "SIMASYNC",
+    "SIMSYNC",
+    "ASYNC",
+    "SYNC",
+    "ALL_MODELS",
+    "MODELS_BY_NAME",
+    "lemma4_chain",
+    "at_most_as_strong",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One of the four whiteboard access models."""
+
+    name: str
+    simultaneous: bool
+    asynchronous: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+
+SIMASYNC = ModelSpec("SIMASYNC", simultaneous=True, asynchronous=True)
+SIMSYNC = ModelSpec("SIMSYNC", simultaneous=True, asynchronous=False)
+ASYNC = ModelSpec("ASYNC", simultaneous=False, asynchronous=True)
+SYNC = ModelSpec("SYNC", simultaneous=False, asynchronous=False)
+
+ALL_MODELS: tuple[ModelSpec, ...] = (SIMASYNC, SIMSYNC, ASYNC, SYNC)
+MODELS_BY_NAME: dict[str, ModelSpec] = {m.name: m for m in ALL_MODELS}
+
+#: Lemma 4's total chain of problem-class inclusions, weakest first.
+_CHAIN = (SIMASYNC, SIMSYNC, ASYNC, SYNC)
+
+
+def lemma4_chain() -> tuple[ModelSpec, ...]:
+    """The inclusion chain ``SIMASYNC ⊆ SIMSYNC ⊆ ASYNC ⊆ SYNC``."""
+    return _CHAIN
+
+
+def at_most_as_strong(weaker: ModelSpec, stronger: ModelSpec) -> bool:
+    """Whether every problem solvable in ``weaker`` is solvable in
+    ``stronger`` according to Lemma 4 (a total order on the four models)."""
+    return _CHAIN.index(weaker) <= _CHAIN.index(stronger)

@@ -1,0 +1,104 @@
+"""Protocol interface.
+
+A *protocol* (Section 2 of the paper) is, per node, a pair of functions:
+
+* ``act`` — should an awake node raise its hand?  (Simultaneous models
+  override this: everyone activates after the first round.)
+* ``msg`` — the single message the node will write.  In synchronous
+  models this is re-evaluated while the node waits (it may "change its
+  mind"); in asynchronous models the simulator freezes the value
+  computed at activation time.
+
+plus one global ``out`` function evaluated on the final whiteboard.
+
+Every function sees only the paper-legal inputs, bundled in a
+:class:`NodeView`: the node's identifier, its neighbours' identifiers,
+``n``, and the whiteboard payloads.  Protocols must not carry hidden
+per-run mutable state unless they override :meth:`Protocol.fresh` to
+return a clean instance per execution (the hierarchy adapters do).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from ..encoding.bits import Payload
+from .whiteboard import BoardView
+
+__all__ = ["NodeView", "Protocol"]
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """Everything a node is allowed to know when deciding/acting.
+
+    Attributes
+    ----------
+    node:
+        The node's own identifier ``ID(v)``.
+    neighbors:
+        The identifiers of its neighbours ``N(v)``.
+    n:
+        Total number of nodes (known to all nodes in the paper's model).
+    board:
+        Ordered whiteboard payloads visible so far.
+    """
+
+    node: int
+    neighbors: frozenset[int]
+    n: int
+    board: BoardView
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+
+class Protocol(ABC):
+    """Base class for whiteboard protocols.
+
+    Subclasses implement :meth:`message` and :meth:`output`, and override
+    :meth:`wants_to_activate` when designed for a free model
+    (``ASYNC``/``SYNC``).  The default activation rule — activate
+    immediately — is what simultaneous protocols need and is also a valid
+    (if eager) free-model behaviour.
+    """
+
+    #: Human-readable protocol name used in reports.
+    name: str = "protocol"
+
+    #: The weakest model family the protocol is designed for; purely
+    #: informational (simulations may run it under any stronger model).
+    designed_for: str = "SIMASYNC"
+
+    def fresh(self) -> "Protocol":
+        """Return an instance safe to use for one execution.
+
+        Stateless protocols (the default) return ``self``; stateful ones
+        (e.g. freeze adapters) must return a new object.
+        """
+        return self
+
+    def wants_to_activate(self, view: NodeView) -> bool:
+        """Free-model activation decision for an awake node.
+
+        Called once per write event with the current board; returning
+        ``True`` is irrevocable (the node raises its hand).  Ignored in
+        simultaneous models, where every node activates after round 1.
+        """
+        return True
+
+    @abstractmethod
+    def message(self, view: NodeView) -> Payload:
+        """The node's single whiteboard message.
+
+        Asynchronous models call this exactly once, at activation;
+        synchronous models call it when the adversary picks the node, so
+        ``view.board`` reflects everything written before the write.
+        """
+
+    @abstractmethod
+    def output(self, board: BoardView, n: int) -> Any:
+        """The protocol output computed from the final whiteboard."""

@@ -1,0 +1,155 @@
+"""Adversarial schedulers.
+
+The paper's adversary picks, among the currently active nodes, the one
+whose message is written next.  Positive results must hold for *every*
+adversary, so the verification harness runs each protocol under a
+portfolio of schedulers — and, for small inputs, under *all* schedules
+via :func:`repro.core.simulator.all_executions`.
+
+Schedulers see full :class:`~repro.core.whiteboard.Whiteboard` entries
+(an adversary is allowed to know everything); protocols never do.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from .errors import SchedulerError
+from .whiteboard import Whiteboard
+
+__all__ = [
+    "Scheduler",
+    "MinIdScheduler",
+    "MaxIdScheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "FixedOrderScheduler",
+    "DelayTargetScheduler",
+    "default_portfolio",
+]
+
+
+class Scheduler(ABC):
+    """Strategy interface: choose which active node writes next."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def choose(
+        self,
+        candidates: Sequence[int],
+        board: Whiteboard,
+        activation_round: dict[int, int],
+    ) -> int:
+        """Pick one node from ``candidates`` (non-empty, sorted ascending).
+
+        ``activation_round[v]`` is the write-event index at which ``v``
+        became active (0 = before any write).
+        """
+
+    def fresh(self) -> "Scheduler":
+        """A per-execution instance (stateful schedulers must override)."""
+        return self
+
+
+class MinIdScheduler(Scheduler):
+    """Always the smallest identifier — the paper's 'natural' order."""
+
+    name = "min-id"
+
+    def choose(self, candidates, board, activation_round):
+        return candidates[0]
+
+
+class MaxIdScheduler(Scheduler):
+    """Always the largest identifier — reverses ID-based protocols."""
+
+    name = "max-id"
+
+    def choose(self, candidates, board, activation_round):
+        return candidates[-1]
+
+
+class FifoScheduler(Scheduler):
+    """Earliest activation first (ties to smallest ID): a 'patient'
+    adversary that honours hand-raising order."""
+
+    name = "fifo"
+
+    def choose(self, candidates, board, activation_round):
+        return min(candidates, key=lambda v: (activation_round[v], v))
+
+
+class LifoScheduler(Scheduler):
+    """Latest activation first (ties to largest ID): maximally starves
+    early hand-raisers, the classic async-delay adversary."""
+
+    name = "lifo"
+
+    def choose(self, candidates, board, activation_round):
+        return max(candidates, key=lambda v: (activation_round[v], v))
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice with a per-execution seeded stream."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates, board, activation_round):
+        return self._rng.choice(list(candidates))
+
+    def fresh(self) -> "RandomScheduler":
+        return RandomScheduler(self.seed)
+
+
+class FixedOrderScheduler(Scheduler):
+    """Follow a fixed node order as closely as the activation pattern
+    allows: always pick the order-earliest candidate."""
+
+    name = "fixed-order"
+
+    def __init__(self, order: Sequence[int]) -> None:
+        self.order = tuple(order)
+        self._rank = {v: i for i, v in enumerate(self.order)}
+
+    def choose(self, candidates, board, activation_round):
+        try:
+            return min(candidates, key=lambda v: self._rank[v])
+        except KeyError as exc:
+            raise SchedulerError(f"node {exc} missing from fixed order") from exc
+
+
+class DelayTargetScheduler(Scheduler):
+    """Starve a designated set of nodes for as long as possible.
+
+    Useful for probing protocols whose proofs hinge on some node being
+    written early (e.g. roots, or a problem's designated node ``x``).
+    """
+
+    name = "delay-target"
+
+    def __init__(self, targets: Sequence[int]) -> None:
+        self.targets = frozenset(targets)
+
+    def choose(self, candidates, board, activation_round):
+        preferred = [v for v in candidates if v not in self.targets]
+        return preferred[0] if preferred else candidates[0]
+
+
+def default_portfolio(seeds: Sequence[int] = (0, 1, 2, 3, 4)) -> list[Scheduler]:
+    """The standard adversary portfolio used by the verification harness."""
+    portfolio: list[Scheduler] = [
+        MinIdScheduler(),
+        MaxIdScheduler(),
+        FifoScheduler(),
+        LifoScheduler(),
+    ]
+    portfolio.extend(RandomScheduler(seed) for seed in seeds)
+    return portfolio

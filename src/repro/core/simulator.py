@@ -1,0 +1,282 @@
+"""Round-based execution engine for the four whiteboard models.
+
+Semantics (Section 2 of the paper, observable form):
+
+1. **Activation round.**  In simultaneous models every awake node becomes
+   active immediately; in free models each awake node decides from the
+   (empty) whiteboard.  In asynchronous models the node's single message
+   is computed *now* and frozen.
+2. **Write events.**  While unwritten nodes remain: the adversary picks
+   one active, unwritten node; its message (frozen value in asynchronous
+   models, recomputed from the current board in synchronous ones) is
+   appended to the whiteboard and the node terminates.  After each write,
+   awake nodes re-examine the board and may activate (free models).
+3. **Deadlock.**  If unwritten nodes remain but none is active, the
+   configuration is *corrupted* (the paper's failed final configuration)
+   and no output is produced.
+
+The engine enforces the model's message-size budget exactly (bits of the
+canonical encoding, see :mod:`repro.encoding.bits`) and records complete
+transcripts for analysis.
+
+``all_executions`` enumerates *every* schedule for a given input by
+depth-first search over adversary choices, turning the paper's "for all
+adversaries" quantifier into a finite check on small graphs.  Branches
+are replayed from scratch, which keeps stateful protocol adapters
+correct at a cost that is negligible at the sizes where exhaustion is
+feasible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..encoding.bits import payload_bits
+from ..graphs.labeled_graph import LabeledGraph
+from .errors import MessageTooLarge, ProtocolViolation, SchedulerError
+from .models import ModelSpec
+from .protocol import NodeView, Protocol
+from .schedulers import Scheduler
+from .whiteboard import Whiteboard
+
+__all__ = ["RunResult", "run", "all_executions", "count_executions"]
+
+#: A chooser receives (candidates, board, activation_round, event_index).
+_Chooser = Callable[[Sequence[int], Whiteboard, dict[int, int], int], int]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one execution.
+
+    Attributes
+    ----------
+    success:
+        All nodes wrote — the paper's *successful* final configuration.
+    output:
+        ``protocol.output`` on the final whiteboard, or ``None`` when the
+        execution deadlocked.
+    board:
+        Full whiteboard with metadata.
+    write_order:
+        Node identifiers in the order their messages appeared.
+    activation_round:
+        Write-event index at which each node became active (0 = before
+        any write).
+    max_message_bits / total_bits:
+        Exact sizes of the largest message and of the whole board.
+    """
+
+    success: bool
+    output: Any
+    board: Whiteboard
+    write_order: tuple[int, ...]
+    activation_round: dict[int, int]
+    max_message_bits: int
+    total_bits: int
+    model: ModelSpec
+    protocol_name: str
+    n: int
+
+    @property
+    def corrupted(self) -> bool:
+        return not self.success
+
+    @property
+    def deadlocked_nodes(self) -> frozenset[int]:
+        """Nodes that never wrote (empty iff the run succeeded)."""
+        written = set(self.write_order)
+        return frozenset(v for v in range(1, self.n + 1) if v not in written)
+
+
+class _Frontier(Exception):
+    """Internal: raised by the probing chooser to report the branch set."""
+
+    def __init__(self, candidates: tuple[int, ...]) -> None:
+        self.candidates = candidates
+
+
+def _execute(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    chooser: _Chooser,
+    bit_budget: Optional[int],
+) -> RunResult:
+    """Core event loop shared by ``run`` and the exhaustive driver."""
+    proto = protocol.fresh()
+    n = graph.n
+    board = Whiteboard()
+    written: set[int] = set()
+    active: set[int] = set()
+    frozen: dict[int, Any] = {}
+    activation_round: dict[int, int] = {}
+
+    def view_of(v: int) -> NodeView:
+        return NodeView(node=v, neighbors=graph.neighbors(v), n=n, board=board.view())
+
+    def activation_pass(event: int) -> None:
+        # All awake nodes examine the same board snapshot: activations
+        # within one round are simultaneous and cannot see each other.
+        for v in graph.nodes():
+            if v in active or v in written:
+                continue
+            if model.simultaneous:
+                should = event == 0  # everyone activates after round 1
+            else:
+                should = bool(proto.wants_to_activate(view_of(v)))
+            if should:
+                active.add(v)
+                activation_round[v] = event
+                if model.asynchronous:
+                    # "Once a node raises its hand it cannot change its
+                    # mind": compute and freeze the message now.
+                    frozen[v] = proto.message(view_of(v))
+
+    activation_pass(0)
+    event = 0
+    while len(written) < n:
+        candidates = tuple(sorted(active - written))
+        if not candidates:
+            # Corrupted final configuration: awake nodes remain but no
+            # valid successor exists.
+            return RunResult(
+                success=False,
+                output=None,
+                board=board,
+                write_order=tuple(e.author for e in board.entries),
+                activation_round=dict(activation_round),
+                max_message_bits=board.max_bits(),
+                total_bits=board.total_bits(),
+                model=model,
+                protocol_name=proto.name,
+                n=n,
+            )
+        event += 1
+        writer = chooser(candidates, board, activation_round, event)
+        if writer not in candidates:
+            raise SchedulerError(
+                f"scheduler chose {writer}, not among active nodes {candidates}"
+            )
+        if model.asynchronous:
+            payload = frozen[writer]
+        else:
+            payload = proto.message(view_of(writer))
+        try:
+            bits = payload_bits(payload)
+        except TypeError as exc:
+            raise ProtocolViolation(
+                f"{proto.name}: node {writer} produced a non-payload message: {exc}"
+            ) from exc
+        if bit_budget is not None and bits > bit_budget:
+            raise MessageTooLarge(writer, bits, bit_budget)
+        board.write(writer, payload, event)
+        written.add(writer)
+        active.discard(writer)
+        activation_pass(event)
+
+    output = proto.output(board.view(), n)
+    return RunResult(
+        success=True,
+        output=output,
+        board=board,
+        write_order=tuple(e.author for e in board.entries),
+        activation_round=dict(activation_round),
+        max_message_bits=board.max_bits(),
+        total_bits=board.total_bits(),
+        model=model,
+        protocol_name=proto.name,
+        n=n,
+    )
+
+
+def run(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    scheduler: Scheduler,
+    bit_budget: Optional[int] = None,
+) -> RunResult:
+    """Execute ``protocol`` on ``graph`` under ``model`` with the given
+    adversary.
+
+    Parameters
+    ----------
+    bit_budget:
+        Optional hard cap (in bits) on every message; exceeding it raises
+        :class:`~repro.core.errors.MessageTooLarge`.  ``None`` records
+        sizes without enforcing.
+    """
+    sched = scheduler.fresh()
+
+    def chooser(candidates, board, activation_round, event):
+        return sched.choose(candidates, board, activation_round)
+
+    return _execute(graph, protocol, model, chooser, bit_budget)
+
+
+def _probe(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    prefix: tuple[int, ...],
+    bit_budget: Optional[int],
+) -> tuple[Optional[RunResult], tuple[int, ...]]:
+    """Replay ``prefix`` write choices; return either the finished result
+    (prefix covered the whole run) or the branch candidates afterwards."""
+
+    def chooser(candidates, board, activation_round, event):
+        if event - 1 < len(prefix):
+            forced = prefix[event - 1]
+            if forced not in candidates:
+                raise SchedulerError(
+                    f"replay diverged: {forced} not active at event {event}"
+                )
+            return forced
+        raise _Frontier(tuple(candidates))
+
+    try:
+        result = _execute(graph, protocol, model, chooser, bit_budget)
+    except _Frontier as frontier:
+        return None, frontier.candidates
+    return result, ()
+
+
+def all_executions(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    bit_budget: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[RunResult]:
+    """Enumerate every execution (one per distinct adversary schedule).
+
+    Depth-first over the tree of adversary choices.  For simultaneous
+    models on an ``n``-node graph this yields exactly ``n!`` runs, so cap
+    usage at ``n <= 7`` or pass ``limit``.
+    """
+    produced = 0
+    stack: list[tuple[int, ...]] = [()]
+    while stack:
+        prefix = stack.pop()
+        result, branches = _probe(graph, protocol, model, prefix, bit_budget)
+        if result is not None:
+            yield result
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+        else:
+            # Reversed so the natural (ascending) order is explored first.
+            for c in reversed(branches):
+                stack.append(prefix + (c,))
+
+
+def count_executions(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+) -> int:
+    """Number of distinct schedules (size of the adversary's choice tree)."""
+    return sum(1 for _ in all_executions(graph, protocol, model))

@@ -1,0 +1,101 @@
+"""The shared whiteboard.
+
+Two views exist on purpose:
+
+* :class:`Whiteboard` — the simulator's bookkeeping: ordered entries with
+  author identifiers, write rounds and exact bit sizes.  Adversaries and
+  analysis code may use all of it.
+* :class:`BoardView` — what a *protocol* may read: the ordered sequence
+  of message payloads, nothing else.  In the paper nodes see only the
+  whiteboard contents; messages self-identify (every protocol in the
+  paper includes ``ID(v)`` in its message), so exposing author metadata
+  to protocols would silently strengthen the model.  Keeping the views
+  apart makes that mistake impossible to write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..encoding.bits import Payload, payload_bits
+
+__all__ = ["Entry", "Whiteboard", "BoardView"]
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One written message with simulator metadata."""
+
+    index: int
+    author: int
+    payload: Payload
+    bits: int
+    round_written: int
+
+
+@dataclass(frozen=True)
+class BoardView:
+    """Protocol-facing read-only view: ordered payloads only."""
+
+    payloads: tuple[Payload, ...]
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def __iter__(self):
+        return iter(self.payloads)
+
+    def __getitem__(self, i: int) -> Payload:
+        return self.payloads[i]
+
+    @property
+    def empty(self) -> bool:
+        return not self.payloads
+
+    @property
+    def last(self) -> Payload:
+        """The most recently written payload (the paper's 'last message')."""
+        if not self.payloads:
+            raise IndexError("whiteboard is empty")
+        return self.payloads[-1]
+
+
+@dataclass
+class Whiteboard:
+    """Simulator-side ordered whiteboard."""
+
+    entries: list[Entry] = field(default_factory=list)
+
+    def write(self, author: int, payload: Payload, round_written: int) -> Entry:
+        """Append a message; computes and records its exact bit size."""
+        entry = Entry(
+            index=len(self.entries),
+            author=author,
+            payload=payload,
+            bits=payload_bits(payload),
+            round_written=round_written,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def view(self) -> BoardView:
+        """Snapshot the protocol-facing view."""
+        return BoardView(tuple(e.payload for e in self.entries))
+
+    def authors(self) -> frozenset[int]:
+        return frozenset(e.author for e in self.entries)
+
+    def payload_of(self, author: int) -> Payload:
+        for e in self.entries:
+            if e.author == author:
+                return e.payload
+        raise KeyError(f"node {author} has not written")
+
+    def total_bits(self) -> int:
+        return sum(e.bits for e in self.entries)
+
+    def max_bits(self) -> int:
+        return max((e.bits for e in self.entries), default=0)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,44 @@
+"""Message encodings: exact bit accounting and power-sum neighbourhood codes."""
+
+from .l0_sampling import FIELD_PRIME, L0Sampler, OneSparseRecovery, level_of
+from .bits import (
+    BitReader,
+    BitWriter,
+    Payload,
+    decode_payload,
+    encode_payload,
+    gamma_bits,
+    int_bits,
+    payload_bits,
+)
+from .power_sums import (
+    DecodeError,
+    SubsetLookupTable,
+    decode_power_sums,
+    elementary_symmetric_from_power_sums,
+    power_sums,
+)
+from .vandermonde import encode_incidence, max_entry_bits, vandermonde_matrix
+
+__all__ = [
+    "FIELD_PRIME",
+    "L0Sampler",
+    "OneSparseRecovery",
+    "level_of",
+    "BitReader",
+    "BitWriter",
+    "Payload",
+    "decode_payload",
+    "encode_payload",
+    "gamma_bits",
+    "int_bits",
+    "payload_bits",
+    "DecodeError",
+    "SubsetLookupTable",
+    "decode_power_sums",
+    "elementary_symmetric_from_power_sums",
+    "power_sums",
+    "encode_incidence",
+    "max_entry_bits",
+    "vandermonde_matrix",
+]

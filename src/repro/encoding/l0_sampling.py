@@ -1,0 +1,186 @@
+"""Linear ℓ₀-sampling sketches (Ahn–Guibas–McGregor style).
+
+Substrate for the randomized-extension protocols (the paper's Section 7
+directions): a *linear* sketch of an integer-weighted vector from which
+one nonzero coordinate can be recovered with constant probability, built
+from
+
+* :class:`OneSparseRecovery` — exact recovery of a vector with exactly
+  one nonzero entry from three aggregates: the weight sum, the
+  id-weighted sum, and a random-evaluation fingerprint over a prime
+  field (false positives with probability ``<= D / p`` for id-domain
+  size ``D``);
+* :class:`L0Sampler` — geometric subsampling by a shared-seed hash into
+  levels; a vector with ``k`` nonzeros is 1-sparse at level ``~log2 k``
+  with constant probability.
+
+Everything is **linear**: sketches of two vectors add component-wise to
+the sketch of the sum.  That is the property graph sketching needs —
+adding the sketches of a node set yields the sketch of its *boundary*
+(interior edges cancel by the ±1 incidence convention) — and it is
+asserted by property tests.
+
+Randomness is *public-coin*: all hash functions derive deterministically
+from a shared integer seed, matching the model used for the randomized
+2-CLIQUES protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FIELD_PRIME", "OneSparseRecovery", "L0Sampler", "level_of"]
+
+#: Field for fingerprints: the Mersenne prime 2^61 - 1.
+FIELD_PRIME = (1 << 61) - 1
+
+
+def _hash64(seed: int, *key: int) -> int:
+    """Deterministic 64-bit hash of (seed, key) — the public coin."""
+    data = seed.to_bytes(8, "little", signed=False)
+    for k in key:
+        data += int(k).to_bytes(8, "little", signed=True)
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "little")
+
+
+def level_of(seed: int, item: int, max_level: int) -> int:
+    """Geometric level of ``item``: number of trailing ones of its hash,
+    capped at ``max_level``.  ``P(level >= l) = 2^-l``."""
+    h = _hash64(seed, item)
+    level = 0
+    while level < max_level and h & 1:
+        h >>= 1
+        level += 1
+    return level
+
+
+@dataclass
+class OneSparseRecovery:
+    """Exact recovery for (at most) 1-sparse integer vectors.
+
+    Maintains ``c0 = Σ w_i``, ``c1 = Σ w_i · i`` over ℤ and the
+    fingerprint ``f = Σ w_i · z^i mod p`` for a seed-derived evaluation
+    point ``z``.  A vector with a single nonzero ``(i, w)`` satisfies
+    ``c1 = w·i`` and ``f = w·z^i``; any other vector passes the check
+    with probability at most ``D/p`` over ``z``.
+    """
+
+    seed: int
+    c0: int = 0
+    c1: int = 0
+    fingerprint: int = 0
+
+    def _z(self) -> int:
+        return _hash64(self.seed, 0x5EED) % (FIELD_PRIME - 2) + 2
+
+    def update(self, item: int, delta: int) -> None:
+        """Add ``delta`` to coordinate ``item`` (items are >= 1)."""
+        if item < 1:
+            raise ValueError("items must be positive integers")
+        self.c0 += delta
+        self.c1 += delta * item
+        self.fingerprint = (
+            self.fingerprint + delta * pow(self._z(), item, FIELD_PRIME)
+        ) % FIELD_PRIME
+
+    def combine(self, other: "OneSparseRecovery") -> "OneSparseRecovery":
+        """Linear combination: sketch of the coordinate-wise sum."""
+        if other.seed != self.seed:
+            raise ValueError("cannot combine sketches with different seeds")
+        return OneSparseRecovery(
+            self.seed,
+            self.c0 + other.c0,
+            self.c1 + other.c1,
+            (self.fingerprint + other.fingerprint) % FIELD_PRIME,
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0 and self.fingerprint == 0
+
+    def recover(self) -> Optional[tuple[int, int]]:
+        """Return ``(item, weight)`` if the vector is verified 1-sparse,
+        else ``None`` (always ``None`` for the zero vector)."""
+        if self.c0 == 0:
+            return None
+        if self.c1 % self.c0 != 0:
+            return None
+        item = self.c1 // self.c0
+        if item < 1:
+            return None
+        expected = self.c0 * pow(self._z(), item, FIELD_PRIME) % FIELD_PRIME
+        if expected != self.fingerprint:
+            return None
+        return item, self.c0
+
+    def state(self) -> tuple[int, int, int]:
+        """Serializable aggregates (whiteboard payload form)."""
+        return (self.c0, self.c1, self.fingerprint)
+
+    @classmethod
+    def from_state(cls, seed: int, state: tuple[int, int, int]) -> "OneSparseRecovery":
+        return cls(seed, state[0], state[1], state[2])
+
+
+@dataclass
+class L0Sampler:
+    """Sample one nonzero coordinate of an integer vector from a linear
+    sketch.
+
+    ``levels + 1`` one-sparse structures; coordinate ``i`` contributes to
+    levels ``0 .. level_of(i)``.  For a vector with ``k`` nonzeros, level
+    ``≈ log2 k`` retains a single survivor with constant probability, so
+    scanning levels sparse-to-dense finds it.
+    """
+
+    seed: int
+    levels: int
+    cells: list[OneSparseRecovery] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            self.cells = [
+                OneSparseRecovery(_hash64(self.seed, 0xCE11, l))
+                for l in range(self.levels + 1)
+            ]
+
+    def update(self, item: int, delta: int) -> None:
+        top = level_of(self.seed, item, self.levels)
+        for l in range(top + 1):
+            self.cells[l].update(item, delta)
+
+    def combine(self, other: "L0Sampler") -> "L0Sampler":
+        if (other.seed, other.levels) != (self.seed, self.levels):
+            raise ValueError("incompatible samplers")
+        return L0Sampler(
+            self.seed,
+            self.levels,
+            [a.combine(b) for a, b in zip(self.cells, other.cells)],
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return all(c.is_zero for c in self.cells)
+
+    def sample(self) -> Optional[tuple[int, int]]:
+        """A verified nonzero ``(item, weight)``, or ``None``."""
+        for cell in reversed(self.cells):  # sparsest level first
+            got = cell.recover()
+            if got is not None:
+                return got
+        return None
+
+    def state(self) -> tuple[tuple[int, int, int], ...]:
+        return tuple(c.state() for c in self.cells)
+
+    @classmethod
+    def from_state(
+        cls, seed: int, levels: int, state: tuple[tuple[int, int, int], ...]
+    ) -> "L0Sampler":
+        cells = [
+            OneSparseRecovery.from_state(_hash64(seed, 0xCE11, l), s)
+            for l, s in enumerate(state)
+        ]
+        return cls(seed, levels, cells)

@@ -1,0 +1,193 @@
+"""Power-sum neighbourhood encoding and exact decoding (Section 3).
+
+Theorem 2's protocol has each node ``x`` publish
+``b(x) = A(k, n) · x`` where ``x`` is the 0/1 incidence vector of
+``N(x)`` and ``A(k, n)_{p,i} = i^p`` — i.e. the first ``k`` power sums
+of the neighbour identifiers.  By Wright's theorem on equal sums of like
+powers (Theorem 1 of the paper), a set of at most ``k`` positive
+integers is uniquely determined by its first ``k`` power sums, so the
+output function can invert the encoding.
+
+Decoding here is *exact integer arithmetic*:
+
+1. Newton's identities convert power sums ``p_1..p_d`` into elementary
+   symmetric polynomials ``e_1..e_d`` (all divisions must be exact —
+   a failed division certifies the vector is not a valid encoding);
+2. the neighbour set is the root set of
+   ``z^d - e_1 z^{d-1} + e_2 z^{d-2} - ...``, found by synthetic
+   division over the candidate identifiers ``1..n``.
+
+:class:`SubsetLookupTable` implements the paper's alternative
+``O(n^k)``-space table (Lemma 2) and is cross-checked against the
+algebraic decoder in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import combinations
+
+__all__ = [
+    "power_sums",
+    "elementary_symmetric_from_power_sums",
+    "decode_power_sums",
+    "DecodeError",
+    "SubsetLookupTable",
+]
+
+
+class DecodeError(ValueError):
+    """The given power-sum vector does not encode any ``d``-subset of
+    ``{1..n}`` — raised e.g. when Theorem 2's pruning is applied to a
+    graph outside the bounded-degeneracy class."""
+
+
+def power_sums(values: Iterable[int], k: int) -> tuple[int, ...]:
+    """The first ``k`` power sums ``(sum v, sum v^2, ..., sum v^k)``.
+
+    This is the message body of Theorem 2: ``values`` are neighbour
+    identifiers.  Uses exact Python integers (the sums reach ``n^(k+1)``
+    which overflows fixed-width arithmetic quickly).
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    vals = list(values)
+    out = []
+    powers = [1] * len(vals)
+    for _ in range(k):
+        powers = [p * v for p, v in zip(powers, vals)]
+        out.append(sum(powers))
+    return tuple(out)
+
+
+def elementary_symmetric_from_power_sums(p: Iterable[int], d: int) -> tuple[int, ...]:
+    """Newton's identities: power sums ``p_1..p_d`` -> elementary
+    symmetric polynomials ``e_1..e_d`` over the integers.
+
+    Raises
+    ------
+    DecodeError
+        If some identity division ``i * e_i`` is not exact, which proves
+        the input is not the power-sum vector of any integer multiset.
+    """
+    ps = list(p)
+    if d > len(ps):
+        raise ValueError(f"need at least {d} power sums, got {len(ps)}")
+    e = [1]  # e_0
+    for i in range(1, d + 1):
+        # i * e_i = sum_{j=1..i} (-1)^(j-1) * e_{i-j} * p_j
+        acc = 0
+        sign = 1
+        for j in range(1, i + 1):
+            acc += sign * e[i - j] * ps[j - 1]
+            sign = -sign
+        if acc % i != 0:
+            raise DecodeError(f"Newton identity for e_{i} is not integral")
+        e.append(acc // i)
+    return tuple(e[1:])
+
+
+def decode_power_sums(b: Iterable[int], d: int, n: int) -> frozenset[int]:
+    """Recover the unique ``d``-subset ``S`` of ``{1..n}`` with power sums
+    ``b[0..d-1]`` (Corollary 1 of the paper).
+
+    Parameters
+    ----------
+    b:
+        Power-sum vector; only the first ``d`` entries are used (the
+        paper's messages carry ``k >= d`` entries, ``d = deg(x)``).
+    d:
+        Cardinality of the encoded set (the node's degree).
+    n:
+        Identifier-domain size.
+
+    Raises
+    ------
+    DecodeError
+        If no such subset exists.  Uniqueness when one exists is
+        Wright's theorem; the implementation also verifies all ``d``
+        power sums as a defence against adversarial inputs.
+    """
+    if d < 0:
+        raise DecodeError(f"degree must be >= 0, got {d}")
+    if d == 0:
+        return frozenset()
+    bs = list(b)
+    if len(bs) < d:
+        raise DecodeError(f"need {d} power sums, got {len(bs)}")
+    if d > n:
+        raise DecodeError(f"cannot pick {d} distinct identifiers from 1..{n}")
+
+    e = elementary_symmetric_from_power_sums(bs, d)
+    # Monic polynomial with roots S: z^d - e1 z^(d-1) + e2 z^(d-2) - ...
+    coeffs = [1]
+    sign = -1
+    for ei in e:
+        coeffs.append(sign * ei)
+        sign = -sign
+
+    roots: list[int] = []
+    current = coeffs
+    # All roots must be distinct integers in 1..n; peel them by synthetic
+    # division.  O(n * d) — well inside the paper's O(n^2) output budget.
+    candidate = 1
+    while len(roots) < d and candidate <= n:
+        # Evaluate current polynomial at `candidate` via Horner.
+        acc = 0
+        for c in current:
+            acc = acc * candidate + c
+        if acc == 0:
+            # Synthetic division by (z - candidate).
+            quotient = []
+            carry = 0
+            for c in current[:-1]:
+                carry = carry * candidate + c
+                quotient.append(carry)
+            roots.append(candidate)
+            current = quotient
+            # A valid encoding has *distinct* roots (incidence vectors are
+            # 0/1), so move on rather than re-testing the same candidate.
+        candidate += 1
+    if len(roots) != d:
+        raise DecodeError("polynomial does not split over 1..n")
+    result = frozenset(roots)
+    if power_sums(result, d) != tuple(bs[:d]):
+        raise DecodeError("recovered set fails power-sum verification")
+    return result
+
+
+class SubsetLookupTable:
+    """Lemma 2's preprocessing: a table from power-sum vectors to subsets.
+
+    Enumerates every subset of ``{1..n}`` of size at most ``k`` and maps
+    its padded ``k``-entry power-sum vector to the subset.  Size is
+    ``O(n^k)`` entries, lookup is a dict hit (the paper sorts and binary
+    searches; a hash table has the same role).
+
+    Only practical for small ``n``/``k``; exists to cross-validate the
+    algebraic decoder and for the decode-backend ablation benchmark.
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if n < 0 or k < 0:
+            raise ValueError("n and k must be non-negative")
+        self.n = n
+        self.k = k
+        self._table: dict[tuple[int, ...], frozenset[int]] = {}
+        universe = range(1, n + 1)
+        for size in range(k + 1):
+            for subset in combinations(universe, size):
+                self._table[power_sums(subset, k)] = frozenset(subset)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def decode(self, b: Iterable[int], d: int) -> frozenset[int]:
+        """Look up the subset with power sums ``b`` and size ``d``."""
+        key = tuple(b)[: self.k]
+        if len(key) < self.k:
+            raise DecodeError(f"need {self.k} power sums, got {len(key)}")
+        subset = self._table.get(key)
+        if subset is None or len(subset) != d:
+            raise DecodeError("vector not present in lookup table")
+        return subset

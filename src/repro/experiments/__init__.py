@@ -1,0 +1,19 @@
+"""Executable experiment index (E1-E18) mirroring DESIGN.md."""
+
+from .registry import (
+    CATALOG,
+    Experiment,
+    ExperimentResult,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "CATALOG",
+    "Experiment",
+    "ExperimentResult",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,157 @@
+"""Named graph classes: membership, sampling and counting in one place.
+
+The paper's statements quantify over graph *classes* (forests,
+degeneracy-≤k, even-odd-bipartite, the 2-CLIQUES promise class, ...).
+Scattering their membership predicates, samplers and Lemma 3 counts
+across modules invites drift, so :class:`GraphClass` bundles the three
+views and :data:`FAMILIES` registers every class the experiments use.
+
+Used by the verification harness (generic protocol × compatible-family
+sweeps), the counting benchmarks, and the property tests that check the
+sampler really stays inside its class.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Optional
+
+from . import generators as gen
+from .degeneracy import is_k_degenerate
+from .labeled_graph import LabeledGraph
+from .properties import (
+    is_bipartite,
+    is_even_odd_bipartite,
+    is_two_cliques,
+)
+
+__all__ = ["GraphClass", "FAMILIES", "family", "k_degenerate_class"]
+
+
+@dataclass(frozen=True)
+class GraphClass:
+    """One graph class with its three faces.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"forests"``).
+    description:
+        Human-readable definition.
+    contains:
+        Membership predicate.
+    sample:
+        ``(n, seed) -> LabeledGraph`` drawing a member on ``n`` nodes.
+    log2_count:
+        Optional ``n -> log2 |class_n|`` (exact or documented bound) for
+        Lemma 3 arithmetic.
+    """
+
+    name: str
+    description: str
+    contains: Callable[[LabeledGraph], bool]
+    sample: Callable[[int, int], LabeledGraph]
+    log2_count: Optional[Callable[[int], float]] = None
+
+    def sample_in_class(self, n: int, seed: int) -> LabeledGraph:
+        """Sample and assert membership (sampler bug-guard)."""
+        g = self.sample(n, seed)
+        if not self.contains(g):
+            raise AssertionError(
+                f"sampler for {self.name!r} left its class (n={n}, seed={seed})"
+            )
+        return g
+
+
+def k_degenerate_class(k: int) -> GraphClass:
+    """The degeneracy-≤k class (Definition 1), for any ``k``."""
+    return GraphClass(
+        name=f"degeneracy<={k}",
+        description=f"graphs admitting an elimination order with residual degree <= {k}",
+        contains=lambda g, _k=k: is_k_degenerate(g, _k),
+        sample=lambda n, seed, _k=k: gen.random_k_degenerate(n, _k, seed=seed),
+        log2_count=None,
+    )
+
+
+def _forest_contains(g: LabeledGraph) -> bool:
+    return is_k_degenerate(g, 1)
+
+
+def _two_cliques_sample(n: int, seed: int) -> LabeledGraph:
+    if n % 2 != 0:
+        raise ValueError("the 2-CLIQUES promise class needs an even node count")
+    return gen.two_cliques(n // 2) if seed % 2 == 0 else (
+        gen.connected_two_cliques_like(n // 2, seed=seed)
+        if (n // 2) % 2 == 0 else gen.two_cliques(n // 2)
+    )
+
+
+FAMILIES: dict[str, GraphClass] = {
+    "all": GraphClass(
+        name="all",
+        description="all labeled graphs",
+        contains=lambda g: True,
+        sample=lambda n, seed: gen.random_graph(n, 0.5, seed=seed),
+        log2_count=lambda n: n * (n - 1) / 2,
+    ),
+    "forests": GraphClass(
+        name="forests",
+        description="acyclic graphs (degeneracy <= 1)",
+        contains=_forest_contains,
+        sample=lambda n, seed: gen.random_forest(n, max(1, n // 5), seed=seed),
+        log2_count=lambda n: (n - 2) * math.log2(n) if n >= 3 else 0.0,
+        # (trees only — a valid lower bound for forests)
+    ),
+    "degenerate2": GraphClass(
+        name="degenerate2",
+        description="graphs of degeneracy at most 2",
+        contains=lambda g: is_k_degenerate(g, 2),
+        sample=lambda n, seed: gen.random_k_degenerate(n, 2, seed=seed),
+    ),
+    "degenerate3": GraphClass(
+        name="degenerate3",
+        description="graphs of degeneracy at most 3",
+        contains=lambda g: is_k_degenerate(g, 3),
+        sample=lambda n, seed: gen.random_k_degenerate(n, 3, seed=seed),
+    ),
+    "bipartite": GraphClass(
+        name="bipartite",
+        description="2-colourable graphs",
+        contains=is_bipartite,
+        sample=lambda n, seed: gen.random_bipartite(n // 2, n - n // 2, 0.4, seed=seed),
+        log2_count=lambda n: float((n // 2) * (n - n // 2)),
+        # (fixed-bipartition subclass — the Theorem 3 count)
+    ),
+    "even-odd-bipartite": GraphClass(
+        name="even-odd-bipartite",
+        description="no edge joins two identifiers of equal parity",
+        contains=is_even_odd_bipartite,
+        sample=lambda n, seed: gen.random_even_odd_bipartite(n, 0.4, seed=seed),
+        log2_count=lambda n: float(((n + 1) // 2) * (n // 2)),
+    ),
+    "two-cliques-promise": GraphClass(
+        name="two-cliques-promise",
+        description="(n/2-1)-regular graphs on n nodes (YES = two cliques)",
+        contains=lambda g: g.n % 2 == 0 and g.is_regular(g.n // 2 - 1),
+        sample=_two_cliques_sample,
+        log2_count=None,
+    ),
+    "two-cliques-yes": GraphClass(
+        name="two-cliques-yes",
+        description="disjoint unions of two equal cliques",
+        contains=is_two_cliques,
+        sample=lambda n, seed: gen.two_cliques(n // 2),
+        log2_count=lambda n: 0.0,  # one instance per (even) n
+    ),
+}
+
+
+def family(name: str) -> GraphClass:
+    """Look up a registered class."""
+    if name not in FAMILIES:
+        known = ", ".join(sorted(FAMILIES))
+        raise KeyError(f"unknown graph class {name!r}; known: {known}")
+    return FAMILIES[name]

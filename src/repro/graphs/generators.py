@@ -1,0 +1,389 @@
+"""Graph generators for the paper's workloads.
+
+Every experiment in the paper quantifies over a graph family:
+
+* Theorem 2 — forests and graphs of bounded degeneracy (planar graphs,
+  bounded treewidth, H-minor-free classes are all bounded-degeneracy);
+* Theorems 5/6 — arbitrary graphs plus the ``G^(x)_{i,j}`` gadgets;
+* Section 5.1 — ``(n-1)``-regular ``2n``-node graphs (2-CLIQUES);
+* Theorems 7/8 — even-odd-bipartite graphs and the Figure 2 gadgets;
+* Theorem 10 — arbitrary (possibly disconnected) graphs.
+
+All random generators take an explicit ``seed`` and are deterministic for
+a given seed, so benchmark workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from .labeled_graph import Edge, LabeledGraph
+
+__all__ = [
+    "barbell_graph",
+    "caterpillar_graph",
+    "hypercube_graph",
+    "wheel_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "binary_tree",
+    "random_tree",
+    "random_forest",
+    "random_graph",
+    "random_connected_graph",
+    "random_k_degenerate",
+    "random_bipartite",
+    "random_even_odd_bipartite",
+    "random_regular_circulant",
+    "two_cliques",
+    "connected_two_cliques_like",
+    "petersen_graph",
+    "all_labeled_graphs",
+    "all_labeled_graphs_count",
+]
+
+
+# ----------------------------------------------------------------------
+# deterministic structured families
+# ----------------------------------------------------------------------
+
+def path_graph(n: int) -> LabeledGraph:
+    """The path ``1 - 2 - ... - n`` (degeneracy 1)."""
+    return LabeledGraph(n, ((i, i + 1) for i in range(1, n)))
+
+
+def cycle_graph(n: int) -> LabeledGraph:
+    """The cycle on ``n >= 3`` nodes (degeneracy 2)."""
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 nodes, got {n}")
+    edges = [(i, i + 1) for i in range(1, n)] + [(n, 1)]
+    return LabeledGraph(n, edges)
+
+
+def star_graph(n: int) -> LabeledGraph:
+    """The star with centre 1 and leaves ``2..n`` (degeneracy 1)."""
+    return LabeledGraph(n, ((1, i) for i in range(2, n + 1)))
+
+
+def complete_graph(n: int) -> LabeledGraph:
+    """``K_n`` (degeneracy ``n - 1``)."""
+    return LabeledGraph(
+        n, ((u, v) for u in range(1, n + 1) for v in range(u + 1, n + 1))
+    )
+
+
+def complete_bipartite(a: int, b: int) -> LabeledGraph:
+    """``K_{a,b}`` with parts ``1..a`` and ``a+1..a+b``."""
+    return LabeledGraph(
+        a + b, ((u, v) for u in range(1, a + 1) for v in range(a + 1, a + b + 1))
+    )
+
+
+def grid_graph(rows: int, cols: int) -> LabeledGraph:
+    """The ``rows x cols`` grid, row-major labels (planar, degeneracy <= 2)."""
+    def nid(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    edges: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((nid(r, c), nid(r + 1, c)))
+    return LabeledGraph(rows * cols, edges)
+
+
+def binary_tree(n: int) -> LabeledGraph:
+    """The complete binary tree shape on ``n`` nodes (heap labels)."""
+    return LabeledGraph(n, ((i // 2, i) for i in range(2, n + 1)))
+
+
+def petersen_graph() -> LabeledGraph:
+    """The Petersen graph (3-regular, girth 5, degeneracy 3)."""
+    outer = [(i, i % 5 + 1) for i in range(1, 6)]
+    spokes = [(i, i + 5) for i in range(1, 6)]
+    inner = [(6 + i, 6 + (i + 2) % 5) for i in range(5)]
+    return LabeledGraph(10, outer + spokes + inner)
+
+
+# ----------------------------------------------------------------------
+# seeded random families
+# ----------------------------------------------------------------------
+
+def random_tree(n: int, seed: int = 0) -> LabeledGraph:
+    """A uniformly random labeled tree via a random Prüfer sequence."""
+    if n <= 0:
+        raise ValueError(f"need n >= 1, got {n}")
+    if n == 1:
+        return LabeledGraph(1)
+    if n == 2:
+        return LabeledGraph(2, [(1, 2)])
+    rng = random.Random(seed)
+    prufer = [rng.randrange(1, n + 1) for _ in range(n - 2)]
+    return _tree_from_prufer(n, prufer)
+
+
+def _tree_from_prufer(n: int, prufer: list[int]) -> LabeledGraph:
+    degree = [1] * (n + 1)
+    for x in prufer:
+        degree[x] += 1
+    edges: list[Edge] = []
+    # classic decoding: repeatedly match the smallest remaining leaf
+    import heapq
+
+    leaves = [v for v in range(1, n + 1) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return LabeledGraph(n, edges)
+
+
+def random_forest(n: int, parts: int, seed: int = 0) -> LabeledGraph:
+    """A forest on ``n`` nodes with ``parts`` components.
+
+    Builds a random tree and removes ``parts - 1`` random edges, so every
+    component keeps its original labels (identifiers stay ``1..n``).
+    """
+    if not (1 <= parts <= n):
+        raise ValueError(f"parts must be in 1..{n}, got {parts}")
+    tree = random_tree(n, seed)
+    if parts == 1 or n == 1:
+        return tree
+    rng = random.Random(seed + 1)
+    edges = list(tree.edges())
+    rng.shuffle(edges)
+    return tree.without_edges(edges[: parts - 1])
+
+
+def random_graph(n: int, p: float, seed: int = 0) -> LabeledGraph:
+    """Erdos–Renyi ``G(n, p)`` with the given seed."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must be in [0,1], got {p}")
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(1, n + 1)
+        for v in range(u + 1, n + 1)
+        if rng.random() < p
+    ]
+    return LabeledGraph(n, edges)
+
+
+def random_connected_graph(n: int, p: float, seed: int = 0) -> LabeledGraph:
+    """``G(n, p)`` unioned with a random spanning tree (hence connected)."""
+    g = random_graph(n, p, seed)
+    if n <= 1:
+        return g
+    t = random_tree(n, seed + 7)
+    return g.with_edges(t.edges())
+
+
+def random_k_degenerate(n: int, k: int, seed: int = 0, fill: float = 1.0) -> LabeledGraph:
+    """A random graph of degeneracy at most ``k``.
+
+    Nodes are inserted in the order ``n, n-1, ..., 1``; each inserted node
+    picks up to ``k`` random earlier-inserted neighbours (``fill`` scales
+    the expected count).  The reversed insertion order is then a witness
+    elimination order in the sense of Definition 1: node ``i`` has at most
+    ``k`` neighbours among ``{i+1..n}``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if not (0.0 <= fill <= 1.0):
+        raise ValueError(f"fill must be in [0,1], got {fill}")
+    rng = random.Random(seed)
+    edges: list[Edge] = []
+    inserted: list[int] = []
+    for v in range(n, 0, -1):
+        if inserted:
+            want = min(k, len(inserted))
+            count = sum(1 for _ in range(want) if rng.random() < fill)
+            for w in rng.sample(inserted, count):
+                edges.append((v, w))
+        inserted.append(v)
+    return LabeledGraph(n, edges)
+
+
+def random_bipartite(a: int, b: int, p: float, seed: int = 0) -> LabeledGraph:
+    """Random bipartite graph with parts ``1..a`` and ``a+1..a+b``."""
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(1, a + 1)
+        for v in range(a + 1, a + b + 1)
+        if rng.random() < p
+    ]
+    return LabeledGraph(a + b, edges)
+
+
+def random_even_odd_bipartite(n: int, p: float, seed: int = 0) -> LabeledGraph:
+    """A random *even-odd-bipartite* graph: edges only between identifiers
+    of different parity (Section 5.2's input class for EOB-BFS)."""
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(1, n + 1)
+        for v in range(u + 1, n + 1)
+        if (u - v) % 2 == 1 and rng.random() < p
+    ]
+    return LabeledGraph(n, edges)
+
+
+def random_regular_circulant(n: int, d: int, seed: int = 0) -> LabeledGraph:
+    """A ``d``-regular circulant graph on ``n`` nodes with random offsets.
+
+    Used to generate connected ``(n-1)``-regular ``2n``-node *non*-two-clique
+    instances for the 2-CLIQUES experiments.  Requires ``n*d`` even and
+    ``d < n``.
+    """
+    if d >= n or n * d % 2 != 0:
+        raise ValueError(f"no {d}-regular graph on {n} nodes")
+    rng = random.Random(seed)
+    half = list(range(1, n // 2 + (n % 2)))  # offsets pairing to distinct edges
+    rng.shuffle(half)
+    offsets: list[int] = []
+    budget = d
+    if d % 2 == 1:
+        if n % 2 != 0:
+            raise ValueError("odd degree needs even n")
+        offsets.append(n // 2)
+        budget -= 1
+    offsets.extend(half[: budget // 2])
+    edges = {
+        tuple(sorted(((i - 1) % n + 1, (i - 1 + off) % n + 1)))
+        for i in range(1, n + 1)
+        for off in offsets
+    }
+    g = LabeledGraph(n, edges)
+    if not g.is_regular(d):
+        raise AssertionError("circulant construction produced a non-regular graph")
+    return g
+
+
+def two_cliques(n: int) -> LabeledGraph:
+    """The disjoint union of two ``K_n`` cliques on ``2n`` nodes —
+    the YES-instance of the 2-CLIQUES problem.  Part 1 is ``1..n``."""
+    edges = [
+        (u, v) for u in range(1, n + 1) for v in range(u + 1, n + 1)
+    ] + [
+        (u, v) for u in range(n + 1, 2 * n + 1) for v in range(u + 1, 2 * n + 1)
+    ]
+    return LabeledGraph(2 * n, edges)
+
+
+def connected_two_cliques_like(n: int, seed: int = 0) -> LabeledGraph:
+    """A *connected* ``(n-1)``-regular graph on ``2n`` nodes — a NO-instance
+    of 2-CLIQUES that is locally indistinguishable from two cliques by
+    degree alone.
+
+    Construction: take two cliques, delete a perfect matching inside each
+    (one random matching edge set per clique) and reconnect across.
+    Requires even ``n``.
+    """
+    if n % 2 != 0:
+        raise ValueError(f"construction needs even n, got {n}")
+    rng = random.Random(seed)
+    g = two_cliques(n)
+    left = list(range(1, n + 1))
+    right = list(range(n + 1, 2 * n + 1))
+    rng.shuffle(left)
+    rng.shuffle(right)
+    removed = [(left[2 * i], left[2 * i + 1]) for i in range(n // 2)]
+    removed += [(right[2 * i], right[2 * i + 1]) for i in range(n // 2)]
+    added: list[Edge] = []
+    for (a, b), (c, d) in zip(removed[: n // 2], removed[n // 2:]):
+        added.append((a, c))
+        added.append((b, d))
+    out = g.without_edges(removed).with_edges(added)
+    if not out.is_regular(n - 1):
+        raise AssertionError("rewiring broke regularity")
+    return out
+
+
+# ----------------------------------------------------------------------
+# exhaustive enumeration (tiny n; used by the counting experiments)
+# ----------------------------------------------------------------------
+
+def all_labeled_graphs(n: int) -> Iterator[LabeledGraph]:
+    """Yield every labeled graph on ``n`` nodes (``2^(n choose 2)`` of them).
+
+    Intended for ``n <= 6``; the Lemma 3 experiments enumerate whiteboards
+    over this space.
+    """
+    pairs = [(u, v) for u in range(1, n + 1) for v in range(u + 1, n + 1)]
+    for mask in range(1 << len(pairs)):
+        yield LabeledGraph(n, (pairs[i] for i in range(len(pairs)) if mask >> i & 1))
+
+
+def all_labeled_graphs_count(n: int) -> int:
+    """``2^(n choose 2)`` without enumerating."""
+    return 1 << (n * (n - 1) // 2)
+
+
+# ----------------------------------------------------------------------
+# additional structured families (workload variety for the harness)
+# ----------------------------------------------------------------------
+
+def wheel_graph(n: int) -> LabeledGraph:
+    """The wheel: hub 1 joined to the cycle ``2..n`` (degeneracy 3)."""
+    if n < 4:
+        raise ValueError(f"a wheel needs at least 4 nodes, got {n}")
+    edges = [(1, i) for i in range(2, n + 1)]
+    edges += [(i, i + 1) for i in range(2, n)] + [(n, 2)]
+    return LabeledGraph(n, edges)
+
+
+def barbell_graph(k: int) -> LabeledGraph:
+    """Two ``K_k`` cliques joined by a single bridge edge (``2k`` nodes).
+
+    A classic stress case for connectivity certificates: one critical
+    edge whose loss disconnects the graph."""
+    if k < 2:
+        raise ValueError(f"barbell needs k >= 2, got {k}")
+    edges = [(u, v) for u in range(1, k + 1) for v in range(u + 1, k + 1)]
+    edges += [(u, v) for u in range(k + 1, 2 * k + 1)
+              for v in range(u + 1, 2 * k + 1)]
+    edges.append((k, k + 1))
+    return LabeledGraph(2 * k, edges)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> LabeledGraph:
+    """A caterpillar: a spine path with ``legs_per_node`` pendant leaves
+    on every spine node (a tree, degeneracy 1)."""
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("need spine >= 1 and legs >= 0")
+    edges = [(i, i + 1) for i in range(1, spine)]
+    nxt = spine + 1
+    for s in range(1, spine + 1):
+        for _ in range(legs_per_node):
+            edges.append((s, nxt))
+            nxt += 1
+    return LabeledGraph(spine * (1 + legs_per_node), edges)
+
+
+def hypercube_graph(dim: int) -> LabeledGraph:
+    """The ``dim``-dimensional hypercube on ``2^dim`` nodes (bipartite,
+    ``dim``-regular, degeneracy ``dim``)."""
+    if dim < 0:
+        raise ValueError(f"dimension must be >= 0, got {dim}")
+    n = 1 << dim
+    edges = [
+        (u + 1, (u ^ (1 << b)) + 1)
+        for u in range(n)
+        for b in range(dim)
+        if u < (u ^ (1 << b))
+    ]
+    return LabeledGraph(n, edges)

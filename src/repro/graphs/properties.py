@@ -1,0 +1,277 @@
+"""Reference graph algorithms (centralized oracles).
+
+Protocol outputs in this package are always validated against a plain
+centralized computation.  This module collects those computations: BFS
+forests with the paper's root convention (smallest identifier per
+component), connectivity, bipartiteness, triangle detection, diameter,
+and independent-set checks.
+
+The *canonical BFS forest* here matches the output of the paper's
+Theorem 7 / Theorem 10 protocols exactly: per component the root is the
+smallest identifier, layers are BFS distances from the root, and every
+non-root's parent is its smallest-identifier neighbour in the previous
+layer.  This determinism is what lets tests compare protocol output to
+the oracle with ``==``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .labeled_graph import Edge, LabeledGraph
+
+__all__ = [
+    "ROOT",
+    "BfsForest",
+    "connected_components",
+    "is_connected",
+    "canonical_bfs_forest",
+    "bfs_layers_from",
+    "eccentricity",
+    "diameter",
+    "is_bipartite",
+    "is_even_odd_bipartite",
+    "even_odd_violations",
+    "has_triangle",
+    "triangles",
+    "count_triangles",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "is_rooted_mis",
+    "is_two_cliques",
+    "has_square",
+]
+
+#: Sentinel parent marker for BFS roots, mirroring the paper's ``ROOT``.
+ROOT = "ROOT"
+
+
+@dataclass(frozen=True)
+class BfsForest:
+    """A BFS forest: per-node parent (or :data:`ROOT`) and layer.
+
+    Attributes
+    ----------
+    parent:
+        ``parent[v]`` is the BFS parent of ``v`` or :data:`ROOT`.
+    layer:
+        ``layer[v]`` is the BFS distance from ``v``'s component root.
+    roots:
+        Component roots in discovery order (ascending identifiers).
+    """
+
+    parent: dict[int, int | str]
+    layer: dict[int, int]
+    roots: tuple[int, ...]
+
+    def tree_edges(self) -> frozenset[Edge]:
+        """Edges ``{v, parent(v)}`` over all non-root nodes."""
+        return frozenset(
+            (min(v, p), max(v, p))
+            for v, p in self.parent.items()
+            if p != ROOT
+        )
+
+    def is_valid_for(self, graph: LabeledGraph) -> bool:
+        """Structural validity: roots are per-component minima, layers are
+        true BFS distances, and parents sit one layer below their child."""
+        ref = canonical_bfs_forest(graph)
+        if set(self.parent) != set(graph.nodes()) or set(self.layer) != set(graph.nodes()):
+            return False
+        if self.layer != ref.layer:  # layers are schedule-independent
+            return False
+        if set(self.roots) != set(ref.roots):
+            return False
+        for v, p in self.parent.items():
+            if p == ROOT:
+                if self.layer[v] != 0:
+                    return False
+            else:
+                if not isinstance(p, int) or not graph.has_edge(v, p):
+                    return False
+                if self.layer[p] != self.layer[v] - 1:
+                    return False
+        return True
+
+
+def connected_components(graph: LabeledGraph) -> list[frozenset[int]]:
+    """Connected components, ordered by their smallest node identifier."""
+    seen: set[int] = set()
+    comps: list[frozenset[int]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        comp: set[int] = set()
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            comp.add(v)
+            for w in graph.neighbors(v):
+                if w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        comps.append(frozenset(comp))
+    return comps
+
+
+def is_connected(graph: LabeledGraph) -> bool:
+    """Whether the graph has exactly one connected component."""
+    return len(connected_components(graph)) <= 1
+
+
+def canonical_bfs_forest(graph: LabeledGraph) -> BfsForest:
+    """The canonical BFS forest (paper convention, see module docstring)."""
+    parent: dict[int, int | str] = {}
+    layer: dict[int, int] = {}
+    roots: list[int] = []
+    for comp in connected_components(graph):
+        root = min(comp)
+        roots.append(root)
+        parent[root] = ROOT
+        layer[root] = 0
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for w in sorted(graph.neighbors(v)):
+                if w not in layer:
+                    layer[w] = layer[v] + 1
+                    queue.append(w)
+    # parent = smallest-ID neighbour in the previous layer (schedule-free)
+    for v in graph.nodes():
+        if parent.get(v) == ROOT:
+            continue
+        prev = [w for w in graph.neighbors(v) if layer[w] == layer[v] - 1]
+        parent[v] = min(prev)
+    return BfsForest(parent, layer, tuple(roots))
+
+
+def bfs_layers_from(graph: LabeledGraph, root: int) -> dict[int, int]:
+    """BFS distances from ``root`` (absent keys are unreachable nodes)."""
+    layer = {root: 0}
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if w not in layer:
+                layer[w] = layer[v] + 1
+                queue.append(w)
+    return layer
+
+
+def eccentricity(graph: LabeledGraph, v: int) -> int:
+    """Max distance from ``v`` to a reachable node."""
+    return max(bfs_layers_from(graph, v).values())
+
+
+def diameter(graph: LabeledGraph) -> int:
+    """Diameter of a connected graph (raises on disconnected input)."""
+    if graph.n == 0:
+        raise ValueError("diameter of the empty graph is undefined")
+    if not is_connected(graph):
+        raise ValueError("diameter is undefined for disconnected graphs")
+    return max(eccentricity(graph, v) for v in graph.nodes())
+
+
+def is_bipartite(graph: LabeledGraph) -> bool:
+    """2-colourability via BFS layering."""
+    colour: dict[int, int] = {}
+    for comp in connected_components(graph):
+        root = min(comp)
+        colour[root] = 0
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                if w not in colour:
+                    colour[w] = colour[v] ^ 1
+                    queue.append(w)
+                elif colour[w] == colour[v]:
+                    return False
+    return True
+
+
+def even_odd_violations(graph: LabeledGraph) -> frozenset[Edge]:
+    """Edges joining two identifiers of the same parity (Section 5.2)."""
+    return frozenset(e for e in graph.edges() if (e[0] - e[1]) % 2 == 0)
+
+
+def is_even_odd_bipartite(graph: LabeledGraph) -> bool:
+    """Whether no edge joins identifiers of the same parity."""
+    return not even_odd_violations(graph)
+
+
+def has_triangle(graph: LabeledGraph) -> bool:
+    """Whether the graph contains three pairwise-adjacent nodes."""
+    for u, v in graph.edges():
+        if graph.neighbors(u) & graph.neighbors(v):
+            return True
+    return False
+
+
+def triangles(graph: LabeledGraph) -> list[tuple[int, int, int]]:
+    """All triangles as sorted triples, lexicographically ordered."""
+    out = []
+    for u, v in graph.edges():
+        for w in sorted(graph.neighbors(u) & graph.neighbors(v)):
+            if w > v:
+                out.append((u, v, w))
+    return out
+
+
+def count_triangles(graph: LabeledGraph) -> int:
+    """Number of triangles."""
+    return len(triangles(graph))
+
+
+def has_square(graph: LabeledGraph) -> bool:
+    """Whether the graph contains a 4-cycle (the paper's 'square')."""
+    # Two distinct nodes with >= 2 common neighbours span a C4.
+    for u in graph.nodes():
+        for v in range(u + 1, graph.n + 1):
+            if len(graph.neighbors(u) & graph.neighbors(v)) >= 2:
+                return True
+    return False
+
+
+def is_independent_set(graph: LabeledGraph, nodes: frozenset[int] | set[int]) -> bool:
+    """Whether ``nodes`` induces no edge."""
+    s = set(nodes)
+    return all(not (graph.neighbors(v) & s) for v in s)
+
+
+def is_maximal_independent_set(graph: LabeledGraph, nodes: frozenset[int] | set[int]) -> bool:
+    """Independent and inclusion-maximal."""
+    s = set(nodes)
+    if not is_independent_set(graph, s):
+        return False
+    for v in graph.nodes():
+        if v not in s and not (graph.neighbors(v) & s):
+            return False
+    return True
+
+
+def is_rooted_mis(graph: LabeledGraph, nodes: frozenset[int] | set[int], root: int) -> bool:
+    """The paper's MIS output check: maximal independent set containing
+    the designated root ``x``."""
+    return root in set(nodes) and is_maximal_independent_set(graph, nodes)
+
+
+def is_two_cliques(graph: LabeledGraph) -> bool:
+    """Whether the graph is the disjoint union of two same-size cliques
+    (the 2-CLIQUES YES condition; input promise is ``(n-1)``-regular on
+    ``2n`` nodes but this check is promise-free)."""
+    if graph.n == 0 or graph.n % 2 != 0:
+        return False
+    comps = connected_components(graph)
+    if len(comps) != 2:
+        return False
+    half = graph.n // 2
+    for comp in comps:
+        if len(comp) != half:
+            return False
+        for v in comp:
+            if graph.neighbors(v) != comp - {v}:
+                return False
+    return True

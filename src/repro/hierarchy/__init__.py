@@ -1,0 +1,15 @@
+"""Model hierarchy: Lemma 4 adapters and the Table 2 / Theorem 4 lattice."""
+
+from .adapters import FreezeAtActivation, SequentialLift, lift
+from .lattice import SEPARATIONS, TABLE2_ROWS, CellClaim, ProblemRow, Separation
+
+__all__ = [
+    "FreezeAtActivation",
+    "SequentialLift",
+    "lift",
+    "SEPARATIONS",
+    "TABLE2_ROWS",
+    "CellClaim",
+    "ProblemRow",
+    "Separation",
+]

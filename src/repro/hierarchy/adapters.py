@@ -1,0 +1,143 @@
+"""Lemma 4's inclusions as protocol adapters.
+
+``P_SIMASYNC[f] ⊆ P_SIMSYNC[f] ⊆ P_ASYNC[f] ⊆ P_SYNC[f]`` is proven by
+transforming protocols; this module is those transformations:
+
+* SIMASYNC protocols run *unchanged* in every model: their messages
+  ignore the whiteboard, so freezing vs recomputing is irrelevant, and
+  eager activation is a legal free-model behaviour.
+* SIMSYNC → ASYNC (:class:`SequentialLift`): fix the order
+  ``v_1, ..., v_n`` — node ``i`` activates only once ``1..i-1`` have
+  written, so its frozen message equals the SIMSYNC message under that
+  particular adversary, and a correct SIMSYNC protocol is correct under
+  *every* adversary, including this one.  Costs ``log n`` extra bits (an
+  explicit sender tag).
+* ASYNC → SYNC (:class:`FreezeAtActivation`): a synchronous node *may*
+  recompute its message but is never obliged to; the adapter caches the
+  message computed at activation, making the asynchronous behaviour a
+  special case of the synchronous one.
+
+:func:`lift` dispatches on the (designed-for, target) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..encoding.bits import Payload
+from ..core.models import ALL_MODELS, ModelSpec, MODELS_BY_NAME, at_most_as_strong
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+
+__all__ = ["SequentialLift", "FreezeAtActivation", "lift"]
+
+_SEQ = "SEQ"
+
+
+class SequentialLift(Protocol):
+    """Run a SIMSYNC protocol in a free model by imposing the identifier
+    order (the Lemma 4 ``SIMSYNC ⊆ ASYNC`` construction).
+
+    Messages are wrapped as ``("SEQ", id, inner_message)`` so that nodes
+    can tell *who* has written purely from payloads, as the model
+    requires.
+    """
+
+    def __init__(self, inner: Protocol) -> None:
+        self.inner = inner.fresh()
+        self.name = f"seq-lift({inner.name})"
+        self.designed_for = "ASYNC"
+
+    def fresh(self) -> "SequentialLift":
+        return SequentialLift(self.inner)
+
+    @staticmethod
+    def _writers(board: BoardView) -> set[int]:
+        return {payload[1] for payload in board}
+
+    @staticmethod
+    def _inner_board(board: BoardView) -> BoardView:
+        return BoardView(tuple(payload[2] for payload in board))
+
+    def wants_to_activate(self, view: NodeView) -> bool:
+        writers = self._writers(view.board)
+        return all(j in writers for j in range(1, view.node))
+
+    def message(self, view: NodeView) -> Payload:
+        inner_view = NodeView(
+            view.node, view.neighbors, view.n, self._inner_board(view.board)
+        )
+        return (_SEQ, view.node, self.inner.message(inner_view))
+
+    def output(self, board: BoardView, n: int) -> Any:
+        return self.inner.output(self._inner_board(board), n)
+
+
+class FreezeAtActivation(Protocol):
+    """Run an ASYNC-designed protocol under SYNC semantics by caching the
+    message computed when the node activates (Lemma 4's
+    ``ASYNC ⊆ SYNC``: synchronous nodes simply decline to change their
+    minds).
+
+    Stateful per execution — :meth:`fresh` returns a clean instance.
+    """
+
+    def __init__(self, inner: Protocol) -> None:
+        self.inner = inner.fresh()
+        self.name = f"freeze({inner.name})"
+        self.designed_for = "SYNC"
+        self._cache: dict[int, Payload] = {}
+
+    def fresh(self) -> "FreezeAtActivation":
+        return FreezeAtActivation(self.inner)
+
+    def wants_to_activate(self, view: NodeView) -> bool:
+        if self.inner.wants_to_activate(view):
+            # Freeze now: this is the board the node activated on.
+            if view.node not in self._cache:
+                self._cache[view.node] = self.inner.message(view)
+            return True
+        return False
+
+    def message(self, view: NodeView) -> Payload:
+        if view.node in self._cache:
+            return self._cache[view.node]
+        # Simultaneous target models activate everyone without consulting
+        # wants_to_activate; freeze on first call instead.
+        payload = self.inner.message(view)
+        self._cache[view.node] = payload
+        return payload
+
+    def output(self, board: BoardView, n: int) -> Any:
+        return self.inner.output(board, n)
+
+
+def lift(protocol: Protocol, target: ModelSpec | str) -> Protocol:
+    """Adapt ``protocol`` (tagged with ``designed_for``) to run under
+    ``target`` model semantics, following the Lemma 4 chain.
+
+    Raises
+    ------
+    ValueError
+        If the target model is *weaker* than the protocol's design model
+        (Lemma 4 only goes upward; the paper's separations show the
+        downward direction is impossible in general).
+    """
+    target_spec = MODELS_BY_NAME[target] if isinstance(target, str) else target
+    source_spec = MODELS_BY_NAME[protocol.designed_for]
+    if not at_most_as_strong(source_spec, target_spec):
+        raise ValueError(
+            f"cannot lift a {source_spec.name} protocol down to {target_spec.name}"
+        )
+    if source_spec.name == "SIMASYNC":
+        return protocol  # runs unchanged everywhere
+    if source_spec == target_spec:
+        return protocol
+    if source_spec.name == "SIMSYNC":
+        # SIMSYNC -> SIMSYNC handled above; ASYNC and SYNC both get the
+        # sequential lift (under SYNC its recomputed messages coincide
+        # with the frozen ones because activation is single-file).
+        return SequentialLift(protocol)
+    if source_spec.name == "ASYNC":
+        return FreezeAtActivation(protocol)
+    raise AssertionError("unreachable")

@@ -1,0 +1,130 @@
+"""The paper's computing-power lattice (Section 5, Theorem 4) and the
+Table 2 classification data.
+
+Two orthogonal resources:
+
+* **synchronisation power** — the chain
+  ``P_SIMASYNC[f] ⊊ P_SIMSYNC[f] ⊊ P_ASYNC[f] ⊆ P_SYNC[f]``
+  (strictness of the last inclusion is Open Problem 3);
+* **message size** — ``P_SIMASYNC[f] ⊄ P_SYNC[g]`` whenever
+  ``g = o(f)`` (Theorem 9): more bits in the weakest model can beat
+  fewer bits in the strongest.
+
+This module records the paper's claims (each cell of Table 2, each
+separation with its witness problem) in data structures the analysis
+layer renders and the test-suite cross-checks against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.models import ALL_MODELS, ModelSpec
+
+__all__ = [
+    "CellClaim",
+    "ProblemRow",
+    "TABLE2_ROWS",
+    "Separation",
+    "SEPARATIONS",
+]
+
+
+@dataclass(frozen=True)
+class CellClaim:
+    """One (problem, model) cell of Table 2.
+
+    ``status``: ``"yes"`` (solvable with O(log n)-bit messages),
+    ``"no"`` (unsolvable with o(n)-bit messages), ``"open"`` (the
+    paper's '?'), or ``"yes*"`` (claimed in the paper without an explicit
+    protocol — the TRIANGLE upper-bound cells; see DESIGN.md §2).
+
+    ``basis``: where the claim comes from / how this repo verifies it.
+    """
+
+    status: str
+    basis: str
+
+
+@dataclass(frozen=True)
+class ProblemRow:
+    """One row of Table 2."""
+
+    key: str
+    description: str
+    cells: dict[str, CellClaim]
+
+    def cell(self, model: ModelSpec | str) -> CellClaim:
+        name = model if isinstance(model, str) else model.name
+        return self.cells[name]
+
+
+TABLE2_ROWS: tuple[ProblemRow, ...] = (
+    ProblemRow(
+        key="BUILD k-degenerate",
+        description="reconstruct the adjacency matrix of a degeneracy-<=k graph",
+        cells={
+            "SIMASYNC": CellClaim("yes", "Theorem 2: power-sum protocol, verified by simulation"),
+            "SIMSYNC": CellClaim("yes", "Lemma 4 lift of Theorem 2, verified by simulation"),
+            "ASYNC": CellClaim("yes", "Lemma 4 lift of Theorem 2, verified by simulation"),
+            "SYNC": CellClaim("yes", "Lemma 4 lift of Theorem 2, verified by simulation"),
+        },
+    ),
+    ProblemRow(
+        key="rooted MIS",
+        description="output a maximal independent set containing the designated node x",
+        cells={
+            "SIMASYNC": CellClaim("no", "Theorem 6 reduction to BUILD + Lemma 3; transformer executable"),
+            "SIMSYNC": CellClaim("yes", "Theorem 5 greedy protocol, verified by simulation"),
+            "ASYNC": CellClaim("yes", "Lemma 4 sequential lift of Theorem 5, verified"),
+            "SYNC": CellClaim("yes", "Lemma 4 sequential lift of Theorem 5, verified"),
+        },
+    ),
+    ProblemRow(
+        key="TRIANGLE",
+        description="decide whether the graph contains a triangle",
+        cells={
+            "SIMASYNC": CellClaim("no", "Theorem 3 reduction (Figure 1 gadget) + Lemma 3; transformer executable"),
+            "SIMSYNC": CellClaim("yes*", "claimed after Corollary 2 with no protocol given; verified here on bounded-degeneracy inputs via Theorem 2"),
+            "ASYNC": CellClaim("yes*", "follows from the SIMSYNC cell via Lemma 4; same caveat"),
+            "SYNC": CellClaim("yes*", "follows from the SIMSYNC cell via Lemma 4; same caveat"),
+        },
+    ),
+    ProblemRow(
+        key="EOB-BFS",
+        description="BFS forest of an even-odd-bipartite graph (negative answer otherwise)",
+        cells={
+            "SIMASYNC": CellClaim("no", "implied by the SIMSYNC 'no' (Lemma 4)"),
+            "SIMSYNC": CellClaim("no", "Theorem 8 reduction (Figure 2 gadget) + Lemma 3; scheme executable"),
+            "ASYNC": CellClaim("yes", "Theorem 7 layer-certificate protocol, verified by simulation"),
+            "SYNC": CellClaim("yes", "Lemma 4 freeze lift of Theorem 7, verified"),
+        },
+    ),
+    ProblemRow(
+        key="BFS",
+        description="BFS forest of an arbitrary graph",
+        cells={
+            "SIMASYNC": CellClaim("open", "paper marks '?'"),
+            "SIMSYNC": CellClaim("open", "paper marks '?'"),
+            "ASYNC": CellClaim("open", "Open Problem 3: conjectured impossible for o(n)"),
+            "SYNC": CellClaim("yes", "Theorem 10 d0-corrected certificates, verified by simulation"),
+        },
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Separation:
+    """A strict separation between two points of the lattice."""
+
+    weaker: str
+    stronger: str
+    witness: str
+    source: str
+
+
+SEPARATIONS: tuple[Separation, ...] = (
+    Separation("SIMASYNC[f]", "SIMSYNC[f]", "rooted MIS", "Theorems 5+6 (Corollary 2)"),
+    Separation("SIMSYNC[f]", "ASYNC[f]", "EOB-BFS", "Theorems 7+8 (Corollary 3)"),
+    Separation("SYNC[g]", "SIMASYNC[f], g=o(f)", "SUBGRAPH_f", "Theorem 9 (orthogonality of message size)"),
+)

@@ -1,0 +1,112 @@
+"""The paper's protocol library.
+
+One module per result:
+
+* :mod:`~repro.protocols.build` — Theorem 2 (BUILD, bounded degeneracy)
+* :mod:`~repro.protocols.mis` — Theorem 5 (rooted MIS, SIMSYNC)
+* :mod:`~repro.protocols.two_cliques` — Section 5.1 (2-CLIQUES, SIMSYNC)
+* :mod:`~repro.protocols.bfs` — Theorems 7/10, Corollary 4 (BFS family)
+* :mod:`~repro.protocols.subgraph` — Theorem 9 (SUBGRAPH_f)
+* :mod:`~repro.protocols.triangle` — TRIANGLE on degenerate inputs
+* :mod:`~repro.protocols.naive` — O(n)-bit full-information baselines
+* :mod:`~repro.protocols.randomized` — Section 7's randomized 2-CLIQUES
+"""
+
+from .census import CENSUS, ProtocolEntry, render_census
+from .build_extended import ExtendedBuildProtocol, has_mixed_elimination_order
+from .connectivity import ConnectivityProtocol, SpanningForestProtocol
+from .distance import (
+    DISCONNECTED,
+    DegenerateDiameterProtocol,
+    DegenerateSquareProtocol,
+    NaiveDiameterProtocol,
+    NaiveSquareProtocol,
+)
+from .build import (
+    NOT_IN_CLASS,
+    BuildOutput,
+    DegenerateBuildProtocol,
+    ForestBuildProtocol,
+    decode_build_board,
+)
+from .bfs import (
+    BfsRecord,
+    BipartiteBfsAsyncProtocol,
+    BoardState,
+    EobBfsProtocol,
+    SyncBfsProtocol,
+    parse_board,
+)
+from .mis import IN_SET, NOT_IN_SET, RootedMisProtocol
+from .naive import (
+    NOT_EOB,
+    NaiveBuildProtocol,
+    NaiveEobBfsProtocol,
+    NaiveMisProtocol,
+    NaiveTriangleProtocol,
+    graph_from_mask_board,
+    neighborhood_mask,
+)
+from .randomized import MERSENNE_61, RandomizedTwoCliquesProtocol, set_fingerprint
+from .sketching import (
+    SketchConnectivityProtocol,
+    SketchSpanningForestProtocol,
+    SketchSpec,
+    edge_slot,
+    slot_edge,
+)
+from .subgraph import SubgraphProtocol, default_f, subgraph_reference
+from .triangle import DegenerateTriangleProtocol
+from .two_cliques import MIXED, NOT_TWO_CLIQUES, TWO_CLIQUES, TwoCliquesProtocol
+
+__all__ = [
+    "CENSUS",
+    "ProtocolEntry",
+    "render_census",
+    "ExtendedBuildProtocol",
+    "has_mixed_elimination_order",
+    "ConnectivityProtocol",
+    "SpanningForestProtocol",
+    "DISCONNECTED",
+    "DegenerateDiameterProtocol",
+    "DegenerateSquareProtocol",
+    "NaiveDiameterProtocol",
+    "NaiveSquareProtocol",
+    "NOT_IN_CLASS",
+    "BuildOutput",
+    "DegenerateBuildProtocol",
+    "ForestBuildProtocol",
+    "decode_build_board",
+    "BfsRecord",
+    "BipartiteBfsAsyncProtocol",
+    "BoardState",
+    "EobBfsProtocol",
+    "SyncBfsProtocol",
+    "parse_board",
+    "IN_SET",
+    "NOT_IN_SET",
+    "RootedMisProtocol",
+    "NOT_EOB",
+    "NaiveBuildProtocol",
+    "NaiveEobBfsProtocol",
+    "NaiveMisProtocol",
+    "NaiveTriangleProtocol",
+    "graph_from_mask_board",
+    "neighborhood_mask",
+    "MERSENNE_61",
+    "SketchConnectivityProtocol",
+    "SketchSpanningForestProtocol",
+    "SketchSpec",
+    "edge_slot",
+    "slot_edge",
+    "RandomizedTwoCliquesProtocol",
+    "set_fingerprint",
+    "SubgraphProtocol",
+    "default_f",
+    "subgraph_reference",
+    "DegenerateTriangleProtocol",
+    "MIXED",
+    "NOT_TWO_CLIQUES",
+    "TWO_CLIQUES",
+    "TwoCliquesProtocol",
+]

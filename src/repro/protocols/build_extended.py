@@ -1,0 +1,147 @@
+"""Extended BUILD: mixed low-/high-degree elimination orders.
+
+The last remark of Section 3: *"with our tools we can deal with graphs
+having a node ordering where each node v has degree at most k or at
+least n - k - 1, in the graph induced by nodes appearing later than v
+in the ordering."*  Cliques plus sparse attachments, split-like graphs
+and complements of k-degenerate graphs live in this class but not in
+the bounded-degeneracy class.
+
+The construction doubles Theorem 2's message: each node publishes power
+sums of its neighbourhood **and** of its non-neighbourhood,
+
+``(ID(v), d_G(v), b_1..b_k, c_1..c_k)``  with
+``c_p = Σ_{w ∉ N(v), w ≠ v} ID(w)^p``
+
+— still ``O(k² log n)`` bits.  The output function prunes a remaining
+node ``x`` whose *residual* degree is at most ``k`` (decode its
+neighbours from ``b``) or at least ``r - 1 - k`` where ``r`` is the
+number of remaining nodes (decode its non-neighbours from ``c``; its
+neighbours are the rest).  Either way the pruner learns ``x``'s exact
+residual neighbourhood, so it can maintain both sum vectors of every
+remaining node when ``x`` leaves.
+"""
+
+from __future__ import annotations
+
+from ..encoding.bits import Payload
+from ..encoding.power_sums import DecodeError, decode_power_sums, power_sums
+from ..graphs.labeled_graph import Edge, LabeledGraph
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+from .build import NOT_IN_CLASS, BuildOutput
+
+__all__ = [
+    "ExtendedBuildProtocol",
+    "decode_extended_board",
+    "has_mixed_elimination_order",
+]
+
+
+def has_mixed_elimination_order(graph: LabeledGraph, k: int) -> bool:
+    """Oracle for the extended class: greedily eliminate any node whose
+    residual degree is ≤ k or ≥ (remaining - 1) - k."""
+    remaining = set(graph.nodes())
+    deg = {v: graph.degree(v) for v in graph.nodes()}
+    while remaining:
+        r = len(remaining)
+        pick = next(
+            (v for v in sorted(remaining) if deg[v] <= k or deg[v] >= r - 1 - k),
+            None,
+        )
+        if pick is None:
+            return False
+        remaining.discard(pick)
+        for w in graph.neighbors(pick):
+            if w in remaining:
+                deg[w] -= 1
+    return True
+
+
+class ExtendedBuildProtocol(Protocol):
+    """BUILD for the mixed low-/high-degree class in ``SIMASYNC[log n]``."""
+
+    designed_for = "SIMASYNC"
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.k = k
+        self.name = f"build-extended(k={k})"
+
+    def message(self, view: NodeView) -> Payload:
+        non_neighbors = [
+            w for w in range(1, view.n + 1)
+            if w != view.node and w not in view.neighbors
+        ]
+        return (
+            (view.node, view.degree)
+            + power_sums(sorted(view.neighbors), self.k)
+            + power_sums(non_neighbors, self.k)
+        )
+
+    def output(self, board: BoardView, n: int) -> BuildOutput:
+        return decode_extended_board(board, n, self.k)
+
+
+def decode_extended_board(board: BoardView, n: int, k: int) -> BuildOutput:
+    """The two-sided pruning loop (robust: rejects out-of-class boards)."""
+    state: dict[int, tuple[int, list[int], list[int]]] = {}
+    for payload in board:
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 2 * k + 2
+            and all(isinstance(x, int) for x in payload)
+        ):
+            return NOT_IN_CLASS
+        node, deg = payload[0], payload[1]
+        if not (1 <= node <= n) or node in state or deg < 0:
+            return NOT_IN_CLASS
+        state[node] = (deg, list(payload[2 : 2 + k]), list(payload[2 + k :]))
+    if len(state) != n:
+        return NOT_IN_CLASS
+
+    remaining = set(state)
+    edges: list[Edge] = []
+    while remaining:
+        r = len(remaining)
+        x = low = high = None
+        for v in sorted(remaining):
+            deg_v = state[v][0]
+            if deg_v <= k:
+                x, low = v, True
+                break
+            if deg_v >= r - 1 - k:
+                x, low = v, False
+                break
+        if x is None:
+            return NOT_IN_CLASS
+        deg_x, sums_x, cosums_x = state[x]
+        try:
+            if low:
+                neigh = decode_power_sums(sums_x, deg_x, n)
+            else:
+                codeg = (r - 1) - deg_x
+                non_neigh = decode_power_sums(cosums_x, codeg, n)
+                if not non_neigh <= remaining - {x}:
+                    return NOT_IN_CLASS
+                neigh = frozenset(remaining - non_neigh - {x})
+        except DecodeError:
+            return NOT_IN_CLASS
+        if not neigh <= remaining - {x}:
+            return NOT_IN_CLASS
+        remaining.discard(x)
+        for w in remaining:
+            deg_w, sums_w, cosums_w = state[w]
+            target = sums_w if w in neigh else cosums_w
+            power = 1
+            for p in range(k):
+                power *= x
+                target[p] -= power
+            if w in neigh:
+                edges.append((min(x, w), max(x, w)))
+                state[w] = (deg_w - 1, sums_w, cosums_w)
+    try:
+        return LabeledGraph(n, edges)
+    except ValueError:
+        return NOT_IN_CLASS

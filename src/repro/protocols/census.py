@@ -1,0 +1,140 @@
+"""The protocol census: one table of everything this library ships.
+
+Each entry records where a protocol comes from (paper result or
+extension), the weakest model it runs in, its message bound, and a
+factory producing a ready instance — powering the ``python -m repro
+protocols`` listing and the hygiene tests that keep metadata and code in
+sync.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..core.protocol import Protocol
+
+__all__ = ["ProtocolEntry", "CENSUS", "render_census"]
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """Census row for one protocol."""
+
+    key: str
+    problem: str
+    model: str
+    message_bound: str
+    source: str
+    factory: Callable[[], Protocol]
+
+    def instantiate(self) -> Protocol:
+        proto = self.factory()
+        if proto.designed_for != self.model:
+            raise AssertionError(
+                f"census says {self.model} but {proto.name} declares "
+                f"{proto.designed_for}"
+            )
+        return proto
+
+
+def _census() -> tuple[ProtocolEntry, ...]:
+    from .bfs import BipartiteBfsAsyncProtocol, EobBfsProtocol, SyncBfsProtocol
+    from .build import DegenerateBuildProtocol, ForestBuildProtocol
+    from .build_extended import ExtendedBuildProtocol
+    from .connectivity import ConnectivityProtocol, SpanningForestProtocol
+    from .distance import (
+        DegenerateDiameterProtocol,
+        DegenerateSquareProtocol,
+        NaiveDiameterProtocol,
+        NaiveSquareProtocol,
+    )
+    from .mis import RootedMisProtocol
+    from .naive import (
+        NaiveBuildProtocol,
+        NaiveEobBfsProtocol,
+        NaiveMisProtocol,
+        NaiveTriangleProtocol,
+    )
+    from .randomized import RandomizedTwoCliquesProtocol
+    from .sketching import SketchConnectivityProtocol, SketchSpanningForestProtocol
+    from .subgraph import SubgraphProtocol
+    from .triangle import DegenerateTriangleProtocol
+    from .two_cliques import TwoCliquesProtocol
+
+    return (
+        ProtocolEntry("build-forest", "BUILD (forests)", "SIMASYNC",
+                      "O(log n)", "Section 3.1", ForestBuildProtocol),
+        ProtocolEntry("build-degenerate", "BUILD (degeneracy <= k)", "SIMASYNC",
+                      "O(k^2 log n)", "Theorem 2",
+                      lambda: DegenerateBuildProtocol(2)),
+        ProtocolEntry("build-extended", "BUILD (mixed low/high degree)",
+                      "SIMASYNC", "O(k^2 log n)", "Section 3 (remark)",
+                      lambda: ExtendedBuildProtocol(2)),
+        ProtocolEntry("mis-greedy", "rooted MIS", "SIMSYNC", "O(log n)",
+                      "Theorem 5", lambda: RootedMisProtocol(1)),
+        ProtocolEntry("two-cliques", "2-CLIQUES", "SIMSYNC", "O(log n)",
+                      "Section 5.1", TwoCliquesProtocol),
+        ProtocolEntry("eob-bfs", "EOB-BFS", "ASYNC", "O(log n)",
+                      "Theorem 7", EobBfsProtocol),
+        ProtocolEntry("bfs-bipartite-async", "BFS (bipartite promise)",
+                      "ASYNC", "O(log n)", "Corollary 4",
+                      BipartiteBfsAsyncProtocol),
+        ProtocolEntry("bfs-sync", "BFS (arbitrary graphs)", "SYNC",
+                      "O(log n)", "Theorem 10", SyncBfsProtocol),
+        ProtocolEntry("subgraph-f", "SUBGRAPH_f", "SIMASYNC", "f(n) + O(log n)",
+                      "Theorem 9", SubgraphProtocol),
+        ProtocolEntry("triangle-degenerate", "TRIANGLE (degeneracy promise)",
+                      "SIMASYNC", "O(k^2 log n)", "Theorem 2 corollary",
+                      lambda: DegenerateTriangleProtocol(2)),
+        ProtocolEntry("square-degenerate", "SQUARE (degeneracy promise)",
+                      "SIMASYNC", "O(k^2 log n)", "Section 1 / [2], via Thm 2",
+                      lambda: DegenerateSquareProtocol(2)),
+        ProtocolEntry("diameter-degenerate", "DIAMETER (degeneracy promise)",
+                      "SIMASYNC", "O(k^2 log n)", "Section 1 / [2], via Thm 2",
+                      lambda: DegenerateDiameterProtocol(2)),
+        ProtocolEntry("connectivity-sync", "CONNECTIVITY", "SYNC", "O(log n)",
+                      "Theorem 10 corollary (Open Problem 2 in ASYNC)",
+                      ConnectivityProtocol),
+        ProtocolEntry("spanning-forest-sync", "SPANNING-FOREST", "SYNC",
+                      "O(log n)", "Theorem 10 corollary", SpanningForestProtocol),
+        ProtocolEntry("naive-build", "BUILD (all graphs)", "SIMASYNC",
+                      "n + O(log n)", "Section 1 baseline", NaiveBuildProtocol),
+        ProtocolEntry("naive-triangle", "TRIANGLE", "SIMASYNC", "n + O(log n)",
+                      "baseline (optimal by Thm 3)", NaiveTriangleProtocol),
+        ProtocolEntry("naive-mis", "rooted MIS", "SIMASYNC", "n + O(log n)",
+                      "baseline (optimal by Thm 6)", lambda: NaiveMisProtocol(1)),
+        ProtocolEntry("naive-eob-bfs", "EOB-BFS", "SIMASYNC", "n + O(log n)",
+                      "baseline (optimal by Thm 8)", NaiveEobBfsProtocol),
+        ProtocolEntry("naive-square", "SQUARE", "SIMASYNC", "n + O(log n)",
+                      "baseline", NaiveSquareProtocol),
+        ProtocolEntry("naive-diameter", "DIAMETER", "SIMASYNC", "n + O(log n)",
+                      "baseline", NaiveDiameterProtocol),
+        ProtocolEntry("two-cliques-randomized", "2-CLIQUES (public coins)",
+                      "SIMASYNC", "O(log n + log p)", "Section 7 remark",
+                      lambda: RandomizedTwoCliquesProtocol(shared_seed=0)),
+        ProtocolEntry("sketch-connectivity", "CONNECTIVITY (public coins)",
+                      "SIMASYNC", "O(log^3 n)", "extension: AGM sketching",
+                      lambda: SketchConnectivityProtocol(shared_seed=0)),
+        ProtocolEntry("sketch-spanning-forest", "SPANNING-FOREST (public coins)",
+                      "SIMASYNC", "O(log^3 n)", "extension: AGM sketching",
+                      lambda: SketchSpanningForestProtocol(shared_seed=0)),
+    )
+
+
+CENSUS: tuple[ProtocolEntry, ...] = _census()
+
+
+def render_census() -> str:
+    """ASCII table of every shipped protocol."""
+    lines = [
+        f"{'protocol':<24} {'problem':<32} {'model':<9} "
+        f"{'message bound':<16} source"
+    ]
+    lines.append("-" * 110)
+    for e in CENSUS:
+        lines.append(
+            f"{e.key:<24} {e.problem:<32} {e.model:<9} "
+            f"{e.message_bound:<16} {e.source}"
+        )
+    return "\n".join(lines)

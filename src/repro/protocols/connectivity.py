@@ -1,0 +1,69 @@
+"""Connectivity-type problems on top of Theorem 10 (Section 6 / Open
+Problem 2).
+
+The paper opens Section 6 with: "One of the main questions in
+distributed environments concerns connectivity ... computing a connected
+spanning subgraph (e.g., a spanning tree) since the links of such
+subgraph are used for communication."  Open Problem 2 asks whether
+SPANNING-TREE or CONNECTIVITY are solvable in ``ASYNC[f(n)]`` — open.
+In ``SYNC[log n]``, however, both are immediate corollaries of
+Theorem 10, and this module makes the corollaries concrete:
+
+* :class:`SpanningForestProtocol` — same messages as
+  :class:`~repro.protocols.bfs.SyncBfsProtocol`; the output function
+  returns the forest's edge set (a spanning tree per component).
+* :class:`ConnectivityProtocol` — same messages; output is 1 iff the
+  final board contains exactly one ``ROOT`` record (each epoch = one
+  component).
+
+These sit outside Table 2 but inside the paper's stated motivation, and
+their ASYNC-model status inherits Open Problem 2's openness: running
+them under ASYNC semantics (freeze at activation) loses the ``d0``
+updates and deadlocks exactly like Corollary 4's protocol — measured in
+the open-problems benchmark.
+"""
+
+from __future__ import annotations
+
+from ..graphs.labeled_graph import Edge
+from ..graphs.properties import ROOT
+from ..core.whiteboard import BoardView
+from .bfs import SyncBfsProtocol, parse_board
+
+__all__ = ["SpanningForestProtocol", "ConnectivityProtocol"]
+
+
+class SpanningForestProtocol(SyncBfsProtocol):
+    """A spanning forest (BFS tree per component) in ``SYNC[log n]``.
+
+    Output: the frozenset of tree edges ``{v, p(v)}``.
+    """
+
+    name = "spanning-forest-sync"
+    designed_for = "SYNC"
+
+    def output(self, board: BoardView, n: int) -> frozenset[Edge]:
+        forest = super().output(board, n)
+        return forest.tree_edges()
+
+
+class ConnectivityProtocol(SyncBfsProtocol):
+    """CONNECTIVITY in ``SYNC[log n]``: 1 iff the graph is connected.
+
+    The number of epochs on the final board equals the number of
+    connected components (each epoch starts with exactly one ``ROOT``
+    record), so the output function just counts roots.
+    """
+
+    name = "connectivity-sync"
+    designed_for = "SYNC"
+
+    def output(self, board: BoardView, n: int) -> int:
+        state = parse_board(board)
+        roots = sum(
+            1
+            for epoch in state.epochs
+            for rec in epoch.records
+            if rec.parent == ROOT
+        )
+        return 1 if roots <= 1 else 0

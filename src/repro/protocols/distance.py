@@ -1,0 +1,104 @@
+"""Square detection and diameter — the Section 1 / Section 4 hard cases.
+
+The paper states (citing its IPDPS'11 companion [2]) that questions like
+"Does G contain a square?" or "Is the diameter of G at most 3?" cannot
+be solved by SIMASYNC protocols with o(n) bits.  This module brackets
+those problems from both sides, exactly as :mod:`repro.protocols.triangle`
+does for TRIANGLE:
+
+* naive ``Θ(n)``-bit upper bounds (reconstruct, then decide centrally) —
+  the baselines the impossibility results say are essentially optimal;
+* bounded-degeneracy ``O(k² log n)`` versions via Theorem 2's messages —
+  showing the hardness evaporates on sparse promise classes;
+* at tiny scale, :mod:`repro.reductions.protocol_search` settles the
+  question exhaustively (see the protocol-search benchmark, which adds a
+  SQUARE row to the phase diagram).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..encoding.bits import Payload
+from ..graphs.properties import diameter, has_square, is_connected
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+from .build import NOT_IN_CLASS, DegenerateBuildProtocol, decode_build_board
+from .naive import graph_from_mask_board, neighborhood_mask
+
+__all__ = [
+    "DISCONNECTED",
+    "NaiveSquareProtocol",
+    "NaiveDiameterProtocol",
+    "DegenerateSquareProtocol",
+    "DegenerateDiameterProtocol",
+]
+
+#: Diameter output on disconnected inputs (where diameter is undefined).
+DISCONNECTED = "DISCONNECTED"
+
+
+def _diameter_or_marker(graph) -> Union[int, str]:
+    if graph.n == 0 or not is_connected(graph):
+        return DISCONNECTED
+    return diameter(graph)
+
+
+class NaiveSquareProtocol(Protocol):
+    """SQUARE (C4 subgraph) decided from full adjacency rows —
+    the ``Θ(n)``-bit upper bound the lower bound matches."""
+
+    name = "naive-square"
+    designed_for = "SIMASYNC"
+
+    def message(self, view: NodeView) -> Payload:
+        return (view.node, neighborhood_mask(view.neighbors))
+
+    def output(self, board: BoardView, n: int) -> int:
+        return 1 if has_square(graph_from_mask_board(board, n)) else 0
+
+
+class NaiveDiameterProtocol(Protocol):
+    """Exact diameter from full adjacency rows (``DISCONNECTED`` marker
+    when undefined); restricting the output to the paper's "diameter at
+    most 3?" question is a trivial post-filter."""
+
+    name = "naive-diameter"
+    designed_for = "SIMASYNC"
+
+    def message(self, view: NodeView) -> Payload:
+        return (view.node, neighborhood_mask(view.neighbors))
+
+    def output(self, board: BoardView, n: int) -> Union[int, str]:
+        return _diameter_or_marker(graph_from_mask_board(board, n))
+
+
+class DegenerateSquareProtocol(DegenerateBuildProtocol):
+    """SQUARE on degeneracy-≤k graphs in ``SIMASYNC[log n]``."""
+
+    def __init__(self, k: int, decoder: str = "newton") -> None:
+        super().__init__(k=k, decoder=decoder)
+        self.name = f"square-degenerate(k={k})"
+
+    def output(self, board: BoardView, n: int):
+        graph = decode_build_board(board, n, self.k)
+        if graph == NOT_IN_CLASS:
+            return NOT_IN_CLASS
+        return 1 if has_square(graph) else 0
+
+
+class DegenerateDiameterProtocol(DegenerateBuildProtocol):
+    """Exact diameter on degeneracy-≤k graphs in ``SIMASYNC[log n]``.
+
+    On the promise class, the "diameter ≤ 3?" question the paper calls
+    unsolvable for general graphs becomes a one-line output function."""
+
+    def __init__(self, k: int, decoder: str = "newton") -> None:
+        super().__init__(k=k, decoder=decoder)
+        self.name = f"diameter-degenerate(k={k})"
+
+    def output(self, board: BoardView, n: int):
+        graph = decode_build_board(board, n, self.k)
+        if graph == NOT_IN_CLASS:
+            return NOT_IN_CLASS
+        return _diameter_or_marker(graph)

@@ -1,0 +1,66 @@
+"""Rooted maximal independent set in ``SIMSYNC[log n]`` (Theorem 5).
+
+The protocol is the paper's greedy: when the adversary picks node ``v``,
+
+* ``v`` writes its own identifier if ``v = x`` (the root), or if ``v`` is
+  not a neighbour of ``x`` and no neighbour of ``v`` has its identifier
+  on the whiteboard yet;
+* otherwise ``v`` writes "no".
+
+The set of identifiers on the final whiteboard is a maximal independent
+set containing ``x`` — *whatever order* the adversary chose (the output
+varies with the schedule, but is always a correct MIS; the verification
+harness checks exactly that, over all schedules for small ``n``).
+
+The message genuinely depends on the current whiteboard, which is why
+this sits in ``SIMSYNC`` and not ``SIMASYNC`` — and Theorem 6 (see
+:mod:`repro.reductions.transformers`) shows no ``SIMASYNC[o(n)]``
+protocol exists.
+"""
+
+from __future__ import annotations
+
+from ..encoding.bits import Payload
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+
+__all__ = ["RootedMisProtocol", "IN_SET", "NOT_IN_SET"]
+
+#: Message tags: ``(IN_SET, id)`` claims membership, ``(NOT_IN_SET, id)``
+#: is the paper's "no".
+IN_SET = "I"
+NOT_IN_SET = "no"
+
+
+class RootedMisProtocol(Protocol):
+    """Theorem 5's greedy MIS protocol, rooted at ``x``."""
+
+    designed_for = "SIMSYNC"
+
+    def __init__(self, root: int) -> None:
+        if root < 1:
+            raise ValueError(f"root must be a valid identifier, got {root}")
+        self.root = root
+        self.name = f"mis-greedy(x={root})"
+
+    def message(self, view: NodeView) -> Payload:
+        v = view.node
+        if v == self.root:
+            return (IN_SET, v)
+        if self.root in view.neighbors:
+            return (NOT_IN_SET, v)
+        claimed = {
+            payload[1]
+            for payload in view.board
+            if isinstance(payload, tuple) and payload[0] == IN_SET
+        }
+        if claimed & view.neighbors:
+            return (NOT_IN_SET, v)
+        return (IN_SET, v)
+
+    def output(self, board: BoardView, n: int) -> frozenset[int]:
+        return frozenset(
+            payload[1]
+            for payload in board
+            if isinstance(payload, tuple) and payload[0] == IN_SET
+        )

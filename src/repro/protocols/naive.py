@@ -1,0 +1,142 @@
+"""Naive full-information baselines (``O(n)`` bits per node).
+
+"Clearly, if every node communicates its whole neighborhood (which can
+be done with O(n) bits), the whole graph is described on the whiteboard;
+therefore, any question can be easily answered." — Section 1.
+
+These protocols make that remark executable.  They are the baselines
+against which the ``O(log n)`` protocols are compared in the benchmarks,
+and — crucially — they instantiate the *claimed protocols* that the
+Theorem 3/6/8 reduction transformers consume, letting the test suite
+validate the reductions end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..encoding.bits import Payload
+from ..graphs.labeled_graph import LabeledGraph
+from ..graphs.properties import (
+    BfsForest,
+    canonical_bfs_forest,
+    has_triangle,
+    is_even_odd_bipartite,
+)
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+
+__all__ = [
+    "NOT_EOB",
+    "neighborhood_mask",
+    "graph_from_mask_board",
+    "NaiveBuildProtocol",
+    "NaiveTriangleProtocol",
+    "NaiveMisProtocol",
+    "NaiveEobBfsProtocol",
+]
+
+#: Negative answer of EOB-BFS protocols on non-even-odd-bipartite inputs.
+NOT_EOB = "NOT_EOB"
+
+
+def neighborhood_mask(neighbors: frozenset[int]) -> int:
+    """Adjacency row as an integer bitmask (bit ``i-1`` = neighbour ``i``)."""
+    mask = 0
+    for w in neighbors:
+        mask |= 1 << (w - 1)
+    return mask
+
+
+def graph_from_mask_board(board: BoardView, n: int) -> LabeledGraph:
+    """Rebuild the graph from ``(id, mask)`` messages (any order)."""
+    rows: dict[int, int] = {}
+    for payload in board:
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            raise ValueError(f"malformed naive message {payload!r}")
+        node, mask = payload
+        rows[node] = mask
+    if set(rows) != set(range(1, n + 1)):
+        raise ValueError("incomplete naive board")
+    edges = [
+        (u, v)
+        for u in range(1, n + 1)
+        for v in range(u + 1, n + 1)
+        if rows[u] >> (v - 1) & 1
+    ]
+    g = LabeledGraph(n, edges)
+    # Symmetry sanity check: each row must agree with its transpose.
+    for u in range(1, n + 1):
+        if rows[u] != neighborhood_mask(g.neighbors(u)):
+            raise ValueError("asymmetric adjacency rows")
+    return g
+
+
+class NaiveBuildProtocol(Protocol):
+    """BUILD on *arbitrary* graphs with ``n + log n`` bit messages."""
+
+    name = "naive-build"
+    designed_for = "SIMASYNC"
+
+    def message(self, view: NodeView) -> Payload:
+        return (view.node, neighborhood_mask(view.neighbors))
+
+    def output(self, board: BoardView, n: int) -> LabeledGraph:
+        return graph_from_mask_board(board, n)
+
+
+class NaiveTriangleProtocol(Protocol):
+    """TRIANGLE decided centrally from full rows — the ``SIMASYNC[n]``
+    upper bound that Theorem 3 proves cannot be improved to ``o(n)``."""
+
+    name = "naive-triangle"
+    designed_for = "SIMASYNC"
+
+    def message(self, view: NodeView) -> Payload:
+        return (view.node, neighborhood_mask(view.neighbors))
+
+    def output(self, board: BoardView, n: int) -> int:
+        return 1 if has_triangle(graph_from_mask_board(board, n)) else 0
+
+
+class NaiveMisProtocol(Protocol):
+    """Rooted MIS from full rows: output the *lexicographically greedy*
+    maximal independent set containing the root.
+
+    Determinism matters: a ``SIMASYNC`` output function only sees the
+    final board, whose payload multiset is schedule-independent, so the
+    answer is identical under every adversary — as required for the
+    Theorem 6 reduction."""
+
+    designed_for = "SIMASYNC"
+
+    def __init__(self, root: int) -> None:
+        self.root = root
+        self.name = f"naive-mis(x={root})"
+
+    def message(self, view: NodeView) -> Payload:
+        return (view.node, neighborhood_mask(view.neighbors))
+
+    def output(self, board: BoardView, n: int) -> frozenset[int]:
+        g = graph_from_mask_board(board, n)
+        chosen = {self.root}
+        for v in g.nodes():
+            if v != self.root and not (g.neighbors(v) & chosen):
+                chosen.add(v)
+        return frozenset(chosen)
+
+
+class NaiveEobBfsProtocol(Protocol):
+    """EOB-BFS from full rows: canonical BFS forest, or :data:`NOT_EOB`."""
+
+    name = "naive-eob-bfs"
+    designed_for = "SIMASYNC"
+
+    def message(self, view: NodeView) -> Payload:
+        return (view.node, neighborhood_mask(view.neighbors))
+
+    def output(self, board: BoardView, n: int) -> Any:
+        g = graph_from_mask_board(board, n)
+        if not is_even_odd_bipartite(g):
+            return NOT_EOB
+        return canonical_bfs_forest(g)

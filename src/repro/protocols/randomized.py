@@ -1,0 +1,94 @@
+"""Randomized whiteboard protocols (Section 7, Open Problem 4).
+
+The paper remarks that "2-CLIQUES admits a randomized protocol for these
+models" without details.  This module supplies a concrete *public-coin*
+construction in the weakest model, ``SIMASYNC[log n]``:
+
+Every node hashes its **closed** neighbourhood ``N[v]`` with a random
+polynomial fingerprint drawn from shared randomness and writes
+``(ID(v), h(N[v]))``.  For an ``(n-1)``-regular graph on ``2n`` nodes,
+being two disjoint ``K_n``'s is equivalent to the closed neighbourhoods
+taking exactly two values, each shared by exactly ``n`` nodes (a clique
+of ``K_n`` *is* the common closed neighbourhood of its members).  The
+output function therefore accepts iff the fingerprints form two groups
+of size ``n``.
+
+Error analysis: fingerprints of *equal* sets always agree, and any two
+*unequal* closed neighbourhoods collide with probability at most
+``n / p`` (degree-bounded polynomial identity test over ``F_p``).  A
+union bound over ``< (2n)^2`` pairs bounds the total error — wrongly
+accepting a NO instance, or wrongly rejecting a YES instance because its
+two distinct clique sets collided — by ``4 n^3 / p``, vanishing for the
+default 61-bit prime.
+
+The *public coin* (a seed shared by all nodes but unknown to the graph)
+is the standard simultaneous-messages notion of randomness; the paper
+leaves the private-coin question open and so do we.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..encoding.bits import Payload
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+from .two_cliques import NOT_TWO_CLIQUES, TWO_CLIQUES
+
+__all__ = ["RandomizedTwoCliquesProtocol", "set_fingerprint", "MERSENNE_61"]
+
+#: Default field size: the Mersenne prime ``2^61 - 1``.
+MERSENNE_61 = (1 << 61) - 1
+
+
+def set_fingerprint(values: frozenset[int] | set[int], r: int, p: int = MERSENNE_61) -> int:
+    """Polynomial identity fingerprint ``prod (r - x) mod p`` of a set.
+
+    Two equal sets always agree; two different subsets of ``{1..n}``
+    agree for at most ``n`` choices of ``r`` (degree bound), hence with
+    probability ``<= n/p`` over uniform ``r``.
+    """
+    acc = 1
+    for x in values:
+        acc = acc * ((r - x) % p) % p
+    return acc
+
+
+class RandomizedTwoCliquesProtocol(Protocol):
+    """Public-coin 2-CLIQUES in ``SIMASYNC[log n]`` with one-sided error.
+
+    Parameters
+    ----------
+    shared_seed:
+        The public coin.  All nodes derive the same evaluation point
+        ``r`` from it; the adversary (scheduler) cannot depend on it.
+    p:
+        Field size; error probability scales as ``O(n^3 / p)``.
+    """
+
+    designed_for = "SIMASYNC"
+
+    def __init__(self, shared_seed: int, p: int = MERSENNE_61) -> None:
+        self.shared_seed = shared_seed
+        self.p = p
+        self._r = random.Random(shared_seed).randrange(1, p)
+        self.name = f"two-cliques-randomized(seed={shared_seed})"
+
+    def message(self, view: NodeView) -> Payload:
+        closed = frozenset(view.neighbors) | {view.node}
+        return (view.node, set_fingerprint(closed, self._r, self.p))
+
+    def output(self, board: BoardView, n: int) -> str:
+        if n % 2 != 0:
+            return NOT_TWO_CLIQUES
+        groups: dict[int, int] = {}
+        for _, fp in board:
+            groups[fp] = groups.get(fp, 0) + 1
+        if len(groups) == 2 and set(groups.values()) == {n // 2}:
+            return TWO_CLIQUES
+        # Exactly-two-groups check degenerates when both cliques hash
+        # equally (probability <= n/p): accept the single-group case only
+        # if it is consistent with two same-fingerprint cliques.
+        if len(groups) == 1 and n >= 2:
+            return NOT_TWO_CLIQUES  # conservative: cannot distinguish K_n pairs
+        return NOT_TWO_CLIQUES

@@ -1,0 +1,202 @@
+"""Randomized SIMASYNC connectivity via graph sketching (AGM).
+
+The paper leaves connectivity-type problems in the weak models open
+(Open Problems 1/2) and asks about randomized protocols (Open Problem
+4).  With *public coins* — the same assumption as the randomized
+2-CLIQUES protocol — the graph-sketching technique of Ahn, Guibas and
+McGregor answers both in one stroke: every node simultaneously writes a
+``polylog(n)``-bit **linear sketch** of its incidence vector, and the
+output function runs Borůvka entirely on the whiteboard:
+
+* edge ``{u, v}`` (``u < v``) gets a coordinate; node ``u`` counts it
+  ``+1``, node ``v`` counts it ``-1``.  Summing the incidence vectors of
+  a node set ``S`` cancels every edge inside ``S`` and leaves exactly
+  the boundary ``∂S`` — and the sketches are linear, so the *sketch* of
+  ``∂S`` is the sum of the members' sketches;
+* each Borůvka round therefore samples one outgoing edge per component
+  from the combined sketches (a fresh ℓ₀-sampler per round keeps the
+  samples independent of earlier merges) and unions components;
+* after ``≤ log2 n`` rounds the components are exactly the connected
+  components, giving SPANNING-FOREST and CONNECTIVITY.
+
+This is a *strict* extension of the paper (2012) by a contemporaneous
+technique (AGM, SODA 2012); DESIGN.md lists it as the repro's
+"future-work" implementation for Section 7.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..encoding.bits import Payload
+from ..encoding.l0_sampling import L0Sampler
+from ..graphs.labeled_graph import Edge
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+
+__all__ = [
+    "SketchSpec",
+    "SketchConnectivityProtocol",
+    "SketchSpanningForestProtocol",
+    "edge_slot",
+    "slot_edge",
+]
+
+
+def edge_slot(u: int, v: int, n: int) -> int:
+    """Bijection from edges ``{u, v}`` (``u < v``) to slots ``1..C(n,2)``."""
+    if not (1 <= u < v <= n):
+        raise ValueError(f"need 1 <= u < v <= n, got ({u}, {v})")
+    # slots are ordered lexicographically by (u, v)
+    before_u = (u - 1) * (2 * n - u) // 2
+    return before_u + (v - u)
+
+
+def slot_edge(slot: int, n: int) -> Edge:
+    """Inverse of :func:`edge_slot`."""
+    if slot < 1:
+        raise ValueError(f"slots start at 1, got {slot}")
+    u = 1
+    remaining = slot
+    while remaining > n - u:
+        remaining -= n - u
+        u += 1
+        if u >= n:
+            raise ValueError(f"slot {slot} out of range for n={n}")
+    return (u, u + remaining)
+
+
+class SketchSpec:
+    """Shared sketch dimensions, derived from ``n`` and the public seed.
+
+    ``rounds`` independent samplers (one per Borůvka round), each with
+    ``levels = ceil(log2 C(n,2)) + 2`` subsampling levels.
+    """
+
+    def __init__(self, n: int, shared_seed: int, rounds: int | None = None) -> None:
+        self.n = n
+        self.shared_seed = shared_seed
+        # Borůvka halves the component count per round, so ceil(log2 n)
+        # rounds suffice when every sample lands; doubling that absorbs
+        # per-round sampling failures (each round is independent).
+        self.rounds = (
+            rounds
+            if rounds is not None
+            else 2 * max(1, math.ceil(math.log2(max(2, n)))) + 1
+        )
+        slots = max(2, n * (n - 1) // 2)
+        self.levels = math.ceil(math.log2(slots)) + 2
+
+    def fresh_sampler(self, round_index: int) -> L0Sampler:
+        return L0Sampler(
+            seed=self.shared_seed * 1_000_003 + round_index, levels=self.levels
+        )
+
+    def node_sketches(self, view: NodeView) -> list[L0Sampler]:
+        """The node's incidence sketches, one per Borůvka round."""
+        out = []
+        for r in range(self.rounds):
+            sampler = self.fresh_sampler(r)
+            for w in view.neighbors:
+                u, v = min(view.node, w), max(view.node, w)
+                sign = 1 if view.node == u else -1
+                sampler.update(edge_slot(u, v, self.n), sign)
+            out.append(sampler)
+        return out
+
+
+class _SketchBase(Protocol):
+    """Shared message format and Borůvka decoder."""
+
+    designed_for = "SIMASYNC"
+
+    def __init__(self, shared_seed: int, rounds: int | None = None) -> None:
+        self.shared_seed = shared_seed
+        self.rounds = rounds
+
+    def _spec(self, n: int) -> SketchSpec:
+        return SketchSpec(n, self.shared_seed, self.rounds)
+
+    def message(self, view: NodeView) -> Payload:
+        spec = self._spec(view.n)
+        body = tuple(s.state() for s in spec.node_sketches(view))
+        return (view.node, body)
+
+    # -- decoding -------------------------------------------------------
+    def _spanning_forest(self, board: BoardView, n: int) -> frozenset[Edge]:
+        spec = self._spec(n)
+        sketches: dict[int, list[L0Sampler]] = {}
+        for node, body in board:
+            sketches[node] = [
+                L0Sampler.from_state(spec.fresh_sampler(r).seed, spec.levels, state)
+                for r, state in enumerate(body)
+            ]
+        if set(sketches) != set(range(1, n + 1)):
+            raise ValueError("incomplete sketch board")
+
+        parent = list(range(n + 1))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        # combined[c][r]: sketch of component c's member-sum for round r
+        combined: dict[int, list[L0Sampler]] = {
+            v: sketches[v] for v in range(1, n + 1)
+        }
+        forest: set[Edge] = set()
+        for r in range(spec.rounds):
+            roots = {find(v) for v in range(1, n + 1)}
+            if len(roots) == 1:
+                break
+            picks: list[tuple[int, Edge]] = []
+            for c in roots:
+                got = combined[c][r].sample()
+                if got is None:
+                    continue
+                slot, _weight = got
+                try:
+                    edge = slot_edge(slot, n)
+                except ValueError:
+                    continue  # failed recovery (negligible probability)
+                picks.append((c, edge))
+            for c, (u, v) in picks:
+                ru, rv = find(u), find(v)
+                if ru == rv:
+                    continue
+                # merge: union-find + sketch addition (linearity!)
+                new = [a.combine(b) for a, b in zip(combined[ru], combined[rv])]
+                parent[ru] = rv
+                combined[rv] = new
+                forest.add((min(u, v), max(u, v)))
+            # A merge-less round is not terminal: later rounds use
+            # independent samplers and may succeed where this one failed.
+        return frozenset(forest)
+
+
+class SketchSpanningForestProtocol(_SketchBase):
+    """SPANNING-FOREST in randomized public-coin ``SIMASYNC[polylog n]``."""
+
+    def __init__(self, shared_seed: int, rounds: int | None = None) -> None:
+        super().__init__(shared_seed, rounds)
+        self.name = f"sketch-spanning-forest(seed={shared_seed})"
+
+    def output(self, board: BoardView, n: int) -> frozenset[Edge]:
+        return self._spanning_forest(board, n)
+
+
+class SketchConnectivityProtocol(_SketchBase):
+    """CONNECTIVITY in randomized public-coin ``SIMASYNC[polylog n]``.
+
+    Output 1 iff the recovered spanning forest has ``n - 1`` edges.
+    One-sided in practice: sampling failures can only under-connect, so
+    a ``1`` answer is always backed by an explicit spanning tree."""
+
+    def __init__(self, shared_seed: int, rounds: int | None = None) -> None:
+        super().__init__(shared_seed, rounds)
+        self.name = f"sketch-connectivity(seed={shared_seed})"
+
+    def output(self, board: BoardView, n: int) -> int:
+        return 1 if len(self._spanning_forest(board, n)) == n - 1 else 0

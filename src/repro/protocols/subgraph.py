@@ -1,0 +1,72 @@
+"""SUBGRAPH_f in ``SIMASYNC[f(n)]`` (Theorem 9).
+
+The problem: output the subgraph induced by the first ``f(n)``
+identifiers ``{v_1, ..., v_{f(n)}}``.  The protocol is the paper's
+one-liner: every node writes the first ``f(n)`` bits of its adjacency
+row.  Its role in the paper is to witness that *message size* is a
+resource orthogonal to synchronisation power: ``SUBGRAPH_f`` is in
+``SIMASYNC[f(n)]`` (the weakest model) yet outside ``SYNC[g(n)]`` (the
+strongest) for every ``g = o(f)`` — see
+:func:`repro.reductions.counting.subgraph_lower_bound`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..encoding.bits import Payload
+from ..graphs.labeled_graph import Edge
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+
+__all__ = ["SubgraphProtocol", "default_f", "subgraph_reference"]
+
+
+def default_f(n: int) -> int:
+    """A convenient ``f(n) = ceil(sqrt(n))`` prefix size: ``ω(log n)``
+    and ``o(n)``, i.e. strictly between the hierarchy's endpoints."""
+    return max(1, int(n ** 0.5) + (0 if int(n ** 0.5) ** 2 == n else 1))
+
+
+def subgraph_reference(graph, f: int) -> frozenset[Edge]:
+    """Oracle: edges of the subgraph induced by ``{1..f}``."""
+    return graph.induced_edge_set(range(1, min(f, graph.n) + 1))
+
+
+class SubgraphProtocol(Protocol):
+    """Theorem 9's prefix-row protocol.
+
+    Parameters
+    ----------
+    f:
+        Map ``n -> f(n)``, the identifier-prefix length.  Message size is
+        ``f(n) + O(log n)`` bits.
+    """
+
+    designed_for = "SIMASYNC"
+
+    def __init__(self, f: Callable[[int], int] = default_f) -> None:
+        self.f = f
+        self.name = "subgraph-f"
+
+    def message(self, view: NodeView) -> Payload:
+        limit = min(self.f(view.n), view.n)
+        mask = 0
+        for w in view.neighbors:
+            if w <= limit:
+                mask |= 1 << (w - 1)
+        return (view.node, mask)
+
+    def output(self, board: BoardView, n: int) -> frozenset[Edge]:
+        limit = min(self.f(n), n)
+        rows: dict[int, int] = {}
+        for node, mask in board:
+            rows[node] = mask
+        edges = set()
+        for u in range(1, limit + 1):
+            for v in range(u + 1, limit + 1):
+                if rows[u] >> (v - 1) & 1:
+                    if not rows[v] >> (u - 1) & 1:
+                        raise ValueError("asymmetric prefix rows on the board")
+                    edges.add((u, v))
+        return frozenset(edges)

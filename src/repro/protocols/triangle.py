@@ -1,0 +1,49 @@
+"""TRIANGLE detection protocols.
+
+Table 2 marks TRIANGLE solvable in ``SIMSYNC[log n]`` but the paper
+gives no protocol for general graphs (the claim appears as a remark
+after Corollary 2).  What *is* fully specified is:
+
+* TRIANGLE ∉ ``SIMASYNC[o(n)]`` (Theorem 3, via the Figure 1 reduction —
+  see :mod:`repro.reductions`);
+* BUILD ∈ ``SIMASYNC[log n]`` for bounded-degeneracy graphs (Theorem 2),
+  which *implies* TRIANGLE on that class in every model: reconstruct,
+  then decide centrally.
+
+:class:`DegenerateTriangleProtocol` implements that implication — it is
+the strongest positive cell we can justify from the paper's text, and
+EXPERIMENTS.md flags the general-graph cell accordingly.  Together with
+the naive ``O(n)``-bit protocol (:class:`~repro.protocols.naive.
+NaiveTriangleProtocol`) it brackets the problem from both sides.
+"""
+
+from __future__ import annotations
+
+from ..graphs.properties import has_triangle
+from ..core.protocol import NodeView
+from ..core.whiteboard import BoardView
+from .build import NOT_IN_CLASS, DegenerateBuildProtocol, decode_build_board
+
+__all__ = ["DegenerateTriangleProtocol", "NOT_IN_CLASS"]
+
+
+class DegenerateTriangleProtocol(DegenerateBuildProtocol):
+    """TRIANGLE on degeneracy-≤k graphs in ``SIMASYNC[log n]``.
+
+    Same messages as Theorem 2's BUILD; the output function reconstructs
+    and answers ``1``/``0``, or :data:`NOT_IN_CLASS` when the input
+    violates the degeneracy promise.
+
+    Note that for ``k >= 2`` a triangle can exist inside the class
+    (e.g. ``K_3`` is 2-degenerate), so the answer is non-trivial.
+    """
+
+    def __init__(self, k: int, decoder: str = "newton") -> None:
+        super().__init__(k=k, decoder=decoder)
+        self.name = f"triangle-degenerate(k={k})"
+
+    def output(self, board: BoardView, n: int):
+        graph = decode_build_board(board, n, self.k)
+        if graph == NOT_IN_CLASS:
+            return NOT_IN_CLASS
+        return 1 if has_triangle(graph) else 0

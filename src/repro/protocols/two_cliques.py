@@ -1,0 +1,72 @@
+"""2-CLIQUES in ``SIMSYNC[log n]`` (Section 5.1).
+
+Input promise: an ``(n-1)``-regular graph on ``2n`` nodes.  Question: is
+it the disjoint union of two ``K_n``'s?  (Equivalently: is it
+*disconnected* — the link to CONNECTIVITY the paper draws.)
+
+Protocol (verbatim from the paper):
+
+* the first node picked writes ``(ID, 0)``;
+* a later node ``v`` with no written neighbour writes ``(ID, 1)``;
+* a node whose written neighbours all claimed the same clique ``c``
+  writes ``(ID, c)``; mixed claims produce ``(ID, "no")``.
+
+Output: YES iff no "no" appears *and* both claimed cliques have exactly
+``n`` members.  The size check matters: on a *connected* instance an
+adversary that grows one connected region never triggers a "no", but
+then every node claims clique 0 and the partition ``(V, ∅)`` is exposed
+by the cardinality test (a clique of size ``2n`` is impossible in an
+``(n-1)``-regular graph).  NO-instances are always connected — an
+``(n-1)``-regular disconnected graph on ``2n`` nodes *is* two cliques —
+so this decides the promise problem under every adversary.
+
+A public-coin randomized ``SIMASYNC`` variant (Section 7's remark that
+"2-CLIQUES admits a randomized protocol") lives in
+:mod:`repro.protocols.randomized`.
+"""
+
+from __future__ import annotations
+
+from ..encoding.bits import Payload
+from ..core.protocol import NodeView, Protocol
+from ..core.whiteboard import BoardView
+
+__all__ = ["TwoCliquesProtocol", "TWO_CLIQUES", "NOT_TWO_CLIQUES", "MIXED"]
+
+TWO_CLIQUES = "TWO_CLIQUES"
+NOT_TWO_CLIQUES = "NOT_TWO_CLIQUES"
+MIXED = "no"
+
+
+class TwoCliquesProtocol(Protocol):
+    """The Section 5.1 clique-labelling protocol."""
+
+    name = "two-cliques"
+    designed_for = "SIMSYNC"
+
+    def message(self, view: NodeView) -> Payload:
+        v = view.node
+        if view.board.empty:
+            return (v, 0)
+        labels = set()
+        for payload in view.board:
+            other, claim = payload
+            if other in view.neighbors and isinstance(claim, int):
+                labels.add(claim)
+        if not labels:
+            return (v, 1)
+        if len(labels) == 1:
+            return (v, labels.pop())
+        return (v, MIXED)
+
+    def output(self, board: BoardView, n: int) -> str:
+        counts = {0: 0, 1: 0}
+        for payload in board:
+            _, claim = payload
+            if claim == MIXED:
+                return NOT_TWO_CLIQUES
+            counts[claim] += 1
+        half = n // 2
+        if n % 2 == 0 and counts[0] == half and counts[1] == half:
+            return TWO_CLIQUES
+        return NOT_TWO_CLIQUES

@@ -1,0 +1,170 @@
+"""Gadget constructions behind the paper's lower-bound reductions.
+
+* :func:`triangle_gadget` — Figure 1 / Theorem 3: ``G'_{s,t}`` adds an
+  apex adjacent to ``v_s`` and ``v_t``; for triangle-free (e.g.
+  bipartite) ``G``, the gadget has a triangle iff ``{v_s, v_t} ∈ E``.
+* :func:`mis_gadget` — Theorem 6: ``G^(x)_{i,j}`` adds ``x`` adjacent to
+  everything except ``v_i, v_j``; the rooted MIS at ``x`` is
+  ``{x, v_i, v_j}`` iff ``{v_i, v_j} ∉ E``.
+* :func:`eob_gadget` — Figure 2 / Theorem 8: ``G_i`` wires auxiliary
+  nodes so that the third BFS layer from ``v_1`` is exactly
+  ``N_G(v_i)``.
+
+Each builder validates its preconditions and ships with a
+``*_property`` checker used by tests and the figure benchmarks to
+confirm the construction's claimed behaviour on concrete inputs.
+"""
+
+from __future__ import annotations
+
+from ..graphs.labeled_graph import LabeledGraph
+from ..graphs.properties import (
+    bfs_layers_from,
+    has_triangle,
+    is_even_odd_bipartite,
+    is_maximal_independent_set,
+)
+
+__all__ = [
+    "triangle_gadget",
+    "triangle_gadget_property",
+    "figure1_example",
+    "mis_gadget",
+    "mis_gadget_property",
+    "eob_gadget",
+    "eob_gadget_base_ok",
+    "eob_gadget_property",
+    "figure2_example",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — TRIANGLE reduction
+# ----------------------------------------------------------------------
+
+def triangle_gadget(graph: LabeledGraph, s: int, t: int) -> LabeledGraph:
+    """``G'_{s,t}``: append node ``n+1`` adjacent to ``v_s`` and ``v_t``."""
+    if s == t:
+        raise ValueError("s and t must be distinct")
+    return graph.add_node_with_edges((s, t))
+
+
+def triangle_gadget_property(graph: LabeledGraph, s: int, t: int) -> bool:
+    """Check: for triangle-free ``graph``, ``G'_{s,t}`` has a triangle
+    iff ``{s, t}`` is an edge."""
+    if has_triangle(graph):
+        raise ValueError("the gadget equivalence assumes a triangle-free base")
+    return has_triangle(triangle_gadget(graph, s, t)) == graph.has_edge(s, t)
+
+
+def figure1_example() -> tuple[LabeledGraph, LabeledGraph]:
+    """The paper's Figure 1 instance: a 7-node graph and ``G'_{2,7}``
+    (node 8 added adjacent to 2 and 7)."""
+    g = LabeledGraph(7, [(1, 2), (1, 4), (2, 3), (2, 7), (3, 6), (4, 5), (5, 6), (6, 7)])
+    return g, triangle_gadget(g, 2, 7)
+
+
+# ----------------------------------------------------------------------
+# Theorem 6 — MIS reduction
+# ----------------------------------------------------------------------
+
+def mis_gadget(graph: LabeledGraph, i: int, j: int) -> LabeledGraph:
+    """``G^(x)_{i,j}``: append ``x = n+1`` adjacent to all nodes except
+    ``v_i`` and ``v_j``."""
+    if i == j:
+        raise ValueError("i and j must be distinct")
+    others = [v for v in graph.nodes() if v not in (i, j)]
+    return graph.add_node_with_edges(others)
+
+
+def mis_gadget_property(graph: LabeledGraph, i: int, j: int) -> bool:
+    """Check Theorem 6's dichotomy on a concrete instance:
+
+    * ``{v_i, v_j} ∉ E``  =>  ``{x, v_i, v_j}`` is the *unique* maximal
+      independent set containing ``x``;
+    * ``{v_i, v_j} ∈ E``  =>  the maximal independent sets containing
+      ``x`` are exactly ``{x, v_i}`` and ``{x, v_j}``.
+    """
+    gadget = mis_gadget(graph, i, j)
+    x = gadget.n
+    if graph.has_edge(i, j):
+        expected = [{x, i}, {x, j}]
+    else:
+        expected = [{x, i, j}]
+    for cand in expected:
+        if not is_maximal_independent_set(gadget, cand):
+            return False
+    # No other maximal independent set may contain x: every node outside
+    # {x, v_i, v_j} is adjacent to x, so candidates are subsets of that
+    # triple and the enumeration above is exhaustive.
+    non_expected = (
+        [{x}, {x, i, j}] if graph.has_edge(i, j) else [{x}, {x, i}, {x, j}]
+    )
+    return all(not is_maximal_independent_set(gadget, c) for c in non_expected)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — EOB-BFS reduction
+# ----------------------------------------------------------------------
+
+def eob_gadget_base_ok(base: LabeledGraph, n: int) -> bool:
+    """Preconditions of Theorem 8: ``base`` lives on labels ``{2..n}``
+    inside an ``n``-node graph (node 1 isolated), ``n`` odd, and the
+    base is even-odd-bipartite."""
+    return (
+        base.n == n
+        and n % 2 == 1
+        and base.degree(1) == 0
+        and is_even_odd_bipartite(base)
+    )
+
+
+def eob_gadget(base: LabeledGraph, i: int) -> LabeledGraph:
+    """``G_i`` (Figure 2): extend ``base`` (labels ``2..n``, node 1
+    isolated, ``n`` odd) with auxiliary nodes ``v_{n+1}..v_{2n-1}``:
+
+    * ``v_1 ~ v_{i+n-2}``,
+    * ``v_j ~ v_{j+n-2}`` for every odd ``j``, ``3 <= j <= n``,
+    * ``v_j ~ v_{j+n}`` for every even ``j``, ``2 <= j <= n-1``.
+
+    The result is even-odd-bipartite, and the third BFS layer from
+    ``v_1`` equals ``N_base(v_i)``.
+    """
+    n = base.n
+    if not eob_gadget_base_ok(base, n):
+        raise ValueError(
+            "base must be an n-node even-odd-bipartite graph on labels 2..n "
+            "with n odd and node 1 isolated"
+        )
+    if not (3 <= i <= n and i % 2 == 1):
+        raise ValueError(f"i must be odd in 3..{n}, got {i}")
+    edges = list(base.edges())
+    edges.append((1, i + n - 2))
+    for j in range(3, n + 1, 2):
+        edges.append((j, j + n - 2))
+    for j in range(2, n, 2):
+        edges.append((j, j + n))
+    return LabeledGraph(2 * n - 1, edges)
+
+
+def eob_gadget_property(base: LabeledGraph, i: int) -> bool:
+    """Check Figure 2's caption: ``j`` is in the third BFS layer from
+    ``v_1`` in ``G_i`` iff ``{v_i, v_j}`` is a base edge — and ``G_i``
+    is even-odd-bipartite."""
+    gadget = eob_gadget(base, i)
+    if not is_even_odd_bipartite(gadget):
+        return False
+    layers = bfs_layers_from(gadget, 1)
+    layer3 = {v for v, l in layers.items() if l == 3}
+    return layer3 == set(base.neighbors(i))
+
+
+def figure2_example() -> tuple[LabeledGraph, LabeledGraph]:
+    """The paper's Figure 2 instance: base on labels ``{2..7}`` inside
+    ``n = 7`` and the gadget ``G_5`` (auxiliaries 8..13 plus root 1).
+
+    The base edge set is chosen to match the figure's depicted graph:
+    edges between the odd part {3, 5, 7} and the even part {2, 4, 6}.
+    """
+    base = LabeledGraph(7, [(2, 3), (2, 5), (3, 4), (4, 5), (5, 6), (6, 7)])
+    return base, eob_gadget(base, 5)

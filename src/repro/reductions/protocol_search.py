@@ -1,0 +1,383 @@
+"""Exhaustive search over SIMASYNC protocol space for tiny instances.
+
+The paper's SIMASYNC lower bounds (Theorems 3, 6) are asymptotic:
+reductions plus the Lemma 3 counting argument.  At very small scale a
+stronger statement is checkable outright: *enumerate every protocol*.
+
+A SIMASYNC protocol on ``n``-node graphs is determined by its message
+function alone — a map from *local views* ``(ID(v), N(v))`` to messages
+— because messages are computed on the empty whiteboard, and because the
+adversary controls the write order the output function effectively
+receives the **multiset** of messages.  Hence, for a decision problem
+``P``:
+
+    ``P`` is solvable in SIMASYNC with message alphabet ``M``
+    ⟺ there is an assignment ``msg : views → M`` such that no YES
+    instance and NO instance produce equal message multisets.
+
+This module decides that statement by backtracking over assignments with
+collision-based pruning: a graph's multiset is fixed the moment its last
+view is assigned, and a YES/NO signature clash prunes the branch.  The
+result is either a *witness protocol* (an explicit assignment, plus the
+multiset→answer output table), a proof of unsolvability (the search
+space is exhausted), or an explicit budget-exhaustion report.
+
+Scale limits: ``n = 3`` (12 views) is instant for any small alphabet;
+``n = 4`` (32 views) is feasible for alphabets of size 2–3 thanks to
+pruning.  That is exactly the regime where "no protocol exists" stops
+being an asymptotic claim and becomes a finite fact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graphs.generators import all_labeled_graphs
+from ..graphs.labeled_graph import LabeledGraph
+
+__all__ = [
+    "View",
+    "SearchResult",
+    "views_of",
+    "search_simasync_decision",
+    "search_simasync_construction",
+    "rooted_mis_candidates",
+    "verify_assignment",
+    "verify_construction_assignment",
+    "output_table",
+]
+
+#: A local view: (identifier, neighbourhood).
+View = tuple[int, frozenset[int]]
+
+
+def views_of(graph: LabeledGraph) -> tuple[View, ...]:
+    """The ``n`` local views of a graph, in identifier order."""
+    return tuple((v, graph.neighbors(v)) for v in graph.nodes())
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a protocol-space search.
+
+    ``status``:
+
+    * ``"solvable"`` — ``assignment`` is a witness message function;
+    * ``"unsolvable"`` — the whole space was exhausted without a witness
+      (a machine-checked impossibility at this ``n`` and alphabet);
+    * ``"exhausted"`` — the node budget ran out first (no conclusion).
+    """
+
+    status: str
+    assignment: Optional[dict[View, int]]
+    nodes_explored: int
+    num_views: int
+    alphabet_size: int
+
+    @property
+    def conclusive(self) -> bool:
+        return self.status in ("solvable", "unsolvable")
+
+
+def search_simasync_decision(
+    graphs: Sequence[LabeledGraph],
+    predicate: Callable[[LabeledGraph], bool],
+    alphabet_size: int,
+    node_budget: int = 5_000_000,
+) -> SearchResult:
+    """Decide whether any SIMASYNC protocol with ``alphabet_size``
+    distinct messages solves the decision problem ``predicate`` on the
+    instance family ``graphs``.
+
+    Parameters
+    ----------
+    graphs:
+        The instance family (e.g. ``all_labeled_graphs(4)``).  All
+        graphs must share the same ``n``.
+    predicate:
+        The decision problem (YES/NO per graph).
+    alphabet_size:
+        Number of distinct messages available; ``2^b`` fixed-length
+        ``b``-bit messages, or ``2^{b+1}-1`` length-≤b ones — the caller
+        chooses the accounting.
+    node_budget:
+        Backtracking-node cap; exceeded ⇒ ``status="exhausted"``.
+    """
+    if alphabet_size < 1:
+        raise ValueError("alphabet must contain at least one message")
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("need at least one instance")
+    n = graphs[0].n
+    if any(g.n != n for g in graphs):
+        raise ValueError("all instances must have the same number of nodes")
+
+    labels = [bool(predicate(g)) for g in graphs]
+
+    # Collect views and index them.
+    view_index: dict[View, int] = {}
+    graph_views: list[list[int]] = []
+    for g in graphs:
+        idxs = []
+        for view in views_of(g):
+            if view not in view_index:
+                view_index[view] = len(view_index)
+            idxs.append(view_index[view])
+        graph_views.append(idxs)
+    num_views = len(view_index)
+
+    # Order views so that graphs complete as early as possible: process
+    # views by how many graphs use them (most-shared first empirically
+    # maximises early collisions and hence pruning).
+    usage = [0] * num_views
+    for idxs in graph_views:
+        for i in idxs:
+            usage[i] += 1
+    order = sorted(range(num_views), key=lambda i: -usage[i])
+    rank = [0] * num_views
+    for pos, i in enumerate(order):
+        rank[i] = pos
+
+    # For each graph: the position (in search order) at which it becomes
+    # fully assigned, so completion checks are O(graphs finishing here).
+    finish_at: dict[int, list[int]] = {}
+    for gi, idxs in enumerate(graph_views):
+        last = max(rank[i] for i in idxs)
+        finish_at.setdefault(last, []).append(gi)
+
+    assignment = [-1] * num_views  # by original view index
+    signatures: dict[tuple[int, ...], bool] = {}  # multiset -> label
+    sig_of_graph: list[Optional[tuple[int, ...]]] = [None] * len(graphs)
+    nodes = 0
+
+    def backtrack(pos: int) -> Optional[bool]:
+        """Returns True if a full consistent assignment was found,
+        None if the node budget is exhausted, False otherwise."""
+        nonlocal nodes
+        if pos == num_views:
+            return True
+        view_i = order[pos]
+        for message in range(alphabet_size):
+            nodes += 1
+            if nodes > node_budget:
+                return None
+            assignment[view_i] = message
+            completed: list[int] = []
+            ok = True
+            for gi in finish_at.get(pos, ()):
+                sig = tuple(sorted(assignment[i] for i in graph_views[gi]))
+                prev = signatures.get(sig)
+                if prev is None:
+                    signatures[sig] = labels[gi]
+                    sig_of_graph[gi] = sig
+                    completed.append(gi)
+                elif prev != labels[gi]:
+                    ok = False
+                    break
+                else:
+                    sig_of_graph[gi] = None  # nothing to undo
+            if ok:
+                result = backtrack(pos + 1)
+                if result is not False:
+                    # bubble up success (True) or budget-exhaustion (None)
+                    if result is True:
+                        return True
+                    # undo before propagating exhaustion
+                    for gi in completed:
+                        del signatures[sig_of_graph[gi]]
+                        sig_of_graph[gi] = None
+                    assignment[view_i] = -1
+                    return None
+            for gi in completed:
+                del signatures[sig_of_graph[gi]]
+                sig_of_graph[gi] = None
+        assignment[view_i] = -1
+        return False
+
+    outcome = backtrack(0)
+    by_view = {v: assignment[i] for v, i in view_index.items()}
+    if outcome is True:
+        return SearchResult("solvable", by_view, nodes, num_views, alphabet_size)
+    if outcome is None:
+        return SearchResult("exhausted", None, nodes, num_views, alphabet_size)
+    return SearchResult("unsolvable", None, nodes, num_views, alphabet_size)
+
+
+def verify_assignment(
+    graphs: Iterable[LabeledGraph],
+    predicate: Callable[[LabeledGraph], bool],
+    assignment: dict[View, int],
+) -> bool:
+    """Independently re-check a witness: no YES/NO multiset collision."""
+    seen: dict[tuple[int, ...], bool] = {}
+    for g in graphs:
+        sig = tuple(sorted(assignment[v] for v in views_of(g)))
+        label = bool(predicate(g))
+        if seen.setdefault(sig, label) != label:
+            return False
+    return True
+
+
+def output_table(
+    graphs: Iterable[LabeledGraph],
+    predicate: Callable[[LabeledGraph], bool],
+    assignment: dict[View, int],
+) -> dict[tuple[int, ...], bool]:
+    """The witness protocol's output function: multiset -> answer."""
+    table: dict[tuple[int, ...], bool] = {}
+    for g in graphs:
+        sig = tuple(sorted(assignment[v] for v in views_of(g)))
+        label = bool(predicate(g))
+        if table.setdefault(sig, label) != label:
+            raise ValueError("assignment is not a valid witness")
+    return table
+
+
+def search_simasync_construction(
+    graphs: Sequence[LabeledGraph],
+    candidates: Callable[[LabeledGraph], frozenset],
+    alphabet_size: int,
+    node_budget: int = 5_000_000,
+) -> SearchResult:
+    """Decide solvability of a *construction* problem in SIMASYNC.
+
+    A construction problem admits several correct outputs per instance
+    (``candidates(g)`` is the set of acceptable answers — e.g. every
+    maximal independent set containing the root).  A SIMASYNC protocol
+    with message map ``msg`` solves it iff every *signature class* (the
+    graphs sharing a message multiset) has a **common** acceptable
+    output, since the output function sees only the multiset.
+
+    Same backtracking engine as :func:`search_simasync_decision`, with
+    label equality replaced by running intersections of candidate sets.
+    A machine-checked "unsolvable" here is the finite companion of the
+    Theorem 6 lower bound (rooted MIS ∉ SIMASYNC with small messages).
+    """
+    if alphabet_size < 1:
+        raise ValueError("alphabet must contain at least one message")
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("need at least one instance")
+    n = graphs[0].n
+    if any(g.n != n for g in graphs):
+        raise ValueError("all instances must have the same number of nodes")
+
+    answer_sets = [frozenset(candidates(g)) for g in graphs]
+    if any(not s for s in answer_sets):
+        raise ValueError("every instance needs at least one acceptable output")
+
+    view_index: dict[View, int] = {}
+    graph_views: list[list[int]] = []
+    for g in graphs:
+        idxs = []
+        for view in views_of(g):
+            if view not in view_index:
+                view_index[view] = len(view_index)
+            idxs.append(view_index[view])
+        graph_views.append(idxs)
+    num_views = len(view_index)
+
+    usage = [0] * num_views
+    for idxs in graph_views:
+        for i in idxs:
+            usage[i] += 1
+    order = sorted(range(num_views), key=lambda i: -usage[i])
+    rank = [0] * num_views
+    for pos, i in enumerate(order):
+        rank[i] = pos
+    finish_at: dict[int, list[int]] = {}
+    for gi, idxs in enumerate(graph_views):
+        finish_at.setdefault(max(rank[i] for i in idxs), []).append(gi)
+
+    assignment = [-1] * num_views
+    pools: dict[tuple[int, ...], frozenset] = {}  # signature -> common outputs
+    nodes = 0
+
+    def backtrack(pos: int):
+        nonlocal nodes
+        if pos == num_views:
+            return True
+        view_i = order[pos]
+        for message in range(alphabet_size):
+            nodes += 1
+            if nodes > node_budget:
+                return None
+            assignment[view_i] = message
+            undo: list[tuple[tuple[int, ...], Optional[frozenset]]] = []
+            ok = True
+            for gi in finish_at.get(pos, ()):
+                sig = tuple(sorted(assignment[i] for i in graph_views[gi]))
+                prev = pools.get(sig)
+                merged = answer_sets[gi] if prev is None else prev & answer_sets[gi]
+                if not merged:
+                    ok = False
+                    break
+                undo.append((sig, prev))
+                pools[sig] = merged
+            if ok:
+                result = backtrack(pos + 1)
+                if result is True:
+                    return True
+                if result is None:
+                    for sig, prev in reversed(undo):
+                        if prev is None:
+                            del pools[sig]
+                        else:
+                            pools[sig] = prev
+                    assignment[view_i] = -1
+                    return None
+            for sig, prev in reversed(undo):
+                if prev is None:
+                    del pools[sig]
+                else:
+                    pools[sig] = prev
+        assignment[view_i] = -1
+        return False
+
+    outcome = backtrack(0)
+    by_view = {v: assignment[i] for v, i in view_index.items()}
+    if outcome is True:
+        return SearchResult("solvable", by_view, nodes, num_views, alphabet_size)
+    if outcome is None:
+        return SearchResult("exhausted", None, nodes, num_views, alphabet_size)
+    return SearchResult("unsolvable", None, nodes, num_views, alphabet_size)
+
+
+def verify_construction_assignment(
+    graphs: Iterable[LabeledGraph],
+    candidates: Callable[[LabeledGraph], frozenset],
+    assignment: dict[View, int],
+) -> bool:
+    """Independently re-check a construction witness: every signature
+    class retains a common acceptable output."""
+    pools: dict[tuple[int, ...], frozenset] = {}
+    for g in graphs:
+        sig = tuple(sorted(assignment[v] for v in views_of(g)))
+        answers = frozenset(candidates(g))
+        pools[sig] = pools[sig] & answers if sig in pools else answers
+        if not pools[sig]:
+            return False
+    return True
+
+
+def rooted_mis_candidates(root: int) -> Callable[[LabeledGraph], frozenset]:
+    """Candidate-set function for the rooted MIS construction problem:
+    all maximal independent sets containing ``root`` (tiny ``n`` only —
+    enumerates subsets)."""
+    from itertools import combinations
+
+    from ..graphs.properties import is_rooted_mis
+
+    def candidates(g: LabeledGraph) -> frozenset:
+        outs = set()
+        nodes = list(g.nodes())
+        for r in range(1, g.n + 1):
+            for subset in combinations(nodes, r):
+                s = frozenset(subset)
+                if is_rooted_mis(g, s, root):
+                    outs.add(s)
+        return frozenset(outs)
+
+    return candidates

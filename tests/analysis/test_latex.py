@@ -1,0 +1,55 @@
+"""Tests for the LaTeX renderers."""
+
+import pytest
+
+from repro.analysis.latex import escape_latex, lemma1_to_latex, table2_to_latex
+from repro.analysis.table2 import generate_table2
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return generate_table2(quick=True, seed=0)
+
+
+class TestEscape:
+    def test_specials(self):
+        assert escape_latex("a_b & c%") == r"a\_b \& c\%"
+
+    def test_backslash_first(self):
+        assert escape_latex("\\") == r"\textbackslash{}"
+
+
+class TestTable2Latex:
+    def test_structure(self, table2):
+        tex = table2_to_latex(table2)
+        assert tex.startswith(r"\begin{tabular}")
+        assert tex.rstrip().endswith(r"\end{tabular}")
+        assert tex.count(r" \\") >= 6  # header + 5 rows
+
+    def test_cell_statuses_rendered(self, table2):
+        tex = table2_to_latex(table2)
+        assert r"\textbf{yes}" in tex
+        assert "?" in tex  # the open BFS cells
+        assert r"$^{*}$" in tex  # the TRIANGLE caveat
+
+    def test_all_rows_present(self, table2):
+        tex = table2_to_latex(table2)
+        for key in ("BUILD k-degenerate", "rooted MIS", "TRIANGLE",
+                    "EOB-BFS", "BFS"):
+            assert escape_latex(key) in tex
+
+
+class TestLemma1Latex:
+    def test_structure(self):
+        bits = {(k, n): 40 + 10 * k * n.bit_length() for k in (1, 2)
+                for n in (16, 64)}
+        tex = lemma1_to_latex((1, 2), (16, 64), bits)
+        assert r"\begin{tabular}" in tex and r"\end{tabular}" in tex
+        assert "$n=16$" in tex and "$n=64$" in tex
+
+    def test_slope_recovers_synthetic_law(self):
+        # bits = 12 log2 n + 5 -> slope 12
+        sizes = (16, 32, 64, 128)
+        bits = {(3, n): int(12 * n.bit_length() - 12 + 5) for n in sizes}
+        tex = lemma1_to_latex((3,), sizes, bits)
+        assert "$12.0\\log_2 n$" in tex

@@ -1,0 +1,64 @@
+"""Tests for per-node message statistics."""
+
+import pytest
+
+from repro.analysis.message_stats import (
+    MessageStats,
+    cost_by_core,
+    cost_by_degree,
+    message_stats,
+)
+from repro.core import SIMASYNC, MinIdScheduler, run
+from repro.graphs import generators as gen
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.naive import NaiveBuildProtocol
+
+
+@pytest.fixture
+def build_run():
+    g = gen.random_k_degenerate(20, 3, seed=4)
+    return g, run(g, DegenerateBuildProtocol(3), SIMASYNC, MinIdScheduler())
+
+
+class TestStats:
+    def test_basic_aggregates(self, build_run):
+        g, r = build_run
+        stats = message_stats(r)
+        assert stats.count == g.n
+        assert stats.min_bits <= stats.median_bits <= stats.max_bits
+        assert stats.total_bits == r.total_bits
+        assert stats.max_bits == r.max_message_bits
+
+    def test_empty(self):
+        s = MessageStats.from_sizes([])
+        assert s.count == 0 and s.total_bits == 0
+
+    def test_cost_by_degree_partition(self, build_run):
+        g, r = build_run
+        by_deg = cost_by_degree(r, g)
+        assert sum(s.count for s in by_deg.values()) == g.n
+        assert set(by_deg) == {g.degree(v) for v in g.nodes()}
+
+    def test_cost_grows_with_degree(self, build_run):
+        """Theorem 2 messages: higher-degree nodes pay more on average
+        (power sums over more identifiers)."""
+        g, r = build_run
+        by_deg = cost_by_degree(r, g)
+        degrees = sorted(by_deg)
+        if len(degrees) >= 3:
+            assert by_deg[degrees[-1]].mean_bits > by_deg[degrees[0]].mean_bits
+
+    def test_cost_by_core_partition(self, build_run):
+        g, r = build_run
+        by_core = cost_by_core(r, g)
+        assert sum(s.count for s in by_core.values()) == g.n
+
+    def test_star_extremes(self):
+        """In a star, the centre pays ~everything under the naive
+        protocol but only log-scale under Theorem 2."""
+        g = gen.star_graph(200)
+        smart = run(g, DegenerateBuildProtocol(1), SIMASYNC, MinIdScheduler())
+        naive = run(g, NaiveBuildProtocol(), SIMASYNC, MinIdScheduler())
+        smart_by_deg = cost_by_degree(smart, g)
+        naive_by_deg = cost_by_degree(naive, g)
+        assert naive_by_deg[199].max_bits > 4 * smart_by_deg[199].max_bits

@@ -1,0 +1,92 @@
+"""Tests for the process-parallel verification runner."""
+
+import pytest
+
+from repro.analysis.checkers import (
+    BfsCanonical,
+    BuildEqualsInput,
+    ConnectivityCorrect,
+    EobBfsCorrect,
+    MisValid,
+    SpanningForestCanonical,
+    SquareCorrect,
+    TriangleCorrect,
+    TwoCliquesCorrect,
+)
+from repro.analysis.parallel import verify_protocol_parallel
+from repro.analysis.verify import verify_protocol
+from repro.core import SIMASYNC, SIMSYNC, SYNC
+from repro.graphs import generators as gen
+from repro.protocols.bfs import SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+
+
+class TestCheckers:
+    """The picklable checkers agree with direct oracle calls."""
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        for checker in (BuildEqualsInput(), MisValid(3), BfsCanonical(),
+                        EobBfsCorrect(), TwoCliquesCorrect(), TriangleCorrect(),
+                        SquareCorrect(), ConnectivityCorrect(),
+                        SpanningForestCanonical()):
+            assert pickle.loads(pickle.dumps(checker)) == checker
+
+    def test_build_checker(self):
+        g = gen.random_k_degenerate(6, 2, seed=1)
+        assert BuildEqualsInput()(g, g, None)
+        assert not BuildEqualsInput()(g, gen.path_graph(6), None)
+
+    def test_mis_checker(self):
+        g = gen.star_graph(5)
+        assert MisValid(1)(g, frozenset({1}), None)
+        assert not MisValid(2)(g, frozenset({1}), None)
+
+
+class TestParallelEqualsSerial:
+    def test_build_sweep(self):
+        instances = [gen.random_k_degenerate(n, 2, seed=n) for n in (4, 8, 12)]
+        checker = BuildEqualsInput()
+        serial = verify_protocol(
+            DegenerateBuildProtocol(2), SIMASYNC, instances, checker
+        )
+        parallel = verify_protocol_parallel(
+            DegenerateBuildProtocol(2), SIMASYNC, instances, checker, n_jobs=2
+        )
+        assert parallel.ok == serial.ok
+        assert parallel.instances == serial.instances
+        assert parallel.executions == serial.executions
+        assert parallel.exhaustive_instances == serial.exhaustive_instances
+        assert parallel.max_message_bits == serial.max_message_bits
+        assert parallel.max_bits_by_n == serial.max_bits_by_n
+
+    def test_mis_sweep(self):
+        instances = [gen.random_connected_graph(8, 0.3, seed=s) for s in range(3)]
+        parallel = verify_protocol_parallel(
+            RootedMisProtocol(2), SIMSYNC, instances, MisValid(2), n_jobs=2
+        )
+        assert parallel.ok and parallel.instances == 3
+
+    def test_bfs_sweep(self):
+        instances = [gen.random_graph(9, 0.3, seed=s) for s in range(3)]
+        parallel = verify_protocol_parallel(
+            SyncBfsProtocol(), SYNC, instances, BfsCanonical(), n_jobs=2
+        )
+        assert parallel.ok
+
+    def test_failures_propagate(self):
+        instances = [gen.random_k_degenerate(6, 2, seed=1)]
+        # Wrong oracle on purpose: BUILD output is a graph, never an int.
+        parallel = verify_protocol_parallel(
+            DegenerateBuildProtocol(2), SIMASYNC, instances, TriangleCorrect(),
+            n_jobs=2,
+        )
+        assert not parallel.ok and parallel.failures
+
+    def test_empty_instances(self):
+        report = verify_protocol_parallel(
+            DegenerateBuildProtocol(2), SIMASYNC, [], BuildEqualsInput(), n_jobs=2
+        )
+        assert report.instances == 0 and report.ok

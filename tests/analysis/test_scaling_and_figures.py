@@ -1,0 +1,77 @@
+"""Tests for growth-law fitting and figure regeneration."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import ascii_adjacency, render_figure1, render_figure2
+from repro.analysis.scaling import fit_against, fit_klog, fit_log, is_sublinear
+from repro.graphs.generators import path_graph
+
+
+class TestFits:
+    def test_recovers_exact_log_law(self):
+        ns = [8, 16, 32, 64, 128]
+        bits = [3 * math.log2(n) + 7 for n in ns]
+        fit = fit_log(ns, [int(b) for b in bits])
+        assert fit.slope == pytest.approx(3, abs=0.15)
+        assert fit.r_squared > 0.99
+        assert "log2(n)" in str(fit)
+
+    def test_recovers_klog_law(self):
+        n = 64
+        ks = [1, 2, 3, 4, 5]
+        bits = [2 * k * k * math.log2(n) + 11 for k in ks]
+        fit = fit_klog(ks, [int(b) for b in bits], n)
+        assert fit.slope == pytest.approx(2, abs=0.1)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = fit_against([1, 2, 3], [2, 4, 6], lambda x: x)
+        assert fit.predict(10) == pytest.approx(20)
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            fit_log([8], [10])
+        with pytest.raises(ValueError):
+            fit_against([1, 2], [1], lambda x: x)
+
+    def test_r2_for_constant_data(self):
+        fit = fit_against([1, 2, 3], [5, 5, 5], lambda x: x)
+        assert fit.r_squared == 1.0
+
+
+class TestSublinearity:
+    def test_log_growth_is_sublinear(self):
+        ns = [8, 64, 512]
+        bits = [int(10 * math.log2(n)) for n in ns]
+        assert is_sublinear(ns, bits)
+
+    def test_linear_growth_is_not(self):
+        ns = [8, 64, 512]
+        bits = [5 * n for n in ns]
+        assert not is_sublinear(ns, bits)
+
+    def test_needs_range(self):
+        with pytest.raises(ValueError):
+            is_sublinear([8, 8], [1, 1])
+
+
+class TestFigureRendering:
+    def test_figure1_content(self):
+        text = render_figure1()
+        assert "Figure 1" in text
+        assert "G'_{2,7}" in text
+        assert "holds for all 21 pairs: True" in text
+
+    def test_figure2_content(self):
+        text = render_figure2()
+        assert "Figure 2" in text
+        assert "G_5" in text
+        assert "BFS layer 3" in text or "layer 3 =" in text
+        assert "{3: True, 5: True, 7: True}" in text
+
+    def test_ascii_adjacency(self):
+        text = ascii_adjacency(path_graph(3), "P3")
+        assert "P3: n=3, m=2" in text
+        assert "2: 1 3" in text

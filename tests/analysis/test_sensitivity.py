@@ -1,0 +1,60 @@
+"""Tests for the adversary-sensitivity analysis."""
+
+from repro.analysis.sensitivity import analyze
+from repro.core import ASYNC, SIMASYNC, SIMSYNC, SYNC
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.protocols.bfs import BipartiteBfsAsyncProtocol, SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+
+
+class TestInvariance:
+    def test_build_is_output_and_board_invariant(self):
+        g = gen.random_k_degenerate(5, 2, seed=1)
+        rep = analyze(g, DegenerateBuildProtocol(2), SIMASYNC)
+        assert rep.exhaustive and rep.executions == 120
+        assert rep.output_invariant
+        # boards differ only in order; payload sequences do differ
+        assert rep.distinct_write_orders == 120
+        assert rep.most_common_output == g
+
+    def test_sync_bfs_output_invariant_but_board_variant(self):
+        g = LabeledGraph(5, [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5)])
+        rep = analyze(g, SyncBfsProtocol(), SYNC)
+        assert rep.output_invariant
+        assert rep.distinct_boards > 1  # d0 fields depend on the schedule
+        assert rep.deadlocks == 0
+
+    def test_mis_is_output_variant(self):
+        g = gen.path_graph(5)
+        rep = analyze(g, RootedMisProtocol(1), SIMSYNC)
+        assert rep.distinct_outputs > 1
+        assert not rep.output_invariant
+        assert rep.deadlocks == 0
+
+    def test_deadlocks_counted(self):
+        g = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+        rep = analyze(g, BipartiteBfsAsyncProtocol(), ASYNC)
+        assert rep.deadlocks == rep.executions  # every schedule starves 4,5
+        assert rep.most_common_output is None
+
+    def test_sampled_mode_for_larger_graphs(self):
+        g = gen.random_k_degenerate(12, 2, seed=2)
+        rep = analyze(g, DegenerateBuildProtocol(2), SIMASYNC)
+        assert not rep.exhaustive
+        assert rep.executions == 12  # 4 structured + 8 random schedulers
+        assert rep.output_invariant
+
+    def test_summary_text(self):
+        g = gen.path_graph(4)
+        rep = analyze(g, DegenerateBuildProtocol(1), SIMASYNC)
+        text = rep.summary()
+        assert "exhaustive" in text and "deadlock" in text
+
+    def test_bit_spread_bounds(self):
+        g = gen.random_k_degenerate(5, 2, seed=3)
+        rep = analyze(g, DegenerateBuildProtocol(2), SIMASYNC)
+        assert 0 < rep.min_total_bits <= rep.max_total_bits
+        # SIMASYNC totals are schedule-independent (same multiset)
+        assert rep.min_total_bits == rep.max_total_bits

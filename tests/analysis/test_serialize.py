@@ -1,0 +1,89 @@
+"""Tests for JSON serialization of runs and reports."""
+
+import json
+
+from repro.analysis.serialize import (
+    dumps_run,
+    graph_from_dict,
+    graph_to_dict,
+    report_to_dict,
+    run_to_dict,
+)
+from repro.analysis.verify import verify_protocol
+from repro.core import SIMASYNC, MinIdScheduler, RandomScheduler, run
+from repro.graphs import generators as gen
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.naive import NaiveBuildProtocol
+
+
+class TestGraphSerialization:
+    def test_roundtrip(self):
+        g = gen.random_graph(12, 0.4, seed=3)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_inconsistent_rejected(self):
+        import pytest
+
+        d = graph_to_dict(gen.path_graph(4))
+        d["n"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(d)
+
+
+class TestRunSerialization:
+    def test_fields(self):
+        g = gen.random_k_degenerate(7, 2, seed=1)
+        r = run(g, DegenerateBuildProtocol(2), SIMASYNC, MinIdScheduler())
+        d = run_to_dict(r)
+        assert d["success"] and d["n"] == 7
+        assert d["model"] == "SIMASYNC"
+        assert len(d["board"]) == 7
+        assert d["total_bits"] == r.total_bits
+        assert sorted(d["write_order"]) == list(range(1, 8))
+
+    def test_json_clean(self):
+        g = gen.random_even_odd_bipartite(6, 0.5, seed=2)
+        from repro.core import ASYNC
+        from repro.protocols.bfs import EobBfsProtocol
+
+        r = run(g, EobBfsProtocol(), ASYNC, RandomScheduler(0))
+        text = dumps_run(r)
+        parsed = json.loads(text)
+        assert parsed["protocol"] == "eob-bfs-async"
+        # tuples encode as tagged lists, round-trip structurally
+        assert parsed["board"][0]["payload"][0] == "tuple"
+
+    def test_deadlocked_run(self):
+        from repro.core import ASYNC
+        from repro.graphs.labeled_graph import LabeledGraph
+        from repro.protocols.bfs import BipartiteBfsAsyncProtocol
+
+        g = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+        r = run(g, BipartiteBfsAsyncProtocol(), ASYNC, MinIdScheduler())
+        d = run_to_dict(r)
+        assert not d["success"]
+        assert d["deadlocked_nodes"] == [4, 5]
+        assert d["output_repr"] == "None"
+
+
+class TestReportSerialization:
+    def test_ok_report(self):
+        report = verify_protocol(
+            DegenerateBuildProtocol(2), SIMASYNC,
+            [gen.random_k_degenerate(6, 2, seed=1)],
+            lambda g, out, r: out == g,
+        )
+        d = report_to_dict(report)
+        assert d["ok"] and d["failures"] == []
+        json.dumps(d)  # JSON-clean
+
+    def test_failing_report_carries_witness(self):
+        report = verify_protocol(
+            NaiveBuildProtocol(), SIMASYNC,
+            [gen.path_graph(4)],
+            lambda g, out, r: False,  # force failures
+        )
+        d = report_to_dict(report)
+        assert not d["ok"] and d["failures"]
+        witness = graph_from_dict(d["failures"][0]["graph"])
+        assert witness == gen.path_graph(4)

@@ -1,0 +1,54 @@
+"""Tests for the Table 2 regeneration."""
+
+import pytest
+
+from repro.analysis.table2 import generate_table2, render_table2
+from repro.core.models import ALL_MODELS
+from repro.hierarchy.lattice import TABLE2_ROWS
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return generate_table2(quick=True, seed=0)
+
+
+class TestRegeneration:
+    def test_all_cells_ok(self, table2):
+        bad = [(k, c.status) for k, c in table2.cells.items() if not c.ok]
+        assert not bad, bad
+
+    def test_matches_paper(self, table2):
+        assert table2.matches_paper()
+
+    def test_every_cell_present(self, table2):
+        for row in TABLE2_ROWS:
+            for model in ALL_MODELS:
+                assert (row.key, model.name) in table2.cells
+
+    def test_yes_cells_have_measured_bits(self, table2):
+        for key, cell in table2.cells.items():
+            if cell.status == "yes":
+                assert cell.max_message_bits > 0, key
+
+    def test_no_cells_carry_reduction_evidence(self, table2):
+        for row in TABLE2_ROWS:
+            for model in ALL_MODELS:
+                cell = table2.cell(row.key, model)
+                if cell.status == "no":
+                    joined = " ".join(cell.evidence)
+                    assert "Lemma 3" in joined, (row.key, model.name)
+
+    def test_open_cells_annotated(self, table2):
+        cell = table2.cell("BFS", "ASYNC")
+        assert cell.status == "open"
+        assert any("deadlock" in e for e in cell.evidence)
+
+
+class TestRendering:
+    def test_render_contains_all_rows(self, table2):
+        text = render_table2(table2)
+        for row in TABLE2_ROWS:
+            assert row.key in text
+
+    def test_render_has_no_mismatch_markers(self, table2):
+        assert "(paper:" not in render_table2(table2)

@@ -1,0 +1,55 @@
+"""Tests for the execution narration."""
+
+from repro.analysis.trace import activation_timeline, narrate
+from repro.core import ASYNC, SIMASYNC, MinIdScheduler, run
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.protocols.bfs import BipartiteBfsAsyncProtocol, EobBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+
+
+class TestTimeline:
+    def test_simultaneous_all_at_zero(self):
+        g = gen.path_graph(4)
+        r = run(g, DegenerateBuildProtocol(1), SIMASYNC, MinIdScheduler())
+        assert activation_timeline(r) == {0: [1, 2, 3, 4]}
+
+    def test_layered_activation(self):
+        g = gen.path_graph(4)
+        r = run(g, EobBfsProtocol(), ASYNC, MinIdScheduler())
+        timeline = activation_timeline(r)
+        assert timeline[0] == [1]
+        assert sum(len(v) for v in timeline.values()) == 4
+
+
+class TestNarration:
+    def test_successful_run(self):
+        g = gen.random_even_odd_bipartite(6, 0.5, seed=1)
+        r = run(g, EobBfsProtocol(), ASYNC, MinIdScheduler())
+        text = narrate(r)
+        assert "execution of 'eob-bfs-async' under ASYNC" in text
+        assert "successful configuration" in text
+        assert "adversary picks node" in text
+        assert "output:" in text
+
+    def test_corrupted_run(self):
+        g = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+        r = run(g, BipartiteBfsAsyncProtocol(), ASYNC, MinIdScheduler())
+        text = narrate(r)
+        assert "CORRUPTED configuration" in text
+        assert "[4, 5]" in text
+
+    def test_payload_truncation(self):
+        g = gen.complete_graph(5)
+        r = run(g, DegenerateBuildProtocol(4), SIMASYNC, MinIdScheduler())
+        text = narrate(r, max_payload_chars=10)
+        assert "..." in text
+
+    def test_frozen_annotation_only_in_async(self):
+        g = gen.path_graph(3)
+        frozen = narrate(run(g, DegenerateBuildProtocol(1), SIMASYNC, MinIdScheduler()))
+        assert "(messages frozen)" in frozen
+        from repro.core import SIMSYNC
+
+        thawed = narrate(run(g, DegenerateBuildProtocol(1), SIMSYNC, MinIdScheduler()))
+        assert "(messages frozen)" not in thawed

@@ -1,0 +1,98 @@
+"""Tests for the verification harness."""
+
+from repro.analysis.verify import verify_protocol
+from repro.core import ASYNC, SIMASYNC, SIMSYNC
+from repro.core.protocol import NodeView, Protocol
+from repro.core.schedulers import MinIdScheduler
+from repro.graphs import generators as gen
+from repro.graphs.properties import is_rooted_mis
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+
+
+class TestHappyPath:
+    def test_build_verifies(self):
+        instances = [gen.random_k_degenerate(n, 2, seed=n) for n in (4, 8, 12)]
+        report = verify_protocol(
+            DegenerateBuildProtocol(2), SIMASYNC, instances,
+            lambda g, out, r: out == g,
+        )
+        assert report.ok
+        assert report.instances == 3
+        assert report.exhaustive_instances == 1  # n=4 within threshold
+        assert report.executions > 24  # 4! exhaustive + portfolio runs
+        assert report.max_message_bits > 0
+        assert set(report.max_bits_by_n) == {4, 8, 12}
+        assert "OK" in report.summary()
+
+    def test_mis_verifies(self):
+        report = verify_protocol(
+            RootedMisProtocol(1), SIMSYNC,
+            [gen.random_graph(5, 0.5, seed=s) for s in range(3)],
+            lambda g, out, r: is_rooted_mis(g, out, 1),
+        )
+        assert report.ok and report.exhaustive_instances == 3
+
+
+class _WrongProtocol(Protocol):
+    name = "wrong"
+
+    def message(self, view: NodeView):
+        return view.node
+
+    def output(self, board, n):
+        return "nonsense"
+
+
+class _DeadlockProtocol(Protocol):
+    name = "stuck"
+
+    def wants_to_activate(self, view):
+        return view.node == 1  # only node 1 ever activates
+
+    def message(self, view: NodeView):
+        return view.node
+
+    def output(self, board, n):
+        return None
+
+
+class TestFailureDetection:
+    def test_wrong_output_flagged(self):
+        report = verify_protocol(
+            _WrongProtocol(), SIMASYNC, [gen.path_graph(3)],
+            lambda g, out, r: out == g,
+        )
+        assert not report.ok
+        assert all(f.kind == "wrong-output" for f in report.failures)
+        assert "FAILURES" in report.summary()
+
+    def test_deadlock_flagged(self):
+        report = verify_protocol(
+            _DeadlockProtocol(), ASYNC, [gen.path_graph(3)],
+            lambda g, out, r: True,
+        )
+        assert not report.ok
+        assert report.failures[0].kind == "deadlock"
+
+    def test_deadlock_tolerated_when_allowed(self):
+        report = verify_protocol(
+            _DeadlockProtocol(), ASYNC, [gen.path_graph(3)],
+            lambda g, out, r: True,
+            allow_deadlock=True,
+        )
+        assert report.ok
+
+    def test_bit_budget_passthrough(self):
+        import pytest
+
+        from repro.core.errors import MessageTooLarge
+
+        with pytest.raises(MessageTooLarge):
+            verify_protocol(
+                DegenerateBuildProtocol(2), SIMASYNC,
+                [gen.random_k_degenerate(8, 2, seed=1)],
+                lambda g, out, r: True,
+                schedulers=[MinIdScheduler()],
+                bit_budget=lambda n: 3,
+            )

@@ -1,0 +1,110 @@
+"""Edge cases of the execution engine and protocols: n = 0, n = 1,
+degenerate boards, and misuse guards."""
+
+import pytest
+
+from repro.core import ALL_MODELS, ASYNC, SIMASYNC, SYNC, MinIdScheduler, run
+from repro.core.simulator import all_executions, count_executions
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.protocols.bfs import EobBfsProtocol, SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.protocols.subgraph import SubgraphProtocol
+
+
+class TestEmptyGraph:
+    def test_run_on_zero_nodes(self):
+        g = LabeledGraph(0)
+        for model in ALL_MODELS:
+            r = run(g, DegenerateBuildProtocol(1), model, MinIdScheduler())
+            assert r.success
+            assert r.write_order == ()
+            assert r.output == g
+
+    def test_exhaustive_single_empty_execution(self):
+        g = LabeledGraph(0)
+        assert count_executions(g, DegenerateBuildProtocol(1), SIMASYNC) == 1
+
+
+class TestSingleNode:
+    def test_build(self):
+        g = LabeledGraph(1)
+        r = run(g, DegenerateBuildProtocol(0), SIMASYNC, MinIdScheduler())
+        assert r.output == g
+
+    def test_sync_bfs(self):
+        g = LabeledGraph(1)
+        r = run(g, SyncBfsProtocol(), SYNC, MinIdScheduler())
+        assert r.output.roots == (1,) and r.output.layer == {1: 0}
+
+    def test_eob_bfs(self):
+        g = LabeledGraph(1)
+        r = run(g, EobBfsProtocol(), ASYNC, MinIdScheduler())
+        assert r.success and r.output.roots == (1,)
+
+    def test_mis(self):
+        g = LabeledGraph(1)
+        r = run(g, RootedMisProtocol(1), SIMASYNC if False else ALL_MODELS[1],
+                MinIdScheduler())
+        assert r.output == frozenset({1})
+
+    def test_subgraph(self):
+        g = LabeledGraph(1)
+        r = run(g, SubgraphProtocol(f=lambda n: 1), SIMASYNC, MinIdScheduler())
+        assert r.output == frozenset()
+
+
+class TestDegenerateInstances:
+    def test_build_on_self_loop_free_multigraph_inputs(self):
+        """Duplicate edges in constructors collapse; the protocol sees a
+        simple graph."""
+        g = LabeledGraph(3, [(1, 2), (2, 1), (1, 2)])
+        r = run(g, DegenerateBuildProtocol(1), SIMASYNC, MinIdScheduler())
+        assert r.output == g and r.output.m == 1
+
+    def test_all_executions_on_two_nodes(self):
+        g = LabeledGraph(2, [(1, 2)])
+        orders = {r.write_order for r in all_executions(
+            g, DegenerateBuildProtocol(1), SIMASYNC)}
+        assert orders == {(1, 2), (2, 1)}
+
+    def test_run_result_properties(self):
+        g = LabeledGraph(2)
+        r = run(g, DegenerateBuildProtocol(0), SIMASYNC, MinIdScheduler())
+        assert not r.corrupted
+        assert r.deadlocked_nodes == frozenset()
+
+
+class TestMisuseGuards:
+    def test_protocol_must_return_payload(self):
+        from repro.core.errors import ProtocolViolation
+        from repro.core.protocol import Protocol
+
+        class BadOutput(Protocol):
+            name = "bad"
+
+            def message(self, view):
+                return {"not": "a payload"}  # dicts are not payloads
+
+            def output(self, board, n):
+                return None
+
+        with pytest.raises(ProtocolViolation):
+            run(LabeledGraph(1), BadOutput(), SIMASYNC, MinIdScheduler())
+
+    def test_exception_in_message_propagates(self):
+        """Protocol bugs surface as their own exception, not silent
+        corruption."""
+        from repro.core.protocol import Protocol
+
+        class Boom(Protocol):
+            name = "boom"
+
+            def message(self, view):
+                raise RuntimeError("protocol bug")
+
+            def output(self, board, n):
+                return None
+
+        with pytest.raises(RuntimeError, match="protocol bug"):
+            run(LabeledGraph(2), Boom(), SIMASYNC, MinIdScheduler())

@@ -1,0 +1,47 @@
+"""Tests for the model specifications and Lemma 4 order."""
+
+from repro.core.models import (
+    ALL_MODELS,
+    ASYNC,
+    MODELS_BY_NAME,
+    SIMASYNC,
+    SIMSYNC,
+    SYNC,
+    at_most_as_strong,
+    lemma4_chain,
+)
+
+
+class TestSpecs:
+    def test_table1_axes(self):
+        """The four models are exactly Table 1's 2x2 grid."""
+        assert SIMASYNC.simultaneous and SIMASYNC.asynchronous
+        assert SIMSYNC.simultaneous and not SIMSYNC.asynchronous
+        assert not ASYNC.simultaneous and ASYNC.asynchronous
+        assert not SYNC.simultaneous and not SYNC.asynchronous
+        assert len({(m.simultaneous, m.asynchronous) for m in ALL_MODELS}) == 4
+
+    def test_lookup(self):
+        assert MODELS_BY_NAME["ASYNC"] is ASYNC
+        assert str(SYNC) == "SYNC"
+
+
+class TestLemma4Order:
+    def test_chain(self):
+        assert lemma4_chain() == (SIMASYNC, SIMSYNC, ASYNC, SYNC)
+
+    def test_reflexive(self):
+        for m in ALL_MODELS:
+            assert at_most_as_strong(m, m)
+
+    def test_total_order(self):
+        chain = lemma4_chain()
+        for i, weaker in enumerate(chain):
+            for stronger in chain[i:]:
+                assert at_most_as_strong(weaker, stronger)
+            for below in chain[:i]:
+                assert not at_most_as_strong(weaker, below)
+
+    def test_top_and_bottom(self):
+        assert all(at_most_as_strong(SIMASYNC, m) for m in ALL_MODELS)
+        assert all(at_most_as_strong(m, SYNC) for m in ALL_MODELS)

@@ -1,0 +1,81 @@
+"""Tests for the adversarial schedulers."""
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.core.schedulers import (
+    DelayTargetScheduler,
+    FifoScheduler,
+    FixedOrderScheduler,
+    LifoScheduler,
+    MaxIdScheduler,
+    MinIdScheduler,
+    RandomScheduler,
+    default_portfolio,
+)
+from repro.core.whiteboard import Whiteboard
+
+BOARD = Whiteboard()
+ACT = {1: 0, 2: 0, 3: 1, 4: 2}
+
+
+class TestStructuredSchedulers:
+    def test_min_max(self):
+        assert MinIdScheduler().choose((2, 3, 4), BOARD, ACT) == 2
+        assert MaxIdScheduler().choose((2, 3, 4), BOARD, ACT) == 4
+
+    def test_fifo_prefers_early_activation(self):
+        assert FifoScheduler().choose((3, 4, 2), BOARD, ACT) == 2
+        # tie on activation round -> smallest id
+        assert FifoScheduler().choose((2, 1), BOARD, ACT) == 1
+
+    def test_lifo_prefers_late_activation(self):
+        assert LifoScheduler().choose((1, 3, 4), BOARD, ACT) == 4
+        assert LifoScheduler().choose((1, 2), BOARD, ACT) == 2
+
+    def test_fixed_order(self):
+        s = FixedOrderScheduler([3, 1, 4, 2])
+        assert s.choose((1, 2, 4), BOARD, ACT) == 1
+        assert s.choose((2, 4), BOARD, ACT) == 4
+
+    def test_fixed_order_unknown_node(self):
+        s = FixedOrderScheduler([1, 2])
+        with pytest.raises(SchedulerError):
+            s.choose((3,), BOARD, ACT)
+
+    def test_delay_target(self):
+        s = DelayTargetScheduler([1, 2])
+        assert s.choose((1, 2, 3), BOARD, ACT) == 3
+        assert s.choose((1, 2), BOARD, ACT) == 1  # forced eventually
+
+
+class TestRandomScheduler:
+    def test_deterministic_per_seed(self):
+        picks1 = [RandomScheduler(5).fresh().choose(tuple(range(1, 10)), BOARD, ACT)
+                  for _ in range(5)]
+        picks2 = [RandomScheduler(5).fresh().choose(tuple(range(1, 10)), BOARD, ACT)
+                  for _ in range(5)]
+        assert picks1 == picks2
+
+    def test_fresh_resets_stream(self):
+        s = RandomScheduler(2)
+        first = [s.choose(tuple(range(1, 20)), BOARD, ACT) for _ in range(4)]
+        again = [s.fresh().choose(tuple(range(1, 20)), BOARD, ACT) for _ in range(1)]
+        assert again[0] == first[0]
+
+    def test_always_valid(self):
+        s = RandomScheduler(0)
+        for _ in range(50):
+            assert s.choose((4, 7, 9), BOARD, ACT) in (4, 7, 9)
+
+
+class TestPortfolio:
+    def test_contents(self):
+        p = default_portfolio((0, 1))
+        names = [s.name for s in p]
+        assert names[:4] == ["min-id", "max-id", "fifo", "lifo"]
+        assert names.count("random") == 2
+
+    def test_all_choose_valid(self):
+        for s in default_portfolio():
+            assert s.choose((5, 6), BOARD, {5: 0, 6: 0}) in (5, 6)

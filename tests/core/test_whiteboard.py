@@ -1,0 +1,52 @@
+"""Tests for the whiteboard containers."""
+
+import pytest
+
+from repro.core.whiteboard import BoardView, Whiteboard
+from repro.encoding.bits import payload_bits
+
+
+class TestWhiteboard:
+    def test_write_records_metadata(self):
+        wb = Whiteboard()
+        e = wb.write(3, (3, "x"), round_written=1)
+        assert e.author == 3 and e.index == 0 and e.round_written == 1
+        assert e.bits == payload_bits((3, "x"))
+
+    def test_view_is_snapshot(self):
+        wb = Whiteboard()
+        wb.write(1, (1,), 1)
+        view = wb.view()
+        wb.write(2, (2,), 2)
+        assert len(view) == 1 and len(wb.view()) == 2
+
+    def test_authors_and_lookup(self):
+        wb = Whiteboard()
+        wb.write(2, "a", 1)
+        wb.write(5, "b", 2)
+        assert wb.authors() == {2, 5}
+        assert wb.payload_of(5) == "b"
+        with pytest.raises(KeyError):
+            wb.payload_of(9)
+
+    def test_bit_totals(self):
+        wb = Whiteboard()
+        assert wb.max_bits() == 0 and wb.total_bits() == 0
+        wb.write(1, 7, 1)
+        wb.write(2, (1, 2, 3), 2)
+        assert wb.total_bits() == payload_bits(7) + payload_bits((1, 2, 3))
+        assert wb.max_bits() == payload_bits((1, 2, 3))
+        assert len(wb) == 2
+
+
+class TestBoardView:
+    def test_sequence_protocol(self):
+        v = BoardView((10, 20, 30))
+        assert len(v) == 3 and v[1] == 20 and list(v) == [10, 20, 30]
+        assert v.last == 30 and not v.empty
+
+    def test_empty(self):
+        v = BoardView(())
+        assert v.empty
+        with pytest.raises(IndexError):
+            _ = v.last

@@ -1,0 +1,169 @@
+"""Tests for the canonical bit-level payload codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding.bits import (
+    BitReader,
+    BitWriter,
+    decode_payload,
+    encode_payload,
+    gamma_bits,
+    int_bits,
+    payload_bits,
+)
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+
+
+class TestBitWriter:
+    def test_uint_roundtrip(self):
+        w = BitWriter()
+        w.write_uint(0b1011, 4)
+        r = BitReader(w.bits())
+        assert r.read_uint(4) == 0b1011
+
+    def test_uint_too_wide(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_uint(8, 3)
+
+    def test_uint_negative(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_uint(-1, 4)
+
+    def test_gamma_small_values(self):
+        for v in range(1, 40):
+            w = BitWriter()
+            w.write_gamma(v)
+            assert len(w) == gamma_bits(v)
+            assert BitReader(w.bits()).read_gamma() == v
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_gamma(0)
+        with pytest.raises(ValueError):
+            gamma_bits(0)
+
+    def test_to_bytes_padding(self):
+        w = BitWriter()
+        w.write_uint(0b101, 3)
+        assert w.to_bytes() == bytes([0b10100000])
+
+    def test_bytes_roundtrip(self):
+        w = BitWriter()
+        w.write_uint(0x2B, 9)
+        r = BitReader.from_bytes(w.to_bytes(), len(w))
+        assert r.read_uint(9) == 0x2B
+
+
+class TestBitReader:
+    def test_exhaustion_raises(self):
+        r = BitReader((1,))
+        r.read_bit()
+        with pytest.raises(ValueError):
+            r.read_bit()
+
+    def test_exhausted_flag(self):
+        r = BitReader((1, 0))
+        assert not r.exhausted()
+        r.read_uint(2)
+        assert r.exhausted()
+
+
+# ----------------------------------------------------------------------
+# payload codec
+# ----------------------------------------------------------------------
+
+CASES = [
+    0,
+    1,
+    -1,
+    12345,
+    -99999,
+    "",
+    "ROOT",
+    "no",
+    (),
+    (1, 2, 3),
+    ("B", 4, 0, "ROOT", 0, 0, 7),
+    (1, (2, (3, (4,))), "x"),
+]
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("payload", CASES, ids=repr)
+    def test_roundtrip(self, payload):
+        assert decode_payload(encode_payload(payload)) == payload
+
+    @pytest.mark.parametrize("payload", CASES, ids=repr)
+    def test_size_matches_encoding(self, payload):
+        assert payload_bits(payload) == len(encode_payload(payload))
+
+    def test_int_bits_helper(self):
+        for v in (-10, -1, 0, 1, 7, 1000):
+            assert int_bits(v) == payload_bits(v)
+
+    def test_trailing_bits_rejected(self):
+        bits = encode_payload(5) + (0,)
+        with pytest.raises(ValueError):
+            decode_payload(bits)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            payload_bits(True)
+        with pytest.raises(TypeError):
+            encode_payload((1, True))
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(ValueError):
+            encode_payload("é")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_bits([1, 2])  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            encode_payload(1.5)  # type: ignore[arg-type]
+
+    def test_id_sized_ints_are_logarithmic(self):
+        # An identifier in 1..n costs O(log n) bits: the concrete codec
+        # must respect the paper's accounting.
+        assert payload_bits(10 ** 6) <= 2 * 21 + 3
+        assert payload_bits(7) < payload_bits(7000)
+
+
+# ----------------------------------------------------------------------
+# property-based coverage
+# ----------------------------------------------------------------------
+
+atoms = st.one_of(
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    st.text(
+        alphabet=st.characters(min_codepoint=0, max_codepoint=127),
+        max_size=8,
+    ),
+)
+payloads = st.recursive(atoms, lambda inner: st.tuples(inner, inner), max_leaves=12)
+
+
+@given(payloads)
+def test_roundtrip_property(payload):
+    assert decode_payload(encode_payload(payload)) == payload
+
+
+@given(payloads)
+def test_size_property(payload):
+    assert payload_bits(payload) == len(encode_payload(payload))
+
+
+@given(st.integers(min_value=1, max_value=10 ** 12))
+def test_gamma_is_self_delimiting(v):
+    w = BitWriter()
+    w.write_gamma(v)
+    w.write_gamma(v + 1)
+    r = BitReader(w.bits())
+    assert r.read_gamma() == v
+    assert r.read_gamma() == v + 1

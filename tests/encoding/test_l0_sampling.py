@@ -1,0 +1,159 @@
+"""Tests for the ℓ₀-sampling sketch substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.l0_sampling import (
+    FIELD_PRIME,
+    L0Sampler,
+    OneSparseRecovery,
+    level_of,
+)
+
+
+class TestOneSparse:
+    def test_single_item_recovered(self):
+        s = OneSparseRecovery(seed=1)
+        s.update(42, 3)
+        assert s.recover() == (42, 3)
+
+    def test_negative_weight(self):
+        s = OneSparseRecovery(seed=2)
+        s.update(7, -1)
+        assert s.recover() == (7, -1)
+
+    def test_zero_vector(self):
+        s = OneSparseRecovery(seed=3)
+        assert s.recover() is None and s.is_zero
+
+    def test_cancellation(self):
+        s = OneSparseRecovery(seed=4)
+        s.update(5, 1)
+        s.update(5, -1)
+        assert s.is_zero and s.recover() is None
+
+    def test_two_items_rejected(self):
+        s = OneSparseRecovery(seed=5)
+        s.update(3, 1)
+        s.update(9, 1)
+        assert s.recover() is None  # fingerprint catches c1/c0 = 6
+
+    def test_many_items_rejected(self):
+        s = OneSparseRecovery(seed=6)
+        for i in range(1, 30):
+            s.update(i, 1)
+        assert s.recover() is None
+
+    def test_linearity(self):
+        a = OneSparseRecovery(seed=7)
+        b = OneSparseRecovery(seed=7)
+        a.update(11, 2)
+        b.update(11, -2)
+        b.update(4, 1)
+        combined = a.combine(b)
+        assert combined.recover() == (4, 1)  # item 11 cancelled
+
+    def test_combine_requires_same_seed(self):
+        with pytest.raises(ValueError):
+            OneSparseRecovery(seed=1).combine(OneSparseRecovery(seed=2))
+
+    def test_invalid_item(self):
+        with pytest.raises(ValueError):
+            OneSparseRecovery(seed=1).update(0, 1)
+
+    def test_state_roundtrip(self):
+        s = OneSparseRecovery(seed=9)
+        s.update(13, 5)
+        again = OneSparseRecovery.from_state(9, s.state())
+        assert again.recover() == (13, 5)
+
+
+class TestLevels:
+    def test_distribution_is_geometric(self):
+        counts = [0] * 4
+        for item in range(1, 4001):
+            counts[min(level_of(seed=1, item=item, max_level=3), 3)] += 1
+        # P(level = 0) = 1/2, P(level = 1) = 1/4 ...
+        assert 1700 < counts[0] < 2300
+        assert 800 < counts[1] < 1200
+
+    def test_deterministic_in_seed(self):
+        assert level_of(5, 99, 10) == level_of(5, 99, 10)
+
+
+class TestL0Sampler:
+    def test_samples_a_true_nonzero(self):
+        rng = random.Random(0)
+        for trial in range(20):
+            sampler = L0Sampler(seed=trial, levels=12)
+            support = rng.sample(range(1, 1000), rng.randint(1, 40))
+            for item in support:
+                sampler.update(item, 1)
+            got = sampler.sample()
+            if got is not None:  # constant success probability per sketch
+                item, weight = got
+                assert item in support and weight == 1
+
+    def test_success_rate_reasonable(self):
+        hits = 0
+        for trial in range(50):
+            sampler = L0Sampler(seed=trial + 100, levels=12)
+            for item in range(1, 33):
+                sampler.update(item, 1)
+            if sampler.sample() is not None:
+                hits += 1
+        assert hits >= 20  # empirical; AGM theory gives a constant rate
+
+    def test_singleton_always_recovered(self):
+        for trial in range(20):
+            sampler = L0Sampler(seed=trial, levels=8)
+            sampler.update(17, -1)
+            assert sampler.sample() == (17, -1)
+
+    def test_linearity_cancels_interior(self):
+        a = L0Sampler(seed=3, levels=8)
+        b = L0Sampler(seed=3, levels=8)
+        a.update(10, 1)
+        b.update(10, -1)
+        b.update(20, 1)
+        combined = a.combine(b)
+        assert combined.sample() == (20, 1)
+
+    def test_zero_vector(self):
+        assert L0Sampler(seed=1, levels=4).sample() is None
+        assert L0Sampler(seed=1, levels=4).is_zero
+
+    def test_incompatible_combine(self):
+        with pytest.raises(ValueError):
+            L0Sampler(seed=1, levels=4).combine(L0Sampler(seed=1, levels=5))
+
+    def test_state_roundtrip(self):
+        s = L0Sampler(seed=8, levels=6)
+        s.update(3, 1)
+        s.update(5, 1)
+        again = L0Sampler.from_state(8, 6, s.state())
+        assert again.sample() == s.sample()
+
+
+@settings(max_examples=40)
+@given(
+    st.dictionaries(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=-3, max_value=3).filter(lambda w: w != 0),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_recovered_items_are_genuine_property(vector, seed):
+    """Whatever an L0 sampler returns must be a true (item, weight) pair
+    of the sketched vector — soundness under arbitrary updates."""
+    sampler = L0Sampler(seed=seed, levels=10)
+    for item, weight in vector.items():
+        sampler.update(item, weight)
+    got = sampler.sample()
+    if got is not None:
+        item, weight = got
+        assert vector.get(item) == weight

@@ -1,0 +1,179 @@
+"""Tests for the power-sum neighbourhood code (Theorem 1 / Lemma 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.power_sums import (
+    DecodeError,
+    SubsetLookupTable,
+    decode_power_sums,
+    elementary_symmetric_from_power_sums,
+    power_sums,
+)
+
+
+class TestPowerSums:
+    def test_empty(self):
+        assert power_sums([], 3) == (0, 0, 0)
+
+    def test_k_zero(self):
+        assert power_sums([1, 2], 0) == ()
+
+    def test_small_example(self):
+        # S = {2, 3}: p1 = 5, p2 = 13, p3 = 35
+        assert power_sums([2, 3], 3) == (5, 13, 35)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            power_sums([1], -1)
+
+    def test_large_values_exact(self):
+        # n = 10^5, k = 4: values exceed int64; must stay exact.
+        s = [10 ** 5, 10 ** 5 - 1]
+        p = power_sums(s, 4)
+        assert p[3] == (10 ** 5) ** 4 + (10 ** 5 - 1) ** 4
+
+
+class TestNewtonIdentities:
+    def test_known_elementary_symmetric(self):
+        # S = {1, 2, 3}: e1 = 6, e2 = 11, e3 = 6
+        p = power_sums([1, 2, 3], 3)
+        assert elementary_symmetric_from_power_sums(p, 3) == (6, 11, 6)
+
+    def test_non_integral_identity_rejected(self):
+        # p = (1, 0): e2 = (e1*p1 - p2)/2 = 1/2 — not integral.
+        with pytest.raises(DecodeError):
+            elementary_symmetric_from_power_sums((1, 0), 2)
+
+    def test_insufficient_sums_rejected(self):
+        with pytest.raises(ValueError):
+            elementary_symmetric_from_power_sums((5,), 2)
+
+
+class TestDecode:
+    def test_roundtrip_exhaustive_small(self):
+        from itertools import combinations
+
+        n, k = 8, 3
+        for d in range(k + 1):
+            for subset in combinations(range(1, n + 1), d):
+                b = power_sums(subset, k)
+                assert decode_power_sums(b, d, n) == frozenset(subset)
+
+    def test_degree_zero(self):
+        assert decode_power_sums((0, 0), 0, 5) == frozenset()
+
+    def test_uses_only_first_d_entries(self):
+        # Trailing garbage beyond position d must not matter.
+        b = power_sums([2, 5], 2) + (999,)
+        assert decode_power_sums(b, 2, 6) == frozenset({2, 5})
+
+    def test_invalid_vector_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_power_sums((1, 1), 2, 5)  # {1,1} is not a set
+
+    def test_out_of_range_roots_rejected(self):
+        b = power_sums([7], 1)
+        with pytest.raises(DecodeError):
+            decode_power_sums(b, 1, 5)  # 7 > n
+
+    def test_degree_exceeds_domain(self):
+        with pytest.raises(DecodeError):
+            decode_power_sums((100, 100, 100), 3, 2)
+
+    def test_too_few_sums(self):
+        with pytest.raises(DecodeError):
+            decode_power_sums((5,), 2, 6)
+
+    def test_negative_degree(self):
+        with pytest.raises(DecodeError):
+            decode_power_sums((1,), -1, 5)
+
+    def test_wright_uniqueness_spot_check(self):
+        # No two distinct <=k-subsets of 1..n share k power sums.
+        from itertools import combinations
+
+        n, k = 9, 2
+        seen = {}
+        for d in range(k + 1):
+            for subset in combinations(range(1, n + 1), d):
+                key = power_sums(subset, k)
+                assert key not in seen, (subset, seen.get(key))
+                seen[key] = subset
+
+
+class TestLookupTable:
+    def test_matches_algebraic_decoder(self):
+        from itertools import combinations
+
+        n, k = 7, 3
+        table = SubsetLookupTable(n, k)
+        for d in range(k + 1):
+            for subset in combinations(range(1, n + 1), d):
+                b = power_sums(subset, k)
+                assert table.decode(b, d) == decode_power_sums(b, d, n)
+
+    def test_size_formula(self):
+        import math
+
+        n, k = 6, 2
+        table = SubsetLookupTable(n, k)
+        expected = sum(math.comb(n, d) for d in range(k + 1))
+        assert len(table) == expected
+
+    def test_missing_vector_rejected(self):
+        table = SubsetLookupTable(5, 2)
+        with pytest.raises(DecodeError):
+            table.decode((999, 999), 2)
+
+    def test_wrong_degree_rejected(self):
+        table = SubsetLookupTable(5, 2)
+        b = power_sums([2, 4], 2)
+        with pytest.raises(DecodeError):
+            table.decode(b, 1)
+
+    def test_short_vector_rejected(self):
+        table = SubsetLookupTable(5, 2)
+        with pytest.raises(DecodeError):
+            table.decode((3,), 1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SubsetLookupTable(-1, 2)
+
+
+# ----------------------------------------------------------------------
+# property-based: decode(encode(S)) == S for random S
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(st.data())
+def test_roundtrip_property(data):
+    n = data.draw(st.integers(min_value=1, max_value=60))
+    k = data.draw(st.integers(min_value=1, max_value=5))
+    d = data.draw(st.integers(min_value=0, max_value=min(k, n)))
+    subset = frozenset(
+        data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n),
+                min_size=d,
+                max_size=d,
+                unique=True,
+            )
+        )
+    )
+    b = power_sums(subset, k)
+    assert decode_power_sums(b, len(subset), n) == subset
+
+
+@settings(max_examples=30)
+@given(
+    st.sets(st.integers(min_value=1, max_value=30), min_size=1, max_size=4),
+    st.sets(st.integers(min_value=1, max_value=30), min_size=1, max_size=4),
+)
+def test_wright_theorem_property(s1, s2):
+    """Distinct sets of size <= k never share their first k power sums."""
+    k = max(len(s1), len(s2))
+    if s1 != s2:
+        assert power_sums(sorted(s1), k) != power_sums(sorted(s2), k)

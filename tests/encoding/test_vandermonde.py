@@ -1,0 +1,82 @@
+"""Tests for the A(k, n) matrix view of the encoding (Definition 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.power_sums import power_sums
+from repro.encoding.vandermonde import (
+    encode_incidence,
+    max_entry_bits,
+    vandermonde_matrix,
+)
+
+
+class TestMatrix:
+    def test_entries(self):
+        a = vandermonde_matrix(3, 4)
+        assert a.shape == (3, 4)
+        for p in range(1, 4):
+            for i in range(1, 5):
+                assert a[p - 1, i - 1] == i ** p
+
+    def test_small_uses_int64(self):
+        assert vandermonde_matrix(2, 10).dtype == np.int64
+
+    def test_large_uses_exact_objects(self):
+        a = vandermonde_matrix(5, 10 ** 4)
+        assert a.dtype == object
+        assert a[4, 10 ** 4 - 1] == (10 ** 4) ** 5  # would overflow int64
+
+    def test_degenerate_dims(self):
+        assert vandermonde_matrix(0, 5).shape == (0, 5)
+        assert vandermonde_matrix(2, 0).shape == (2, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            vandermonde_matrix(-1, 3)
+
+
+class TestEncodeIncidence:
+    def test_matches_power_sums(self):
+        x = np.zeros(9, dtype=np.int64)
+        subset = [2, 5, 9]
+        for i in subset:
+            x[i - 1] = 1
+        assert encode_incidence(x, 3) == power_sums(subset, 3)
+
+    def test_zero_vector(self):
+        assert encode_incidence(np.zeros(5, dtype=int), 2) == (0, 0)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            encode_incidence(np.array([0, 2, 0]), 2)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            encode_incidence(np.zeros((2, 2), dtype=int), 2)
+
+
+class TestBounds:
+    def test_lemma1_bound_holds(self):
+        # Every entry of b(x) fits in (k+1) log2(n) bits (Lemma 1).
+        n, k = 50, 4
+        full = np.ones(n, dtype=np.int64)
+        b = encode_incidence(full, k)
+        for entry in b:
+            assert entry.bit_length() <= max_entry_bits(k, n)
+
+    def test_tiny_n(self):
+        assert max_entry_bits(3, 1) == 1
+        assert max_entry_bits(3, 0) == 1
+
+
+@settings(max_examples=40)
+@given(st.data())
+def test_matrix_and_direct_encodings_agree(data):
+    n = data.draw(st.integers(min_value=1, max_value=40))
+    k = data.draw(st.integers(min_value=0, max_value=4))
+    bits = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    x = np.array([1 if b else 0 for b in bits], dtype=np.int64)
+    subset = [i + 1 for i, b in enumerate(bits) if b]
+    assert encode_incidence(x, k) == power_sums(subset, k)

@@ -1,0 +1,90 @@
+"""Tests for the graph6 codec."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.codec import from_graph6, to_graph6
+from repro.graphs.labeled_graph import LabeledGraph
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            LabeledGraph(0),
+            LabeledGraph(1),
+            LabeledGraph(5),
+            gen.path_graph(4),
+            gen.complete_graph(7),
+            gen.petersen_graph(),
+            gen.random_graph(20, 0.3, seed=1),
+            gen.random_graph(63, 0.1, seed=2),  # crosses the 1-byte size limit
+            gen.random_graph(70, 0.05, seed=3),  # 4-byte size prefix
+        ],
+        ids=["empty0", "K1", "empty5", "P4", "K7", "petersen", "G20", "G63", "G70"],
+    )
+    def test_roundtrip(self, graph):
+        assert from_graph6(to_graph6(graph)) == graph
+
+    def test_header_tolerated(self):
+        g = gen.path_graph(3)
+        assert from_graph6(">>graph6<<" + to_graph6(g)) == g
+
+    def test_known_values(self):
+        # 'D??' is the empty graph on 5 nodes (10 bits -> 2 body bytes);
+        # 'A_' is K2.
+        assert to_graph6(LabeledGraph(5)) == "D??"
+        assert to_graph6(LabeledGraph(2, [(1, 2)])) == "A_"
+        assert from_graph6("A_") == LabeledGraph(2, [(1, 2)])
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_encoding(self):
+        for seed in range(5):
+            g = gen.random_graph(12, 0.4, seed=seed)
+            nxg = nx.Graph()
+            nxg.add_nodes_from(range(12))
+            nxg.add_edges_from((u - 1, v - 1) for u, v in g.edges())
+            expected = nx.to_graph6_bytes(nxg, header=False).decode().strip()
+            assert to_graph6(g) == expected
+
+    def test_parses_networkx_output(self):
+        nxg = nx.petersen_graph()
+        text = nx.to_graph6_bytes(nxg, header=False).decode().strip()
+        ours = from_graph6(text)
+        assert ours.m == 15 and ours.is_regular(3)
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(ValueError):
+            from_graph6("")
+
+    def test_truncated_body(self):
+        with pytest.raises(ValueError):
+            from_graph6("D")  # size says 5, body missing
+
+    def test_trailing_data(self):
+        with pytest.raises(ValueError):
+            from_graph6(to_graph6(gen.path_graph(4)) + "??")
+
+    def test_invalid_byte(self):
+        with pytest.raises(ValueError):
+            from_graph6("B\x1f")
+
+    def test_nonzero_padding(self):
+        # K2's byte with a padding bit flipped on
+        with pytest.raises(ValueError):
+            from_graph6("A" + chr(0b111111 + 63))
+
+
+@settings(max_examples=40)
+@given(
+    st.integers(min_value=0, max_value=16),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+def test_roundtrip_property(n, seed):
+    g = gen.random_graph(n, 0.5, seed=seed) if n else LabeledGraph(0)
+    assert from_graph6(to_graph6(g)) == g

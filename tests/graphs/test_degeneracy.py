@@ -1,0 +1,115 @@
+"""Tests for degeneracy orderings (Definition 1)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.degeneracy import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    is_k_degenerate,
+)
+from repro.graphs.labeled_graph import LabeledGraph
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (LabeledGraph(1), 0),
+            (LabeledGraph(5), 0),
+            (gen.path_graph(6), 1),
+            (gen.star_graph(7), 1),
+            (gen.random_tree(12, seed=3), 1),
+            (gen.cycle_graph(6), 2),
+            (gen.grid_graph(3, 4), 2),
+            (gen.complete_graph(5), 4),
+            (gen.complete_bipartite(3, 7), 3),
+            (gen.petersen_graph(), 3),
+        ],
+        ids=[
+            "K1", "edgeless", "path", "star", "tree", "cycle", "grid",
+            "K5", "K37", "petersen",
+        ],
+    )
+    def test_degeneracy(self, graph, expected):
+        assert degeneracy(graph) == expected
+
+    def test_empty_graph(self):
+        assert degeneracy_ordering(LabeledGraph(0)).order == ()
+
+
+class TestOrderingValidity:
+    def test_ordering_is_witness(self, degenerate_graphs):
+        """Every node has at most `degeneracy` neighbours later in the
+        order — the literal Definition 1 condition."""
+        for g in degenerate_graphs:
+            result = degeneracy_ordering(g)
+            position = {v: i for i, v in enumerate(result.order)}
+            for v in g.nodes():
+                later = sum(1 for w in g.neighbors(v) if position[w] > position[v])
+                assert later <= result.degeneracy
+
+    def test_residual_degrees_match(self):
+        g = gen.cycle_graph(5)
+        result = degeneracy_ordering(g)
+        assert max(result.residual_degrees) == result.degeneracy
+        assert len(result.residual_degrees) == g.n
+
+    def test_deterministic(self):
+        g = gen.random_graph(12, 0.3, seed=9)
+        assert degeneracy_ordering(g) == degeneracy_ordering(g)
+
+
+class TestIsKDegenerate:
+    def test_monotone_in_k(self):
+        g = gen.petersen_graph()
+        assert not is_k_degenerate(g, 2)
+        assert is_k_degenerate(g, 3)
+        assert is_k_degenerate(g, 4)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            is_k_degenerate(LabeledGraph(2), -1)
+
+    def test_generator_respects_bound(self):
+        for k in (1, 2, 4):
+            for seed in range(3):
+                g = gen.random_k_degenerate(15, k, seed=seed)
+                assert is_k_degenerate(g, k)
+
+
+class TestCoreNumbers:
+    def test_max_core_is_degeneracy(self, degenerate_graphs):
+        for g in degenerate_graphs:
+            cores = core_numbers(g)
+            if g.n:
+                assert max(cores.values()) == degeneracy(g)
+
+    def test_against_networkx(self):
+        for seed in range(4):
+            g = gen.random_graph(14, 0.3, seed=seed)
+            nxg = nx.Graph()
+            nxg.add_nodes_from(g.nodes())
+            nxg.add_edges_from(g.edges())
+            nx_core = nx.core_number(nxg)
+            ours = core_numbers(g)
+            assert all(ours[v] == nx_core[v] for v in g.nodes())
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 9), st.integers(1, 9)).filter(lambda e: e[0] != e[1]),
+        max_size=20,
+    )
+)
+def test_degeneracy_matches_networkx_property(edges):
+    g = LabeledGraph(9, edges)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.nodes())
+    nxg.add_edges_from(g.edges())
+    expected = max(nx.core_number(nxg).values()) if g.n else 0
+    assert degeneracy(g) == expected

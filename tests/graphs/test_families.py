@@ -1,0 +1,95 @@
+"""Tests for the named graph-class registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.families import FAMILIES, GraphClass, family, k_degenerate_class
+from repro.graphs.generators import all_labeled_graphs, complete_graph, cycle_graph
+from repro.graphs.properties import is_even_odd_bipartite
+
+
+class TestRegistry:
+    def test_known_families_present(self):
+        for name in ("all", "forests", "degenerate2", "bipartite",
+                     "even-odd-bipartite", "two-cliques-promise"):
+            assert family(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            family("unicorns")
+
+    def test_descriptions_nonempty(self):
+        for cls in FAMILIES.values():
+            assert cls.description
+
+
+class TestSamplersStayInClass:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_sample_in_class(self, name):
+        cls = family(name)
+        sizes = (6, 10, 14) if name != "two-cliques-promise" else (8, 12)
+        for n in sizes:
+            for seed in range(3):
+                g = cls.sample_in_class(n, seed)
+                assert g.n == n
+
+    def test_sampler_guard_fires(self):
+        bad = GraphClass(
+            name="broken",
+            description="sampler leaves its class",
+            contains=lambda g: False,
+            sample=lambda n, seed: complete_graph(n),
+        )
+        with pytest.raises(AssertionError):
+            bad.sample_in_class(4, 0)
+
+
+class TestMembership:
+    def test_forests(self):
+        cls = family("forests")
+        assert cls.contains(cls.sample(9, 1))
+        assert not cls.contains(cycle_graph(5))
+
+    def test_k_degenerate_factory(self):
+        cls = k_degenerate_class(4)
+        assert cls.contains(complete_graph(5))
+        assert not cls.contains(complete_graph(6))
+
+    def test_even_odd(self):
+        cls = family("even-odd-bipartite")
+        g = cls.sample(11, 3)
+        assert is_even_odd_bipartite(g)
+
+    def test_two_cliques_promise(self):
+        cls = family("two-cliques-promise")
+        from repro.graphs.generators import connected_two_cliques_like, two_cliques
+
+        assert cls.contains(two_cliques(4))
+        assert cls.contains(connected_two_cliques_like(4, seed=1))
+        assert not cls.contains(complete_graph(8))
+
+
+class TestCounts:
+    def test_exact_counts_small_n(self):
+        """Where log2_count is exact, cross-check by enumeration."""
+        for name in ("all", "even-odd-bipartite"):
+            cls = family(name)
+            for n in (2, 3, 4):
+                exact = sum(1 for g in all_labeled_graphs(n) if cls.contains(g))
+                assert 2 ** cls.log2_count(n) == pytest.approx(exact)
+
+    def test_lower_bound_counts(self):
+        """Where log2_count is a documented lower bound, enumeration must
+        dominate it."""
+        cls = family("forests")
+        for n in (3, 4):
+            exact = sum(1 for g in all_labeled_graphs(n) if cls.contains(g))
+            assert exact >= 2 ** cls.log2_count(n) - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(sorted(FAMILIES)), st.integers(0, 10 ** 6))
+def test_samplers_in_class_property(name, seed):
+    cls = family(name)
+    n = 8 if name == "two-cliques-promise" else 9
+    assert cls.contains(cls.sample(n, seed))

@@ -1,0 +1,168 @@
+"""Tests for the graph generators (workload families)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.degeneracy import degeneracy
+from repro.graphs.properties import (
+    connected_components,
+    is_connected,
+    is_even_odd_bipartite,
+    is_two_cliques,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.m == 4 and g.degree(1) == 1 and g.degree(3) == 2
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert g.m == 6 and g.is_regular(2)
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+    def test_star(self):
+        g = gen.star_graph(6)
+        assert g.degree(1) == 5 and all(g.degree(v) == 1 for v in range(2, 7))
+
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.m == 15 and g.is_regular(5)
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(3, 4)
+        assert g.m == 12 and g.degree(1) == 4 and g.degree(7) == 3
+
+    def test_grid(self):
+        g = gen.grid_graph(3, 4)
+        assert g.n == 12 and g.m == 3 * 3 + 2 * 4
+
+    def test_binary_tree(self):
+        g = gen.binary_tree(7)
+        assert g.m == 6 and g.degree(1) == 2
+
+    def test_petersen(self):
+        g = gen.petersen_graph()
+        assert g.n == 10 and g.is_regular(3)
+        from repro.graphs.properties import has_triangle, has_square
+
+        assert not has_triangle(g) and not has_square(g)  # girth 5
+
+
+class TestRandomTrees:
+    def test_tree_properties(self):
+        for seed in range(6):
+            t = gen.random_tree(15, seed=seed)
+            assert t.m == 14 and is_connected(t) and degeneracy(t) <= 1
+
+    def test_tiny_trees(self):
+        assert gen.random_tree(1).m == 0
+        assert gen.random_tree(2).m == 1
+        with pytest.raises(ValueError):
+            gen.random_tree(0)
+
+    def test_seed_determinism(self):
+        assert gen.random_tree(20, seed=4) == gen.random_tree(20, seed=4)
+        assert gen.random_tree(20, seed=4) != gen.random_tree(20, seed=5)
+
+    def test_forest_component_count(self):
+        for parts in (1, 3, 5):
+            f = gen.random_forest(12, parts, seed=2)
+            assert len(connected_components(f)) == parts
+            assert degeneracy(f) <= 1
+
+    def test_forest_bad_parts(self):
+        with pytest.raises(ValueError):
+            gen.random_forest(5, 6, seed=0)
+        with pytest.raises(ValueError):
+            gen.random_forest(5, 0, seed=0)
+
+
+class TestRandomGraphs:
+    def test_er_bounds(self):
+        assert gen.random_graph(10, 0.0, seed=1).m == 0
+        assert gen.random_graph(10, 1.0, seed=1).m == 45
+
+    def test_er_bad_p(self):
+        with pytest.raises(ValueError):
+            gen.random_graph(5, 1.5)
+
+    def test_connected_variant(self):
+        for seed in range(4):
+            assert is_connected(gen.random_connected_graph(12, 0.05, seed=seed))
+
+    def test_k_degenerate_bound(self):
+        for k in (0, 1, 3):
+            g = gen.random_k_degenerate(14, k, seed=k)
+            assert degeneracy(g) <= k
+
+    def test_k_degenerate_fill_zero(self):
+        assert gen.random_k_degenerate(10, 3, seed=0, fill=0.0).m == 0
+
+    def test_k_degenerate_bad_args(self):
+        with pytest.raises(ValueError):
+            gen.random_k_degenerate(5, -1)
+        with pytest.raises(ValueError):
+            gen.random_k_degenerate(5, 2, fill=2.0)
+
+    def test_bipartite_parts(self):
+        g = gen.random_bipartite(4, 5, 0.7, seed=3)
+        for u, v in g.edges():
+            assert (u <= 4) != (v <= 4)
+
+    def test_even_odd_bipartite(self):
+        for seed in range(4):
+            g = gen.random_even_odd_bipartite(11, 0.5, seed=seed)
+            assert is_even_odd_bipartite(g)
+
+
+class TestTwoCliquesFamilies:
+    def test_yes_instance(self):
+        g = gen.two_cliques(5)
+        assert g.n == 10 and g.is_regular(4) and is_two_cliques(g)
+
+    def test_no_instance_regular_connected(self):
+        g = gen.connected_two_cliques_like(6, seed=0)
+        assert g.n == 12 and g.is_regular(5)
+        assert is_connected(g) and not is_two_cliques(g)
+
+    def test_no_instance_needs_even_half(self):
+        with pytest.raises(ValueError):
+            gen.connected_two_cliques_like(5)
+
+    def test_circulant(self):
+        g = gen.random_regular_circulant(10, 4, seed=1)
+        assert g.is_regular(4)
+        g = gen.random_regular_circulant(8, 3, seed=1)
+        assert g.is_regular(3)
+
+    def test_circulant_invalid(self):
+        with pytest.raises(ValueError):
+            gen.random_regular_circulant(5, 3)  # odd n*d
+        with pytest.raises(ValueError):
+            gen.random_regular_circulant(4, 4)  # d >= n
+
+
+class TestEnumeration:
+    def test_count_matches(self):
+        for n in (0, 1, 2, 3, 4):
+            graphs = list(gen.all_labeled_graphs(n))
+            assert len(graphs) == gen.all_labeled_graphs_count(n)
+            assert len(set(graphs)) == len(graphs)  # all distinct
+
+    def test_contains_extremes(self):
+        graphs = set(gen.all_labeled_graphs(3))
+        from repro.graphs.labeled_graph import LabeledGraph
+
+        assert LabeledGraph(3) in graphs
+        assert gen.complete_graph(3) in graphs
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=3, max_value=40), st.integers(min_value=0, max_value=10 ** 6))
+def test_random_tree_is_tree_property(n, seed):
+    t = gen.random_tree(n, seed=seed)
+    assert t.m == n - 1 and is_connected(t)

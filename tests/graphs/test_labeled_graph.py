@@ -1,0 +1,196 @@
+"""Tests for the LabeledGraph container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.labeled_graph import LabeledGraph, normalize_edge
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = LabeledGraph.empty(4)
+        assert g.n == 4 and g.m == 0
+        assert list(g.nodes()) == [1, 2, 3, 4]
+
+    def test_zero_nodes(self):
+        g = LabeledGraph(0)
+        assert g.n == 0 and g.m == 0 and list(g.edges()) == []
+
+    def test_duplicate_edges_ignored(self):
+        g = LabeledGraph(3, [(1, 2), (2, 1), (1, 2)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledGraph(3, [(2, 2)])
+        with pytest.raises(ValueError):
+            normalize_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledGraph(3, [(1, 4)])
+        with pytest.raises(ValueError):
+            LabeledGraph(3, [(0, 2)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledGraph(-1)
+
+    def test_normalize_edge(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+
+class TestAccessors:
+    @pytest.fixture
+    def g(self):
+        return LabeledGraph(5, [(1, 2), (2, 3), (3, 4), (1, 4), (4, 5)])
+
+    def test_neighbors(self, g):
+        assert g.neighbors(4) == frozenset({1, 3, 5})
+
+    def test_degree(self, g):
+        assert g.degree(4) == 3 and g.degree(5) == 1
+
+    def test_has_edge(self, g):
+        assert g.has_edge(3, 2) and not g.has_edge(1, 5)
+
+    def test_edges_canonical_order(self, g):
+        assert list(g.edges()) == [(1, 2), (1, 4), (2, 3), (3, 4), (4, 5)]
+
+    def test_edge_set(self, g):
+        assert (2, 3) in g.edge_set()
+
+    def test_degree_sum_is_twice_m(self, g):
+        assert sum(g.degree(v) for v in g.nodes()) == 2 * g.m
+
+    def test_max_min_degree(self, g):
+        assert g.max_degree() == 3 and g.min_degree() == 1
+
+    def test_bad_node_rejected(self, g):
+        with pytest.raises(ValueError):
+            g.neighbors(0)
+        with pytest.raises(ValueError):
+            g.degree(6)
+
+    def test_regularity(self):
+        from repro.graphs.generators import complete_graph, cycle_graph
+
+        assert cycle_graph(5).is_regular(2)
+        assert complete_graph(4).is_regular()
+        assert not LabeledGraph(3, [(1, 2)]).is_regular()
+
+    def test_contains_len(self, g):
+        assert 3 in g and 6 not in g and len(g) == 5
+
+    def test_repr_truncates(self):
+        from repro.graphs.generators import complete_graph
+
+        assert "more" in repr(complete_graph(8))
+
+
+class TestDerivedGraphs:
+    def test_with_without_edges(self):
+        g = LabeledGraph(4, [(1, 2)])
+        g2 = g.with_edges([(3, 4)])
+        assert g2.m == 2 and g.m == 1  # original untouched
+        assert g2.without_edges([(1, 2), (3, 4)]).m == 0
+
+    def test_add_node_with_edges(self):
+        g = LabeledGraph(3, [(1, 2)])
+        g2 = g.add_node_with_edges([1, 3])
+        assert g2.n == 4 and g2.neighbors(4) == frozenset({1, 3})
+
+    def test_induced_subgraph_relabels(self):
+        g = LabeledGraph(5, [(2, 4), (4, 5)])
+        sub = g.induced_subgraph([2, 4, 5])
+        assert sub.n == 3 and sub.edge_set() == frozenset({(1, 2), (2, 3)})
+
+    def test_induced_edge_set_keeps_labels(self):
+        g = LabeledGraph(5, [(2, 4), (4, 5), (1, 3)])
+        assert g.induced_edge_set([2, 4, 5]) == frozenset({(2, 4), (4, 5)})
+
+    def test_complement_involution(self):
+        g = LabeledGraph(5, [(1, 2), (3, 5)])
+        assert g.complement().complement() == g
+
+    def test_complement_edge_count(self):
+        g = LabeledGraph(5, [(1, 2), (3, 5)])
+        assert g.m + g.complement().m == 5 * 4 // 2
+
+    def test_relabel(self):
+        g = LabeledGraph(3, [(1, 2)])
+        g2 = g.relabel({1: 3, 2: 1, 3: 2})
+        assert g2.edge_set() == frozenset({(1, 3)})
+
+    def test_relabel_requires_bijection(self):
+        g = LabeledGraph(3, [(1, 2)])
+        with pytest.raises(ValueError):
+            g.relabel({1: 1, 2: 1, 3: 3})
+
+    def test_disjoint_union(self):
+        a = LabeledGraph(2, [(1, 2)])
+        b = LabeledGraph(3, [(1, 3)])
+        u = a.disjoint_union(b)
+        assert u.n == 5 and u.edge_set() == frozenset({(1, 2), (3, 5)})
+
+
+class TestMatrixViews:
+    def test_adjacency_roundtrip(self):
+        g = LabeledGraph(4, [(1, 2), (2, 4), (3, 4)])
+        assert LabeledGraph.from_adjacency_matrix(g.adjacency_matrix()) == g
+
+    def test_asymmetric_matrix_rejected(self):
+        a = np.zeros((3, 3), dtype=int)
+        a[0, 1] = 1
+        with pytest.raises(ValueError):
+            LabeledGraph.from_adjacency_matrix(a)
+
+    def test_nonzero_diagonal_rejected(self):
+        a = np.eye(3, dtype=int)
+        with pytest.raises(ValueError):
+            LabeledGraph.from_adjacency_matrix(a)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledGraph.from_adjacency_matrix(np.zeros((2, 3), dtype=int))
+
+    def test_incidence_vector(self):
+        g = LabeledGraph(4, [(2, 1), (2, 4)])
+        assert g.incidence_vector(2).tolist() == [1, 0, 0, 1]
+
+
+class TestHashing:
+    def test_equal_graphs_hash_equal(self):
+        a = LabeledGraph(3, [(1, 2), (2, 3)])
+        b = LabeledGraph(3, [(2, 3), (1, 2)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_unequal(self):
+        assert LabeledGraph(3, [(1, 2)]) != LabeledGraph(3, [(1, 3)])
+        assert LabeledGraph(2) != LabeledGraph(3)
+
+    def test_usable_in_sets(self):
+        s = {LabeledGraph(3, [(1, 2)]), LabeledGraph(3, [(1, 2)])}
+        assert len(s) == 1
+
+    def test_eq_other_type(self):
+        assert LabeledGraph(1) != "graph"
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(1, 8), st.integers(1, 8)).filter(lambda e: e[0] != e[1]),
+    max_size=16,
+)
+
+
+@settings(max_examples=60)
+@given(edge_lists)
+def test_graph_invariants_property(edges):
+    g = LabeledGraph(8, edges)
+    assert sum(g.degree(v) for v in g.nodes()) == 2 * g.m
+    assert g.complement().complement() == g
+    assert LabeledGraph.from_adjacency_matrix(g.adjacency_matrix()) == g
+    for u, v in g.edges():
+        assert u < v and g.has_edge(v, u)

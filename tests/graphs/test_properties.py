@@ -1,0 +1,204 @@
+"""Tests for the centralized reference algorithms."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import (
+    ROOT,
+    bfs_layers_from,
+    canonical_bfs_forest,
+    connected_components,
+    count_triangles,
+    diameter,
+    eccentricity,
+    even_odd_violations,
+    has_square,
+    has_triangle,
+    is_bipartite,
+    is_connected,
+    is_even_odd_bipartite,
+    is_independent_set,
+    is_maximal_independent_set,
+    is_rooted_mis,
+    is_two_cliques,
+    triangles,
+)
+
+
+def to_nx(g: LabeledGraph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(g.nodes())
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestConnectivity:
+    def test_components_ordered_by_min(self):
+        g = LabeledGraph(6, [(5, 6), (1, 2)])
+        comps = connected_components(g)
+        assert comps[0] == {1, 2} and comps[1] == {3} and comps[3] == {5, 6}
+
+    def test_is_connected(self):
+        assert is_connected(gen.path_graph(5))
+        assert not is_connected(LabeledGraph(3, [(1, 2)]))
+        assert is_connected(LabeledGraph(0))
+        assert is_connected(LabeledGraph(1))
+
+
+class TestBfs:
+    def test_layers(self):
+        g = gen.path_graph(5)
+        assert bfs_layers_from(g, 1) == {1: 0, 2: 1, 3: 2, 4: 3, 5: 4}
+
+    def test_canonical_forest_structure(self, small_graphs):
+        for g in small_graphs:
+            f = canonical_bfs_forest(g)
+            assert f.is_valid_for(g)
+            for v, p in f.parent.items():
+                if p == ROOT:
+                    assert f.layer[v] == 0
+                else:
+                    assert g.has_edge(v, p) and f.layer[p] == f.layer[v] - 1
+                    # canonical: parent is the min-ID previous-layer neighbour
+                    prev = [w for w in g.neighbors(v) if f.layer[w] == f.layer[v] - 1]
+                    assert p == min(prev)
+
+    def test_roots_are_component_minima(self):
+        g = LabeledGraph(7, [(2, 3), (5, 7)])
+        f = canonical_bfs_forest(g)
+        assert set(f.roots) == {1, 2, 4, 5, 6}
+
+    def test_layers_match_networkx(self):
+        for seed in range(4):
+            g = gen.random_graph(12, 0.25, seed=seed)
+            f = canonical_bfs_forest(g)
+            for comp in connected_components(g):
+                root = min(comp)
+                dist = nx.single_source_shortest_path_length(to_nx(g), root)
+                for v in comp:
+                    assert f.layer[v] == dist[v]
+
+    def test_forest_validity_rejects_corruption(self):
+        g = gen.path_graph(4)
+        f = canonical_bfs_forest(g)
+        broken = type(f)({**f.parent, 4: 2}, f.layer, f.roots)
+        assert not broken.is_valid_for(g)
+
+    def test_tree_edges(self):
+        g = gen.star_graph(4)
+        f = canonical_bfs_forest(g)
+        assert f.tree_edges() == frozenset({(1, 2), (1, 3), (1, 4)})
+
+
+class TestDistances:
+    def test_eccentricity(self):
+        assert eccentricity(gen.path_graph(5), 1) == 4
+        assert eccentricity(gen.path_graph(5), 3) == 2
+
+    def test_diameter(self):
+        assert diameter(gen.path_graph(6)) == 5
+        assert diameter(gen.complete_graph(4)) == 1
+        assert diameter(gen.cycle_graph(6)) == 3
+
+    def test_diameter_errors(self):
+        with pytest.raises(ValueError):
+            diameter(LabeledGraph(3, [(1, 2)]))
+        with pytest.raises(ValueError):
+            diameter(LabeledGraph(0))
+
+
+class TestBipartiteness:
+    def test_is_bipartite(self):
+        assert is_bipartite(gen.cycle_graph(6))
+        assert not is_bipartite(gen.cycle_graph(5))
+        assert is_bipartite(gen.random_tree(10, seed=1))
+        assert is_bipartite(LabeledGraph(3))
+
+    def test_even_odd(self):
+        assert is_even_odd_bipartite(LabeledGraph(4, [(1, 2), (2, 3), (3, 4)]))
+        assert not is_even_odd_bipartite(LabeledGraph(4, [(1, 3)]))
+
+    def test_violations_listed(self):
+        g = LabeledGraph(5, [(1, 3), (2, 4), (1, 2)])
+        assert even_odd_violations(g) == frozenset({(1, 3), (2, 4)})
+
+    def test_eob_implies_bipartite(self):
+        for seed in range(4):
+            g = gen.random_even_odd_bipartite(10, 0.5, seed=seed)
+            assert is_bipartite(g)
+
+
+class TestTriangles:
+    def test_detection(self):
+        assert has_triangle(gen.complete_graph(3))
+        assert not has_triangle(gen.cycle_graph(5))
+        assert not has_triangle(gen.complete_bipartite(3, 3))
+
+    def test_enumeration(self):
+        g = gen.complete_graph(4)
+        assert count_triangles(g) == 4
+        assert triangles(gen.complete_graph(3)) == [(1, 2, 3)]
+
+    def test_counts_match_networkx(self):
+        for seed in range(4):
+            g = gen.random_graph(10, 0.4, seed=seed)
+            expected = sum(nx.triangles(to_nx(g)).values()) // 3
+            assert count_triangles(g) == expected
+
+    def test_square(self):
+        assert has_square(gen.cycle_graph(4))
+        assert not has_square(gen.complete_graph(3))
+        assert has_square(gen.complete_bipartite(2, 2))
+
+
+class TestIndependentSets:
+    def test_is_independent(self):
+        g = gen.cycle_graph(5)
+        assert is_independent_set(g, {1, 3})
+        assert not is_independent_set(g, {1, 2})
+
+    def test_maximality(self):
+        g = gen.cycle_graph(5)
+        assert is_maximal_independent_set(g, {1, 3})
+        assert not is_maximal_independent_set(g, {1})  # can add 3 or 4
+
+    def test_rooted(self):
+        g = gen.star_graph(5)
+        assert is_rooted_mis(g, {2, 3, 4, 5}, 3)
+        assert not is_rooted_mis(g, {2, 3, 4, 5}, 1)
+        assert is_rooted_mis(g, {1}, 1)
+
+
+class TestTwoCliques:
+    def test_yes(self):
+        assert is_two_cliques(gen.two_cliques(4))
+        assert is_two_cliques(gen.two_cliques(1))
+
+    def test_no(self):
+        assert not is_two_cliques(gen.complete_graph(6))
+        assert not is_two_cliques(gen.connected_two_cliques_like(4, seed=0))
+        assert not is_two_cliques(LabeledGraph(0))
+        assert not is_two_cliques(LabeledGraph(3))
+        # two components but not cliques
+        assert not is_two_cliques(LabeledGraph(6, [(1, 2), (2, 3), (4, 5), (5, 6)]))
+        # unequal cliques
+        assert not is_two_cliques(LabeledGraph(4, [(1, 2), (1, 3), (2, 3)]))
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 8), st.integers(1, 8)).filter(lambda e: e[0] != e[1]),
+        max_size=14,
+    )
+)
+def test_oracles_match_networkx_property(edges):
+    g = LabeledGraph(8, edges)
+    nxg = to_nx(g)
+    assert is_connected(g) == (nx.number_connected_components(nxg) <= 1)
+    assert is_bipartite(g) == nx.is_bipartite(nxg)
+    assert has_triangle(g) == (sum(nx.triangles(nxg).values()) > 0)
+    assert len(connected_components(g)) == nx.number_connected_components(nxg)

@@ -1,0 +1,108 @@
+"""Tests for the additional structured generators, and their use as
+protocol stress cases."""
+
+import pytest
+
+from repro.core import SIMASYNC, SYNC, MinIdScheduler, RandomScheduler, run
+from repro.graphs.degeneracy import degeneracy
+from repro.graphs.generators import (
+    barbell_graph,
+    caterpillar_graph,
+    hypercube_graph,
+    wheel_graph,
+)
+from repro.graphs.properties import (
+    canonical_bfs_forest,
+    diameter,
+    is_bipartite,
+    is_connected,
+)
+from repro.protocols.bfs import SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.connectivity import ConnectivityProtocol
+
+
+class TestWheel:
+    def test_shape(self):
+        w = wheel_graph(9)
+        assert w.n == 9 and w.m == 16
+        assert w.degree(1) == 8
+        assert all(w.degree(v) == 3 for v in range(2, 10))
+
+    def test_degeneracy(self):
+        assert degeneracy(wheel_graph(12)) == 3
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            wheel_graph(3)
+
+    def test_build_reconstructs(self):
+        w = wheel_graph(10)
+        r = run(w, DegenerateBuildProtocol(3), SIMASYNC, RandomScheduler(1))
+        assert r.output == w
+
+
+class TestBarbell:
+    def test_shape(self):
+        b = barbell_graph(5)
+        assert b.n == 10 and b.m == 2 * 10 + 1
+        assert is_connected(b)
+        assert b.has_edge(5, 6)  # the bridge
+
+    def test_bridge_is_critical(self):
+        b = barbell_graph(4)
+        assert not is_connected(b.without_edges([(4, 5)]))
+
+    def test_connectivity_protocol(self):
+        b = barbell_graph(4)
+        r = run(b, ConnectivityProtocol(), SYNC, MinIdScheduler())
+        assert r.output == 1
+        cut = b.without_edges([(4, 5)])
+        r = run(cut, ConnectivityProtocol(), SYNC, MinIdScheduler())
+        assert r.output == 0
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            barbell_graph(1)
+
+
+class TestCaterpillar:
+    def test_shape(self):
+        c = caterpillar_graph(5, 3)
+        assert c.n == 20 and c.m == 19  # a tree
+        assert degeneracy(c) == 1
+
+    def test_no_legs_is_path(self):
+        from repro.graphs.generators import path_graph
+
+        assert caterpillar_graph(6, 0) == path_graph(6)
+
+    def test_forest_build(self):
+        from repro.protocols.build import ForestBuildProtocol
+
+        c = caterpillar_graph(4, 2)
+        r = run(c, ForestBuildProtocol(), SIMASYNC, RandomScheduler(3))
+        assert r.output == c
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            caterpillar_graph(0, 1)
+
+
+class TestHypercube:
+    def test_shape(self):
+        h = hypercube_graph(3)
+        assert h.n == 8 and h.m == 12 and h.is_regular(3)
+        assert is_bipartite(h)
+        assert diameter(h) == 3
+
+    def test_degenerate_cases(self):
+        assert hypercube_graph(0).n == 1
+        assert hypercube_graph(1).m == 1
+        with pytest.raises(ValueError):
+            hypercube_graph(-1)
+
+    def test_sync_bfs_on_q4(self):
+        h = hypercube_graph(4)
+        r = run(h, SyncBfsProtocol(), SYNC, RandomScheduler(2))
+        assert r.success and r.output == canonical_bfs_forest(h)

@@ -1,0 +1,193 @@
+"""Tests for the layered BFS protocols (Theorems 7, 10 and Corollary 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ASYNC, SYNC, MinIdScheduler, RandomScheduler, run
+from repro.core.schedulers import default_portfolio
+from repro.core.simulator import all_executions
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import canonical_bfs_forest, is_bipartite, is_even_odd_bipartite
+from repro.protocols.bfs import (
+    BipartiteBfsAsyncProtocol,
+    EobBfsProtocol,
+    SyncBfsProtocol,
+    parse_board,
+)
+from repro.protocols.naive import NOT_EOB
+
+
+class TestEobBfs:
+    def test_random_instances_all_adversaries(self):
+        for seed in range(5):
+            g = gen.random_even_odd_bipartite(12, 0.35, seed=seed)
+            ref = canonical_bfs_forest(g)
+            for sched in default_portfolio((0, 1)):
+                r = run(g, EobBfsProtocol(), ASYNC, sched)
+                assert r.success and r.output == ref, (seed, sched.name)
+
+    def test_exhaustive_small(self):
+        g = gen.random_even_odd_bipartite(5, 0.6, seed=1)
+        ref = canonical_bfs_forest(g)
+        for r in all_executions(g, EobBfsProtocol(), ASYNC):
+            assert r.success and r.output == ref, r.write_order
+
+    def test_negative_answer_on_invalid_graphs(self):
+        bad = LabeledGraph(6, [(1, 3), (3, 4), (4, 5), (2, 6)])
+        for sched in default_portfolio((0, 1)):
+            r = run(bad, EobBfsProtocol(), ASYNC, sched)
+            assert r.success, "invalid graphs must still terminate"
+            assert r.output == NOT_EOB
+
+    def test_negative_answer_exhaustive(self):
+        bad = LabeledGraph(4, [(1, 3), (2, 4)])  # both edges same-parity
+        for r in all_executions(bad, EobBfsProtocol(), ASYNC):
+            assert r.success and r.output == NOT_EOB
+
+    def test_disconnected_components(self):
+        g = LabeledGraph(9, [(1, 2), (2, 3), (5, 6), (8, 9)])
+        assert is_even_odd_bipartite(g)
+        r = run(g, EobBfsProtocol(), ASYNC, RandomScheduler(3))
+        assert r.output == canonical_bfs_forest(g)
+        assert set(r.output.roots) == {1, 4, 5, 7, 8}
+
+    def test_edgeless(self):
+        g = LabeledGraph(4)
+        r = run(g, EobBfsProtocol(), ASYNC, MinIdScheduler())
+        assert r.output == canonical_bfs_forest(g)
+
+    def test_single_node(self):
+        r = run(LabeledGraph(1), EobBfsProtocol(), ASYNC, MinIdScheduler())
+        assert r.success and r.output.roots == (1,)
+
+    def test_layers_written_in_order(self):
+        """Layer-by-layer activation: within one component, write
+        positions ordered by layer."""
+        g = gen.random_even_odd_bipartite(10, 0.5, seed=4)
+        r = run(g, EobBfsProtocol(), ASYNC, RandomScheduler(9))
+        state = parse_board(r.board.view())
+        for epoch in state.epochs:
+            layers = [rec.layer for rec in epoch.records]
+            assert layers == sorted(layers)
+
+
+class TestBipartiteAsync:
+    def test_bipartite_inputs(self):
+        for seed in range(4):
+            g = gen.random_bipartite(5, 6, 0.4, seed=seed)
+            ref = canonical_bfs_forest(g)
+            for sched in default_portfolio((0,)):
+                r = run(g, BipartiteBfsAsyncProtocol(), ASYNC, sched)
+                assert r.success and r.output == ref
+
+    def test_even_cycle(self):
+        g = gen.cycle_graph(8)
+        r = run(g, BipartiteBfsAsyncProtocol(), ASYNC, RandomScheduler(1))
+        assert r.success and r.output == canonical_bfs_forest(g)
+
+    def test_deadlock_on_intra_layer_edge(self):
+        """Triangle first, second component starves: the paper's
+        corrupted-configuration behaviour."""
+        g = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+        r = run(g, BipartiteBfsAsyncProtocol(), ASYNC, MinIdScheduler())
+        assert r.corrupted
+        assert r.deadlocked_nodes == {4, 5}
+
+    def test_never_wrong_only_deadlocked(self):
+        """On non-bipartite inputs every run either deadlocks or outputs
+        the correct forest — never a wrong forest."""
+        for seed in range(6):
+            g = gen.random_graph(8, 0.3, seed=seed + 40)
+            ref = canonical_bfs_forest(g)
+            r = run(g, BipartiteBfsAsyncProtocol(), ASYNC, RandomScheduler(seed))
+            if r.success:
+                assert r.output == ref
+
+
+class TestSyncBfs:
+    def test_arbitrary_graphs_all_adversaries(self):
+        cases = [
+            gen.random_graph(11, 0.25, seed=s) for s in range(4)
+        ] + [
+            gen.petersen_graph(),
+            gen.complete_graph(6),
+            gen.cycle_graph(7),
+            gen.star_graph(8),
+        ]
+        for g in cases:
+            ref = canonical_bfs_forest(g)
+            for sched in default_portfolio((0, 1)):
+                r = run(g, SyncBfsProtocol(), SYNC, sched)
+                assert r.success and r.output == ref
+
+    def test_exhaustive_small_nonbipartite(self):
+        g = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+        ref = canonical_bfs_forest(g)
+        for r in all_executions(g, SyncBfsProtocol(), SYNC):
+            assert r.success and r.output == ref, r.write_order
+
+    def test_disconnected_with_triangles(self):
+        g = LabeledGraph(8, [(1, 2), (2, 3), (3, 1), (5, 6), (6, 7), (7, 5)])
+        for sched in default_portfolio((0,)):
+            r = run(g, SyncBfsProtocol(), SYNC, sched)
+            assert r.success and r.output == canonical_bfs_forest(g)
+
+    def test_d0_field_nonzero_on_odd_cycles(self):
+        """The general-graph certificate actually uses d0: some record of
+        an odd cycle must count a same-layer neighbour."""
+        g = gen.cycle_graph(5)
+        r = run(g, SyncBfsProtocol(), SYNC, MinIdScheduler())
+        d0s = [p[5] for p in r.board.view()]
+        assert any(d > 0 for d in d0s)
+
+    def test_message_bits_logarithmic(self):
+        sizes = {}
+        for n in (8, 32, 128):
+            g = gen.random_connected_graph(n, 0.1, seed=n)
+            r = run(g, SyncBfsProtocol(), SYNC, RandomScheduler(0))
+            sizes[n] = r.max_message_bits
+        assert sizes[128] < 2 * sizes[8]
+        assert sizes[128] < 120
+
+
+class TestBoardParsing:
+    def test_rejects_garbage(self):
+        from repro.core.whiteboard import BoardView
+
+        with pytest.raises(ValueError):
+            parse_board(BoardView((("X", 1),)))
+
+    def test_rejects_record_before_root(self):
+        from repro.core.whiteboard import BoardView
+
+        with pytest.raises(ValueError):
+            parse_board(BoardView((("B", 2, 1, 1, 1, 0),)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=10 ** 6),
+    st.integers(min_value=0, max_value=50),
+)
+def test_sync_bfs_matches_oracle_property(n, seed, sched_seed):
+    g = gen.random_graph(n, 0.3, seed=seed)
+    r = run(g, SyncBfsProtocol(), SYNC, RandomScheduler(sched_seed))
+    assert r.success and r.output == canonical_bfs_forest(g)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=10 ** 6),
+    st.integers(min_value=0, max_value=50),
+)
+def test_eob_bfs_decides_property(n, seed, sched_seed):
+    g = gen.random_graph(n, 0.3, seed=seed)
+    r = run(g, EobBfsProtocol(), ASYNC, RandomScheduler(sched_seed))
+    assert r.success
+    if is_even_odd_bipartite(g):
+        assert r.output == canonical_bfs_forest(g)
+    else:
+        assert r.output == NOT_EOB

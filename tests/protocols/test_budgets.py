@@ -1,0 +1,129 @@
+"""Budget-enforcement tests: the ``f(n)`` in ``MODEL[f(n)]``, made hard.
+
+Every positive result in the paper is a statement "protocol X works with
+O(g(n))-bit messages".  These tests run each protocol with the simulator
+*enforcing* a concrete envelope of that shape — any message exceeding it
+raises — so the asymptotic part of each theorem is continuously
+regression-checked, not just eyeballed from measurements.
+"""
+
+import pytest
+
+from repro.analysis.budgets import (
+    klogn_budget,
+    linear_budget,
+    logn_budget,
+    polylog_budget,
+)
+from repro.core import ASYNC, SIMASYNC, SIMSYNC, SYNC, RandomScheduler, run
+from repro.core.errors import MessageTooLarge
+from repro.graphs import generators as gen
+from repro.protocols.bfs import EobBfsProtocol, SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.build_extended import ExtendedBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.protocols.naive import NaiveBuildProtocol
+from repro.protocols.randomized import RandomizedTwoCliquesProtocol
+from repro.protocols.sketching import SketchConnectivityProtocol
+from repro.protocols.two_cliques import TwoCliquesProtocol
+
+SIZES = (8, 32, 128)
+
+
+def run_with_budget(graph, protocol, model, budget):
+    return run(graph, protocol, model, RandomScheduler(0),
+               bit_budget=budget(graph.n))
+
+
+class TestLogNProtocols:
+    """Theorems 5, 7, 10 and §5.1 fit in c·log2(n) + b bits."""
+
+    def test_mis(self):
+        for n in SIZES:
+            g = gen.random_connected_graph(n, 0.2, seed=n)
+            r = run_with_budget(g, RootedMisProtocol(1), SIMSYNC, logn_budget(4, 32))
+            assert r.success
+
+    def test_two_cliques(self):
+        for half in (4, 16, 64):
+            g = gen.two_cliques(half)
+            r = run_with_budget(g, TwoCliquesProtocol(), SIMSYNC, logn_budget(4, 16))
+            assert r.success
+
+    def test_eob_bfs(self):
+        for n in SIZES:
+            g = gen.random_even_odd_bipartite(n, 0.3, seed=n)
+            r = run_with_budget(g, EobBfsProtocol(), ASYNC, logn_budget(8, 48))
+            assert r.success
+
+    def test_sync_bfs(self):
+        for n in SIZES:
+            g = gen.random_connected_graph(n, 0.1, seed=n)
+            r = run_with_budget(g, SyncBfsProtocol(), SYNC, logn_budget(8, 56))
+            assert r.success
+
+
+class TestKLogNProtocols:
+    """Lemma 1: Theorem 2 (and the Section 3 extension) fit in
+    c·k²·log2(n) + b bits."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_build(self, k):
+        for n in SIZES:
+            g = gen.random_k_degenerate(n, k, seed=n + k)
+            r = run_with_budget(
+                g, DegenerateBuildProtocol(k), SIMASYNC, klogn_budget(k, 6, 48)
+            )
+            assert r.success and r.output == g
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_extended_build(self, k):
+        for n in SIZES:
+            g = gen.random_k_degenerate(n, k, seed=n).complement()
+            r = run_with_budget(
+                g, ExtendedBuildProtocol(k), SIMASYNC, klogn_budget(k, 12, 96)
+            )
+            assert r.success and r.output == g
+
+
+class TestRandomizedProtocols:
+    def test_fingerprints_fit_logn_plus_field(self):
+        for half in (8, 32):
+            g = gen.two_cliques(half)
+            p = RandomizedTwoCliquesProtocol(shared_seed=1)
+            r = run_with_budget(g, p, SIMASYNC, logn_budget(4, 160))
+            assert r.success  # id + one 61-bit field element
+
+    def test_sketching_fits_polylog(self):
+        for n in (8, 16, 32):
+            g = gen.random_connected_graph(n, 0.2, seed=n)
+            p = SketchConnectivityProtocol(shared_seed=1)
+            r = run_with_budget(g, p, SIMASYNC, polylog_budget(3, 100, 4096))
+            assert r.success
+
+
+class TestBudgetsBind:
+    """The envelopes are meaningful: tight budgets reject fat protocols."""
+
+    def test_naive_build_breaks_logn_budget(self):
+        g = gen.complete_graph(64)
+        with pytest.raises(MessageTooLarge):
+            run_with_budget(g, NaiveBuildProtocol(), SIMASYNC, logn_budget(4, 16))
+
+    def test_naive_build_fits_linear_budget(self):
+        g = gen.complete_graph(64)
+        r = run_with_budget(g, NaiveBuildProtocol(), SIMASYNC, linear_budget())
+        assert r.success
+
+    def test_build_breaks_understated_budget(self):
+        g = gen.random_k_degenerate(128, 4, seed=1)
+        with pytest.raises(MessageTooLarge):
+            run_with_budget(
+                g, DegenerateBuildProtocol(4), SIMASYNC, logn_budget(1, 4)
+            )
+
+    def test_budget_helpers_validate(self):
+        with pytest.raises(ValueError):
+            klogn_budget(-1)
+        with pytest.raises(ValueError):
+            polylog_budget(0)

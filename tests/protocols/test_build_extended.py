@@ -1,0 +1,122 @@
+"""Tests for the extended (mixed low/high degree) BUILD protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ALL_MODELS, SIMASYNC, MinIdScheduler, RandomScheduler, run
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.protocols.build import NOT_IN_CLASS, DegenerateBuildProtocol
+from repro.protocols.build_extended import (
+    ExtendedBuildProtocol,
+    has_mixed_elimination_order,
+)
+
+
+def clique_with_pendants(clique: int, pendants: int) -> LabeledGraph:
+    """K_clique plus `pendants` degree-1 nodes hanging off node 1."""
+    edges = [(u, v) for u in range(1, clique + 1) for v in range(u + 1, clique + 1)]
+    edges += [(1, clique + i) for i in range(1, pendants + 1)]
+    return LabeledGraph(clique + pendants, edges)
+
+
+class TestClassOracle:
+    def test_k_degenerate_included(self):
+        g = gen.random_k_degenerate(12, 2, seed=1)
+        assert has_mixed_elimination_order(g, 2)
+
+    def test_complement_of_degenerate_included(self):
+        g = gen.random_k_degenerate(10, 2, seed=2).complement()
+        assert has_mixed_elimination_order(g, 2)
+
+    def test_clique_included_for_any_k(self):
+        assert has_mixed_elimination_order(gen.complete_graph(9), 0)
+
+    def test_clique_plus_pendants(self):
+        assert has_mixed_elimination_order(clique_with_pendants(7, 4), 1)
+
+    def test_excluded_graph(self):
+        # A 3-regular bipartite-ish graph on 8 nodes: residual degrees sit
+        # strictly between k=0 and r-1-k for the first step.
+        g = gen.random_regular_circulant(8, 3, seed=0)
+        assert not has_mixed_elimination_order(g, 0)
+
+
+class TestExtendedBuild:
+    def test_reconstructs_degenerate_graphs(self):
+        for seed in range(3):
+            g = gen.random_k_degenerate(10, 2, seed=seed)
+            r = run(g, ExtendedBuildProtocol(2), SIMASYNC, RandomScheduler(seed))
+            assert r.output == g
+
+    def test_reconstructs_complements(self):
+        """The new capability: dense graphs whose *complement* is sparse."""
+        for seed in range(3):
+            g = gen.random_k_degenerate(10, 2, seed=seed).complement()
+            assert run(g, ExtendedBuildProtocol(2), SIMASYNC,
+                       RandomScheduler(seed)).output == g
+            # ...which the plain Theorem 2 protocol rejects:
+            plain = run(g, DegenerateBuildProtocol(2), SIMASYNC, MinIdScheduler())
+            if g.min_degree() > 2:  # genuinely dense instance
+                assert plain.output == NOT_IN_CLASS
+
+    def test_reconstructs_cliques(self):
+        g = gen.complete_graph(8)
+        assert run(g, ExtendedBuildProtocol(0), SIMASYNC,
+                   MinIdScheduler()).output == g
+
+    def test_clique_with_pendants(self):
+        g = clique_with_pendants(6, 3)
+        assert run(g, ExtendedBuildProtocol(1), SIMASYNC,
+                   RandomScheduler(4)).output == g
+
+    def test_mixed_alternating_order(self):
+        """A graph needing *alternating* low/high eliminations: pendant ->
+        clique-node -> pendant ..."""
+        g = clique_with_pendants(5, 5)
+        assert run(g, ExtendedBuildProtocol(1), SIMASYNC,
+                   MinIdScheduler()).output == g
+
+    def test_out_of_class_rejected(self):
+        g = gen.random_regular_circulant(8, 3, seed=0)
+        r = run(g, ExtendedBuildProtocol(0), SIMASYNC, MinIdScheduler())
+        assert r.output == NOT_IN_CLASS
+
+    def test_all_models(self):
+        g = gen.complete_graph(5)
+        for model in ALL_MODELS:
+            assert run(g, ExtendedBuildProtocol(1), model,
+                       RandomScheduler(1)).output == g
+
+    def test_message_is_double_width(self):
+        g = gen.random_k_degenerate(20, 2, seed=5)
+        ext = run(g, ExtendedBuildProtocol(2), SIMASYNC, MinIdScheduler())
+        plain = run(g, DegenerateBuildProtocol(2), SIMASYNC, MinIdScheduler())
+        assert plain.max_message_bits < ext.max_message_bits
+        assert ext.max_message_bits < 3 * plain.max_message_bits
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ExtendedBuildProtocol(-1)
+
+    def test_message_bits_still_logarithmic(self):
+        small = run(gen.complete_graph(8), ExtendedBuildProtocol(1), SIMASYNC,
+                    MinIdScheduler()).max_message_bits
+        large = run(gen.complete_graph(64), ExtendedBuildProtocol(1), SIMASYNC,
+                    MinIdScheduler()).max_message_bits
+        assert large < 3 * small  # Θ(n) growth would give ~8x
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=2),
+    st.integers(min_value=0, max_value=10 ** 6),
+    st.booleans(),
+)
+def test_extended_roundtrip_property(n, k, seed, use_complement):
+    g = gen.random_k_degenerate(n, k, seed=seed)
+    if use_complement:
+        g = g.complement()
+    r = run(g, ExtendedBuildProtocol(k), SIMASYNC, RandomScheduler(seed))
+    assert r.output == g

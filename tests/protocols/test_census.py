@@ -1,0 +1,60 @@
+"""Hygiene tests: the protocol census stays in sync with the code."""
+
+import pytest
+
+from repro.protocols.census import CENSUS, render_census
+
+
+class TestCensus:
+    def test_keys_unique(self):
+        keys = [e.key for e in CENSUS]
+        assert len(keys) == len(set(keys))
+
+    def test_every_entry_instantiates(self):
+        for entry in CENSUS:
+            proto = entry.instantiate()  # asserts designed_for == census model
+            assert proto.name
+            assert proto.__doc__ or type(proto).__doc__
+
+    def test_models_are_valid(self):
+        from repro.core.models import MODELS_BY_NAME
+
+        for entry in CENSUS:
+            assert entry.model in MODELS_BY_NAME
+
+    def test_paper_results_covered(self):
+        sources = " | ".join(e.source for e in CENSUS)
+        for needed in ("Theorem 2", "Theorem 5", "Theorem 7", "Theorem 9",
+                       "Theorem 10", "Section 5.1", "Corollary 4", "Section 7"):
+            assert needed in sources, needed
+
+    def test_mismatch_detected(self):
+        from repro.protocols.census import ProtocolEntry
+        from repro.protocols.mis import RootedMisProtocol
+
+        bad = ProtocolEntry("x", "p", "SIMASYNC", "O(1)", "s",
+                            lambda: RootedMisProtocol(1))  # really SIMSYNC
+        with pytest.raises(AssertionError):
+            bad.instantiate()
+
+    def test_render(self):
+        text = render_census()
+        assert "Theorem 10" in text and "sketch-connectivity" in text
+        assert len(text.splitlines()) == len(CENSUS) + 2
+
+    def test_every_protocol_runs_once(self):
+        """Each census entry executes end-to-end on a tiny instance of
+        its model without raising (output correctness is the domain of
+        the per-protocol suites)."""
+        from repro.core import MODELS_BY_NAME, MinIdScheduler, run
+        from repro.graphs.generators import random_even_odd_bipartite, two_cliques
+
+        for entry in CENSUS:
+            proto = entry.instantiate()
+            if "2-CLIQUES" in entry.problem:
+                g = two_cliques(3)
+            else:
+                g = random_even_odd_bipartite(6, 0.5, seed=1)
+            model = MODELS_BY_NAME[entry.model]
+            result = run(g, proto, model, MinIdScheduler())
+            assert result.success, entry.key

@@ -1,0 +1,76 @@
+"""Tests for the connectivity corollaries of Theorem 10."""
+
+import pytest
+
+from repro.core import ASYNC, SYNC, MinIdScheduler, RandomScheduler, run
+from repro.core.schedulers import default_portfolio
+from repro.core.simulator import all_executions
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import canonical_bfs_forest, is_connected
+from repro.protocols.connectivity import ConnectivityProtocol, SpanningForestProtocol
+
+
+class TestSpanningForest:
+    def test_matches_canonical_forest_edges(self):
+        for seed in range(4):
+            g = gen.random_graph(10, 0.3, seed=seed)
+            r = run(g, SpanningForestProtocol(), SYNC, RandomScheduler(seed))
+            assert r.success
+            assert r.output == canonical_bfs_forest(g).tree_edges()
+
+    def test_tree_input_returns_itself(self):
+        t = gen.random_tree(9, seed=2)
+        r = run(t, SpanningForestProtocol(), SYNC, MinIdScheduler())
+        assert r.output == t.edge_set()
+
+    def test_spanning_property(self):
+        """Per component: |tree edges| = |component| - 1 and they connect it."""
+        g = gen.random_graph(12, 0.25, seed=5)
+        r = run(g, SpanningForestProtocol(), SYNC, RandomScheduler(1))
+        forest = LabeledGraph(g.n, r.output)
+        from repro.graphs.properties import connected_components
+
+        assert connected_components(forest) == connected_components(g)
+        assert forest.m == g.n - len(connected_components(g))
+
+    def test_exhaustive_small(self):
+        g = LabeledGraph(4, [(1, 2), (2, 3), (3, 1)])
+        want = canonical_bfs_forest(g).tree_edges()
+        for r in all_executions(g, SpanningForestProtocol(), SYNC):
+            assert r.success and r.output == want
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (gen.path_graph(6), 1),
+            (gen.complete_graph(5), 1),
+            (gen.cycle_graph(5), 1),
+            (LabeledGraph(4, [(1, 2)]), 0),
+            (gen.two_cliques(3), 0),
+            (LabeledGraph(1), 1),
+            (LabeledGraph(3), 0),
+        ],
+        ids=["path", "K5", "C5", "partial", "two-cliques", "K1", "edgeless"],
+    )
+    def test_known_instances(self, graph, expected):
+        r = run(graph, ConnectivityProtocol(), SYNC, MinIdScheduler())
+        assert r.success and r.output == expected
+
+    def test_matches_oracle_under_adversaries(self):
+        for seed in range(5):
+            g = gen.random_graph(9, 0.22, seed=seed)
+            want = 1 if is_connected(g) else 0
+            for sched in default_portfolio((0, 1)):
+                r = run(g, ConnectivityProtocol(), SYNC, sched)
+                assert r.success and r.output == want
+
+    def test_open_problem_2_behaviour_in_async(self):
+        """Running the SYNC protocol under ASYNC freezing loses the d0
+        updates: non-bipartite components deadlock, which is exactly why
+        Open Problem 2 is open."""
+        g = LabeledGraph(5, [(1, 2), (2, 3), (3, 1), (4, 5)])
+        r = run(g, ConnectivityProtocol(), ASYNC, MinIdScheduler())
+        assert r.corrupted

@@ -1,0 +1,89 @@
+"""Tests for the square/diameter protocols (Section 1's hard questions)."""
+
+import pytest
+
+from repro.core import SIMASYNC, MinIdScheduler, RandomScheduler, run
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import diameter, has_square, is_connected
+from repro.protocols.build import NOT_IN_CLASS
+from repro.protocols.distance import (
+    DISCONNECTED,
+    DegenerateDiameterProtocol,
+    DegenerateSquareProtocol,
+    NaiveDiameterProtocol,
+    NaiveSquareProtocol,
+)
+
+
+class TestNaiveSquare:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (gen.cycle_graph(4), 1),
+            (gen.cycle_graph(5), 0),
+            (gen.complete_bipartite(2, 2), 1),
+            (gen.complete_graph(3), 0),
+            (gen.petersen_graph(), 0),  # girth 5
+            (gen.grid_graph(2, 3), 1),
+        ],
+        ids=["C4", "C5", "K22", "K3", "petersen", "grid"],
+    )
+    def test_known(self, graph, expected):
+        r = run(graph, NaiveSquareProtocol(), SIMASYNC, MinIdScheduler())
+        assert r.output == expected
+
+    def test_matches_oracle(self):
+        for seed in range(5):
+            g = gen.random_graph(9, 0.3, seed=seed)
+            r = run(g, NaiveSquareProtocol(), SIMASYNC, RandomScheduler(seed))
+            assert r.output == (1 if has_square(g) else 0)
+
+
+class TestNaiveDiameter:
+    def test_connected_values(self):
+        cases = [
+            (gen.path_graph(7), 6),
+            (gen.complete_graph(5), 1),
+            (gen.cycle_graph(8), 4),
+            (gen.star_graph(9), 2),
+        ]
+        for g, want in cases:
+            r = run(g, NaiveDiameterProtocol(), SIMASYNC, MinIdScheduler())
+            assert r.output == want
+
+    def test_disconnected_marker(self):
+        g = LabeledGraph(4, [(1, 2)])
+        r = run(g, NaiveDiameterProtocol(), SIMASYNC, MinIdScheduler())
+        assert r.output == DISCONNECTED
+
+    def test_diameter_at_most_3_question(self):
+        """The paper's exact question is a post-filter on the output."""
+        g = gen.random_connected_graph(12, 0.3, seed=4)
+        r = run(g, NaiveDiameterProtocol(), SIMASYNC, RandomScheduler(1))
+        assert (r.output <= 3) == (diameter(g) <= 3)
+
+
+class TestDegenerateVariants:
+    def test_square_on_promise_class(self):
+        for seed in range(4):
+            g = gen.random_k_degenerate(11, 2, seed=seed)
+            r = run(g, DegenerateSquareProtocol(2), SIMASYNC, RandomScheduler(seed))
+            assert r.output == (1 if has_square(g) else 0)
+
+    def test_diameter_on_promise_class(self):
+        for seed in range(4):
+            g = gen.random_k_degenerate(10, 2, seed=seed + 10)
+            r = run(g, DegenerateDiameterProtocol(2), SIMASYNC, MinIdScheduler())
+            want = diameter(g) if is_connected(g) else DISCONNECTED
+            assert r.output == want
+
+    def test_promise_violation_rejected(self):
+        for proto in (DegenerateSquareProtocol(1), DegenerateDiameterProtocol(1)):
+            r = run(gen.complete_graph(5), proto, SIMASYNC, MinIdScheduler())
+            assert r.output == NOT_IN_CLASS
+
+    def test_messages_are_logarithmic(self):
+        g = gen.random_k_degenerate(128, 2, seed=3)
+        r = run(g, DegenerateSquareProtocol(2), SIMASYNC, MinIdScheduler())
+        assert r.max_message_bits < 160  # vs ~n for the naive variant

@@ -1,0 +1,115 @@
+"""Tests for Theorem 5's rooted MIS protocol (SIMSYNC)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ASYNC, SIMSYNC, SYNC, MinIdScheduler, RandomScheduler, run
+from repro.core.schedulers import DelayTargetScheduler, default_portfolio
+from repro.core.simulator import all_executions
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import is_rooted_mis
+from repro.hierarchy.adapters import lift
+from repro.protocols.mis import IN_SET, RootedMisProtocol
+
+
+class TestCorrectness:
+    def test_every_schedule_small_graphs(self):
+        """Exhaustive check: all adversary orders on all roots of several
+        5-node graphs yield a valid rooted MIS."""
+        for seed in range(4):
+            g = gen.random_graph(5, 0.5, seed=seed)
+            for root in g.nodes():
+                for r in all_executions(g, RootedMisProtocol(root), SIMSYNC):
+                    assert r.success
+                    assert is_rooted_mis(g, r.output, root), (seed, root, r.write_order)
+
+    def test_portfolio_larger_graphs(self):
+        for seed in range(3):
+            g = gen.random_connected_graph(15, 0.25, seed=seed)
+            root = (seed % g.n) + 1
+            for sched in default_portfolio((0, 1)):
+                r = run(g, RootedMisProtocol(root), SIMSYNC, sched)
+                assert is_rooted_mis(g, r.output, root)
+
+    def test_root_always_included_under_starvation(self):
+        """Even an adversary that starves the root cannot keep it out."""
+        g = gen.random_connected_graph(10, 0.3, seed=6)
+        root = 4
+        r = run(g, RootedMisProtocol(root), SIMSYNC, DelayTargetScheduler([root]))
+        assert root in r.output and is_rooted_mis(g, r.output, root)
+
+    def test_output_depends_on_schedule(self):
+        """Different adversaries may produce different (all valid) MIS —
+        the protocol's output is schedule-dependent by design."""
+        g = gen.path_graph(5)
+        outputs = {r.output for r in all_executions(g, RootedMisProtocol(1), SIMSYNC)}
+        assert len(outputs) > 1
+        assert all(is_rooted_mis(g, s, 1) for s in outputs)
+
+    def test_star_rooted_at_center_and_leaf(self):
+        g = gen.star_graph(6)
+        r = run(g, RootedMisProtocol(1), SIMSYNC, RandomScheduler(0))
+        assert r.output == frozenset({1})
+        r = run(g, RootedMisProtocol(3), SIMSYNC, RandomScheduler(0))
+        assert r.output == frozenset({2, 3, 4, 5, 6})
+
+    def test_edgeless_graph(self):
+        g = LabeledGraph(4)
+        r = run(g, RootedMisProtocol(2), SIMSYNC, MinIdScheduler())
+        assert r.output == frozenset({1, 2, 3, 4})
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(5)
+        for root in g.nodes():
+            r = run(g, RootedMisProtocol(root), SIMSYNC, MinIdScheduler())
+            assert r.output == frozenset({root})
+
+    def test_single_node(self):
+        r = run(LabeledGraph(1), RootedMisProtocol(1), SIMSYNC, MinIdScheduler())
+        assert r.output == frozenset({1})
+
+
+class TestMessageStructure:
+    def test_message_bits_logarithmic(self):
+        sizes = {}
+        for n in (8, 32, 128):
+            g = gen.random_connected_graph(n, 0.2, seed=n)
+            r = run(g, RootedMisProtocol(1), SIMSYNC, RandomScheduler(1))
+            sizes[n] = r.max_message_bits
+        # O(log n): far below linear growth
+        assert sizes[128] < sizes[8] * 4
+        assert sizes[128] < 64
+
+    def test_board_contains_in_and_no_tags(self):
+        g = gen.path_graph(4)
+        r = run(g, RootedMisProtocol(1), SIMSYNC, MinIdScheduler())
+        tags = {p[0] for p in r.board.view()}
+        assert tags == {IN_SET, "no"}
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            RootedMisProtocol(0)
+
+
+class TestLifted:
+    def test_lemma4_lifts_preserve_correctness(self):
+        g = gen.random_connected_graph(9, 0.3, seed=2)
+        for model in (ASYNC, SYNC):
+            lifted = lift(RootedMisProtocol(3), model)
+            for sched in default_portfolio((0,)):
+                r = run(g, lifted, model, sched)
+                assert r.success and is_rooted_mis(g, r.output, 3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=10 ** 6),
+    st.integers(min_value=0, max_value=100),
+)
+def test_mis_always_valid_property(n, seed, sched_seed):
+    g = gen.random_graph(n, 0.4, seed=seed)
+    root = (seed % n) + 1
+    r = run(g, RootedMisProtocol(root), SIMSYNC, RandomScheduler(sched_seed))
+    assert is_rooted_mis(g, r.output, root)

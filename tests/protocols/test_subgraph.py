@@ -1,0 +1,71 @@
+"""Tests for SUBGRAPH_f (Theorem 9)."""
+
+import pytest
+
+from repro.core import ALL_MODELS, SIMASYNC, MinIdScheduler, RandomScheduler, run
+from repro.core.simulator import all_executions
+from repro.graphs import generators as gen
+from repro.protocols.subgraph import SubgraphProtocol, default_f, subgraph_reference
+from repro.reductions.counting import subgraph_lower_bound_bits
+
+
+class TestProtocol:
+    def test_output_matches_oracle(self):
+        for seed in range(5):
+            g = gen.random_graph(20, 0.4, seed=seed)
+            p = SubgraphProtocol()
+            r = run(g, p, SIMASYNC, RandomScheduler(seed))
+            assert r.output == subgraph_reference(g, default_f(20))
+
+    def test_custom_f(self):
+        g = gen.random_graph(12, 0.5, seed=2)
+        p = SubgraphProtocol(f=lambda n: 4)
+        r = run(g, p, SIMASYNC, MinIdScheduler())
+        assert r.output == g.induced_edge_set([1, 2, 3, 4])
+
+    def test_f_larger_than_n_is_clamped(self):
+        g = gen.random_graph(5, 0.6, seed=1)
+        p = SubgraphProtocol(f=lambda n: 100)
+        r = run(g, p, SIMASYNC, MinIdScheduler())
+        assert r.output == g.edge_set()
+
+    def test_schedule_independent(self):
+        g = gen.random_graph(4, 0.7, seed=3)
+        p = SubgraphProtocol(f=lambda n: 3)
+        outputs = {r.output for r in all_executions(g, p, SIMASYNC)}
+        assert len(outputs) == 1
+
+    def test_runs_in_all_models(self):
+        g = gen.random_graph(9, 0.4, seed=4)
+        p = SubgraphProtocol()
+        want = subgraph_reference(g, default_f(9))
+        for model in ALL_MODELS:
+            assert run(g, p, model, RandomScheduler(1)).output == want
+
+    def test_asymmetric_board_rejected(self):
+        from repro.core.whiteboard import BoardView
+
+        p = SubgraphProtocol(f=lambda n: 2)
+        board = BoardView(((1, 0b10), (2, 0b00)))
+        with pytest.raises(ValueError):
+            p.output(board, 2)
+
+
+class TestResourceTradeoff:
+    def test_message_size_tracks_f(self):
+        """Theorem 9's point: message size is Θ(f(n)), not Θ(log n)."""
+        g = gen.complete_graph(40)
+        small = run(g, SubgraphProtocol(f=lambda n: 4), SIMASYNC, MinIdScheduler())
+        large = run(g, SubgraphProtocol(f=lambda n: 36), SIMASYNC, MinIdScheduler())
+        assert large.max_message_bits > small.max_message_bits + 20
+
+    def test_counting_lower_bound_scales(self):
+        """C(f,2)/n per node: with f = sqrt(n) this is Θ(1), with f = n/2
+        it is Θ(n) — message size is a genuine resource axis."""
+        assert subgraph_lower_bound_bits(100, 10) < 1
+        assert subgraph_lower_bound_bits(100, 50) > 12
+
+    def test_default_f_is_sqrtish(self):
+        assert default_f(16) == 4
+        assert default_f(17) == 5
+        assert default_f(1) == 1

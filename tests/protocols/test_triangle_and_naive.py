@@ -1,0 +1,122 @@
+"""Tests for the TRIANGLE protocols and the naive full-row baselines."""
+
+import pytest
+
+from repro.core import ALL_MODELS, SIMASYNC, MinIdScheduler, RandomScheduler, run
+from repro.core.simulator import all_executions
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import (
+    canonical_bfs_forest,
+    has_triangle,
+    is_rooted_mis,
+)
+from repro.protocols.build import NOT_IN_CLASS
+from repro.protocols.naive import (
+    NOT_EOB,
+    NaiveBuildProtocol,
+    NaiveEobBfsProtocol,
+    NaiveMisProtocol,
+    NaiveTriangleProtocol,
+    graph_from_mask_board,
+    neighborhood_mask,
+)
+from repro.protocols.triangle import DegenerateTriangleProtocol
+
+
+class TestDegenerateTriangle:
+    def test_triangle_in_2_degenerate(self):
+        g = LabeledGraph(5, [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)])
+        r = run(g, DegenerateTriangleProtocol(2), SIMASYNC, RandomScheduler(0))
+        assert r.output == 1
+
+    def test_triangle_free(self):
+        g = gen.cycle_graph(8)
+        r = run(g, DegenerateTriangleProtocol(2), SIMASYNC, MinIdScheduler())
+        assert r.output == 0
+
+    def test_promise_violation(self):
+        r = run(gen.complete_graph(6), DegenerateTriangleProtocol(2), SIMASYNC,
+                MinIdScheduler())
+        assert r.output == NOT_IN_CLASS
+
+    def test_matches_oracle_on_family(self):
+        for seed in range(6):
+            g = gen.random_k_degenerate(12, 3, seed=seed)
+            r = run(g, DegenerateTriangleProtocol(3), SIMASYNC, RandomScheduler(seed))
+            assert r.output == (1 if has_triangle(g) else 0)
+
+    def test_all_models(self):
+        g = gen.random_k_degenerate(8, 2, seed=3)
+        want = 1 if has_triangle(g) else 0
+        for model in ALL_MODELS:
+            r = run(g, DegenerateTriangleProtocol(2), model, RandomScheduler(2))
+            assert r.output == want
+
+
+class TestMaskHelpers:
+    def test_mask_roundtrip(self):
+        assert neighborhood_mask(frozenset({1, 3})) == 0b101
+
+    def test_board_reconstruction(self):
+        from repro.core.whiteboard import BoardView
+
+        g = gen.random_graph(6, 0.5, seed=1)
+        board = BoardView(tuple(
+            (v, neighborhood_mask(g.neighbors(v))) for v in g.nodes()
+        ))
+        assert graph_from_mask_board(board, 6) == g
+
+    def test_asymmetric_rows_rejected(self):
+        from repro.core.whiteboard import BoardView
+
+        board = BoardView(((1, 0b10), (2, 0b00)))
+        with pytest.raises(ValueError):
+            graph_from_mask_board(board, 2)
+
+    def test_incomplete_board_rejected(self):
+        from repro.core.whiteboard import BoardView
+
+        with pytest.raises(ValueError):
+            graph_from_mask_board(BoardView(((1, 0),)), 2)
+
+    def test_malformed_payload_rejected(self):
+        from repro.core.whiteboard import BoardView
+
+        with pytest.raises(ValueError):
+            graph_from_mask_board(BoardView((("x",),)), 1)
+
+
+class TestNaiveProtocols:
+    def test_build_any_graph(self):
+        g = gen.random_graph(10, 0.5, seed=5)
+        r = run(g, NaiveBuildProtocol(), SIMASYNC, RandomScheduler(3))
+        assert r.output == g
+
+    def test_build_message_is_linear_bits(self):
+        """The baseline really costs Θ(n) bits — that is its point."""
+        small = run(gen.complete_graph(8), NaiveBuildProtocol(), SIMASYNC,
+                    MinIdScheduler()).max_message_bits
+        large = run(gen.complete_graph(64), NaiveBuildProtocol(), SIMASYNC,
+                    MinIdScheduler()).max_message_bits
+        assert large > 4 * small
+
+    def test_triangle_oracle(self):
+        for seed in range(5):
+            g = gen.random_graph(8, 0.4, seed=seed)
+            r = run(g, NaiveTriangleProtocol(), SIMASYNC, RandomScheduler(seed))
+            assert r.output == (1 if has_triangle(g) else 0)
+
+    def test_mis_schedule_independent_and_valid(self):
+        g = gen.random_graph(5, 0.5, seed=7)
+        outputs = {r.output for r in all_executions(g, NaiveMisProtocol(2), SIMASYNC)}
+        assert len(outputs) == 1
+        assert is_rooted_mis(g, outputs.pop(), 2)
+
+    def test_eob_bfs_both_answers(self):
+        good = gen.random_even_odd_bipartite(8, 0.5, seed=1)
+        r = run(good, NaiveEobBfsProtocol(), SIMASYNC, RandomScheduler(1))
+        assert r.output == canonical_bfs_forest(good)
+        bad = LabeledGraph(4, [(1, 3)])
+        r = run(bad, NaiveEobBfsProtocol(), SIMASYNC, RandomScheduler(1))
+        assert r.output == NOT_EOB

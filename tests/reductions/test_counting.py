@@ -1,0 +1,148 @@
+"""Tests for the Lemma 3 counting machinery."""
+
+import math
+
+import pytest
+
+from repro.core.protocol import NodeView, Protocol
+from repro.graphs import generators as gen
+from repro.reductions.counting import (
+    build_feasible,
+    distinct_messages_upto,
+    find_simasync_collision,
+    log2_all_graphs,
+    log2_bipartite_fixed_parts,
+    log2_even_odd_bipartite,
+    log2_k_degenerate_lower,
+    log2_labeled_trees,
+    min_message_bits_for_build,
+    simasync_messages,
+    simasync_multiset_capacity,
+    whiteboard_capacity,
+)
+
+
+class TestClassCounts:
+    def test_all_graphs_exact(self):
+        for n in (1, 2, 3, 4, 5):
+            exact = len(list(gen.all_labeled_graphs(n)))
+            assert 2 ** log2_all_graphs(n) == exact
+
+    def test_bipartite_fixed_parts_exact(self):
+        # n = 4, parts {1,2} and {3,4}: 2*2 cross pairs -> 16 graphs
+        assert 2 ** log2_bipartite_fixed_parts(4) == 16
+
+    def test_even_odd_exact_by_enumeration(self):
+        from repro.graphs.properties import is_even_odd_bipartite
+
+        for n in (2, 3, 4):
+            exact = sum(
+                1 for g in gen.all_labeled_graphs(n) if is_even_odd_bipartite(g)
+            )
+            assert 2 ** log2_even_odd_bipartite(n) == exact
+
+    def test_trees_cayley(self):
+        assert 2 ** log2_labeled_trees(3) == pytest.approx(3)
+        assert 2 ** log2_labeled_trees(4) == pytest.approx(16)
+        assert log2_labeled_trees(1) == 0
+
+    def test_k_degenerate_lower_bound_sane(self):
+        # must not exceed the count of all graphs
+        for n in (6, 10):
+            for k in (1, 2, 3):
+                assert log2_k_degenerate_lower(n, k) <= log2_all_graphs(n)
+
+    def test_k_degenerate_lower_bound_is_achievable(self):
+        """The bound counts distinct construction sequences; for k=1 it
+        is (n-1)! / something <= #forests — just check positivity and
+        growth."""
+        assert log2_k_degenerate_lower(10, 2) > log2_k_degenerate_lower(10, 1)
+
+
+class TestLemma3Inequality:
+    def test_whiteboard_capacity(self):
+        assert whiteboard_capacity(10, 7) == 70
+
+    def test_feasibility(self):
+        # all graphs at n=20 need >= 9.5 bits per message
+        n = 20
+        need = min_message_bits_for_build(log2_all_graphs(n), n)
+        assert need == pytest.approx((n - 1) / 2)
+        assert build_feasible(log2_all_graphs(n), n, 10)
+        assert not build_feasible(log2_all_graphs(n), n, 9)
+
+    def test_logn_messages_fail_on_all_graphs(self):
+        """The headline consequence: O(log n) bits cannot BUILD general
+        graphs for any non-tiny n."""
+        for n in (32, 128, 1024):
+            f = int(math.log2(n))
+            assert not build_feasible(log2_all_graphs(n), n, f)
+        # even with a generous constant the gap wins at moderate n
+        for n in (128, 1024):
+            f = 4 * int(math.log2(n))
+            assert not build_feasible(log2_all_graphs(n), n, f)
+
+    def test_logn_messages_suffice_for_trees(self):
+        """...but trees fit comfortably (Theorem 2 is consistent)."""
+        for n in (32, 128, 1024):
+            f = 4 * int(math.log2(n))
+            assert build_feasible(log2_labeled_trees(n), n, f)
+
+
+class TestMultisetCapacity:
+    def test_message_count(self):
+        assert distinct_messages_upto(0) == 1  # just the empty message
+        assert distinct_messages_upto(1) == 3  # empty, 0, 1
+        assert distinct_messages_upto(2) == 7
+        with pytest.raises(ValueError):
+            distinct_messages_upto(-1)
+
+    def test_capacity_formula(self):
+        assert simasync_multiset_capacity(4, 1) == math.comb(3 + 4 - 1, 4)
+
+    def test_pigeonhole_threshold(self):
+        """At n=4, 1-bit messages cannot distinguish the 64 graphs."""
+        assert simasync_multiset_capacity(4, 1) < 64
+        assert simasync_multiset_capacity(4, 6) > 64
+
+
+class _TinyProtocol(Protocol):
+    name = "tiny"
+
+    def message(self, view: NodeView):
+        return view.degree % 2
+
+    def output(self, board, n):
+        return None
+
+
+class _FullProtocol(Protocol):
+    name = "full"
+
+    def message(self, view: NodeView):
+        return (view.node, tuple(sorted(view.neighbors)))
+
+    def output(self, board, n):
+        return None
+
+
+class TestCollisionFinder:
+    def test_tiny_protocol_collides(self):
+        w = find_simasync_collision(_TinyProtocol(), gen.all_labeled_graphs(4))
+        assert w is not None
+        assert w.first != w.second
+        # the certificate really holds: same multiset of messages
+        from collections import Counter
+
+        assert Counter(simasync_messages(_TinyProtocol(), w.first)) == Counter(
+            simasync_messages(_TinyProtocol(), w.second)
+        )
+
+    def test_full_information_protocol_never_collides(self):
+        assert find_simasync_collision(_FullProtocol(), gen.all_labeled_graphs(3)) is None
+
+    def test_messages_are_local(self):
+        g = gen.star_graph(4)
+        msgs = simasync_messages(_FullProtocol(), g)
+        assert msgs[0] == (1, (2, 3, 4))
+        assert msgs[2] == (3, (1,))

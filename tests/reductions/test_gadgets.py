@@ -1,0 +1,133 @@
+"""Tests for the Figure 1 / Theorem 6 / Figure 2 gadget constructions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import bfs_layers_from, has_triangle, is_even_odd_bipartite
+from repro.reductions.gadgets import (
+    eob_gadget,
+    eob_gadget_base_ok,
+    eob_gadget_property,
+    figure1_example,
+    figure2_example,
+    mis_gadget,
+    mis_gadget_property,
+    triangle_gadget,
+    triangle_gadget_property,
+)
+
+
+class TestTriangleGadget:
+    def test_figure1_instance(self):
+        g, gadget = figure1_example()
+        assert g.n == 7 and gadget.n == 8
+        assert not has_triangle(g)
+        assert has_triangle(gadget)  # (2,7) is an edge -> triangle {2,7,8}
+        assert gadget.neighbors(8) == frozenset({2, 7})
+
+    def test_property_all_pairs_on_figure1(self):
+        g, _ = figure1_example()
+        for s in range(1, 8):
+            for t in range(s + 1, 8):
+                assert triangle_gadget_property(g, s, t)
+
+    def test_property_on_random_bipartite(self):
+        for seed in range(4):
+            g = gen.random_bipartite(4, 4, 0.5, seed=seed)
+            for s in range(1, 9):
+                for t in range(s + 1, 9):
+                    assert triangle_gadget_property(g, s, t)
+
+    def test_requires_triangle_free_base(self):
+        with pytest.raises(ValueError):
+            triangle_gadget_property(gen.complete_graph(3), 1, 2)
+
+    def test_distinct_endpoints(self):
+        with pytest.raises(ValueError):
+            triangle_gadget(gen.path_graph(3), 2, 2)
+
+
+class TestMisGadget:
+    def test_apex_neighborhood(self):
+        g = gen.random_graph(6, 0.4, seed=1)
+        gadget = mis_gadget(g, 2, 5)
+        assert gadget.n == 7
+        assert gadget.neighbors(7) == frozenset({1, 3, 4, 6})
+
+    def test_property_random_graphs(self):
+        for seed in range(4):
+            g = gen.random_graph(6, 0.5, seed=seed)
+            for i in range(1, 7):
+                for j in range(i + 1, 7):
+                    assert mis_gadget_property(g, i, j), (seed, i, j)
+
+    def test_distinct_required(self):
+        with pytest.raises(ValueError):
+            mis_gadget(gen.path_graph(3), 1, 1)
+
+
+def _random_base(n: int, seed: int) -> LabeledGraph:
+    import random
+
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(2, n + 1)
+        for v in range(u + 1, n + 1)
+        if (u - v) % 2 == 1 and rng.random() < 0.5
+    ]
+    return LabeledGraph(n, edges)
+
+
+class TestEobGadget:
+    def test_figure2_instance(self):
+        base, gadget = figure2_example()
+        assert base.n == 7 and gadget.n == 13
+        assert is_even_odd_bipartite(gadget)
+        # caption: layers from node 1 pass 1 -> 10 -> 5 -> N(5)
+        layers = bfs_layers_from(gadget, 1)
+        assert layers[10] == 1 and layers[5] == 2
+        layer3 = {v for v, l in layers.items() if l == 3}
+        assert layer3 == set(base.neighbors(5))
+
+    def test_property_all_odd_i(self):
+        for seed in range(4):
+            base = _random_base(9, seed)
+            for i in (3, 5, 7, 9):
+                assert eob_gadget_property(base, i), (seed, i)
+
+    def test_gadget_shape(self):
+        base = _random_base(7, 0)
+        g = eob_gadget(base, 3)
+        assert g.n == 13
+        assert g.neighbors(1) == frozenset({3 + 7 - 2})
+        # every odd base node has its fixed auxiliary
+        for j in (3, 5, 7):
+            assert j + 5 in g.neighbors(j)
+        for j in (2, 4, 6):
+            assert j + 7 in g.neighbors(j)
+
+    def test_preconditions_enforced(self):
+        base = _random_base(7, 1)
+        with pytest.raises(ValueError):
+            eob_gadget(base, 4)  # even i
+        with pytest.raises(ValueError):
+            eob_gadget(base, 1)  # i < 3
+        even_n = LabeledGraph(8, [(2, 3)])
+        with pytest.raises(ValueError):
+            eob_gadget(even_n, 3)  # n even
+        node1_used = LabeledGraph(7, [(1, 2), (2, 3)])
+        with pytest.raises(ValueError):
+            eob_gadget(node1_used, 3)  # node 1 not isolated
+        non_eob = LabeledGraph(7, [(3, 5)])
+        assert not eob_gadget_base_ok(non_eob, 7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_eob_gadget_property_random(seed):
+    base = _random_base(7, seed)
+    for i in (3, 5, 7):
+        assert eob_gadget_property(base, i)

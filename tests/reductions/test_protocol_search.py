@@ -1,0 +1,126 @@
+"""Tests for the exhaustive SIMASYNC protocol-space prover."""
+
+import pytest
+
+from repro.graphs.generators import all_labeled_graphs, complete_graph
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import has_triangle, is_connected
+from repro.reductions.protocol_search import (
+    SearchResult,
+    output_table,
+    search_simasync_decision,
+    verify_assignment,
+    views_of,
+)
+
+
+class TestViews:
+    def test_views_of(self):
+        g = LabeledGraph(3, [(1, 2)])
+        assert views_of(g) == (
+            (1, frozenset({2})),
+            (2, frozenset({1})),
+            (3, frozenset()),
+        )
+
+
+class TestTriangleAtN3:
+    GRAPHS = list(all_labeled_graphs(3))
+
+    def test_unary_alphabet_unsolvable(self):
+        """With one message everyone writes the same thing: all 8 graphs
+        collide, so TRIANGLE is unsolvable — and the search proves it by
+        exhausting all 12 views x 1 assignment."""
+        r = search_simasync_decision(self.GRAPHS, has_triangle, alphabet_size=1)
+        assert r.status == "unsolvable" and r.conclusive
+        assert r.num_views == 12
+
+    def test_binary_alphabet_solvable(self):
+        r = search_simasync_decision(self.GRAPHS, has_triangle, alphabet_size=2)
+        assert r.status == "solvable"
+        assert verify_assignment(self.GRAPHS, has_triangle, r.assignment)
+
+    def test_witness_output_table_is_consistent(self):
+        r = search_simasync_decision(self.GRAPHS, has_triangle, alphabet_size=2)
+        table = output_table(self.GRAPHS, has_triangle, r.assignment)
+        # K3 is the only YES instance at n=3
+        k3_sig = tuple(sorted(r.assignment[v] for v in views_of(complete_graph(3))))
+        assert table[k3_sig] is True
+        assert sum(1 for v in table.values() if v) == 1
+
+
+class TestTriangleAtN4:
+    """Machine-checked micro-versions of Theorem 3: at n=4 a binary
+    message alphabet provably cannot decide TRIANGLE, a ternary one can."""
+
+    GRAPHS = list(all_labeled_graphs(4))
+
+    @pytest.mark.slow
+    def test_binary_unsolvable(self):
+        r = search_simasync_decision(
+            self.GRAPHS, has_triangle, alphabet_size=2, node_budget=5_000_000
+        )
+        assert r.status == "unsolvable"
+
+    @pytest.mark.slow
+    def test_ternary_solvable(self):
+        r = search_simasync_decision(
+            self.GRAPHS, has_triangle, alphabet_size=3, node_budget=10_000_000
+        )
+        assert r.status == "solvable"
+        assert verify_assignment(self.GRAPHS, has_triangle, r.assignment)
+
+
+class TestConnectivity:
+    def test_n4_binary_unsolvable(self):
+        graphs = list(all_labeled_graphs(4))
+        r = search_simasync_decision(graphs, is_connected, alphabet_size=2,
+                                     node_budget=1_000_000)
+        assert r.status == "unsolvable"
+
+    def test_n4_ternary_solvable(self):
+        graphs = list(all_labeled_graphs(4))
+        r = search_simasync_decision(graphs, is_connected, alphabet_size=3,
+                                     node_budget=1_000_000)
+        assert r.status == "solvable"
+        assert verify_assignment(graphs, is_connected, r.assignment)
+
+
+class TestMechanics:
+    def test_budget_exhaustion_reported(self):
+        graphs = list(all_labeled_graphs(4))
+        r = search_simasync_decision(graphs, has_triangle, alphabet_size=2,
+                                     node_budget=10)
+        assert r.status == "exhausted" and not r.conclusive
+        assert r.assignment is None
+        assert r.nodes_explored >= 10
+
+    def test_trivial_predicate_always_solvable(self):
+        graphs = list(all_labeled_graphs(3))
+        r = search_simasync_decision(graphs, lambda g: True, alphabet_size=1)
+        assert r.status == "solvable"
+
+    def test_single_graph_family(self):
+        r = search_simasync_decision([complete_graph(3)], has_triangle, 1)
+        assert r.status == "solvable"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            search_simasync_decision([], has_triangle, 2)
+        with pytest.raises(ValueError):
+            search_simasync_decision([complete_graph(3)], has_triangle, 0)
+        with pytest.raises(ValueError):
+            search_simasync_decision(
+                [complete_graph(3), complete_graph(4)], has_triangle, 2
+            )
+
+    def test_verify_rejects_bad_assignment(self):
+        graphs = list(all_labeled_graphs(3))
+        bad = {v: 0 for g in graphs for v in views_of(g)}  # constant msgs
+        assert not verify_assignment(graphs, has_triangle, bad)
+        with pytest.raises(ValueError):
+            output_table(graphs, has_triangle, bad)
+
+    def test_result_dataclass(self):
+        r = SearchResult("solvable", {}, 5, 12, 2)
+        assert r.conclusive

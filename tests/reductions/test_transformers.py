@@ -1,0 +1,152 @@
+"""Tests for the executable Theorem 3 / 6 / 8 reductions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SIMASYNC, MinIdScheduler, RandomScheduler, run
+from repro.core.simulator import all_executions
+from repro.encoding.bits import payload_bits
+from repro.graphs import generators as gen
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.protocols.naive import (
+    NaiveEobBfsProtocol,
+    NaiveMisProtocol,
+    NaiveTriangleProtocol,
+)
+from repro.reductions.transformers import (
+    EobBfsToBuildScheme,
+    MisToBuildProtocol,
+    TriangleToBuildProtocol,
+)
+
+
+class TestTriangleToBuild:
+    def test_rebuilds_bipartite_graphs(self):
+        for seed in range(4):
+            g = gen.random_bipartite(4, 4, 0.5, seed=seed)
+            p = TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol())
+            r = run(g, p, SIMASYNC, RandomScheduler(seed))
+            assert r.success and r.output == g
+
+    def test_rebuilds_trees(self):
+        t = gen.random_tree(8, seed=3)  # triangle-free, not bipartite-parted
+        p = TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol())
+        assert run(t, p, SIMASYNC, MinIdScheduler()).output == t
+
+    def test_schedule_independent(self):
+        g = gen.random_bipartite(2, 2, 0.7, seed=1)
+        p = TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol())
+        outputs = {r.output for r in all_executions(g, p, SIMASYNC)}
+        assert outputs == {g}
+
+    def test_message_structure_matches_theorem(self):
+        """Theorem 3: node i writes (i, m'_i, m''_i) — the inner protocol's
+        messages without/with the apex, so ~2·f(n+1)+log n bits."""
+        g = gen.random_bipartite(3, 3, 0.5, seed=2)
+        p = TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol())
+        r = run(g, p, SIMASYNC, MinIdScheduler())
+        for node, without, with_apex in r.board.view():
+            inner_bits = payload_bits(without) + payload_bits(with_apex)
+            total = payload_bits((node, without, with_apex))
+            assert total <= inner_bits + 2 * payload_bits(node) + 10
+
+    def test_incomplete_board_rejected(self):
+        from repro.core.whiteboard import BoardView
+
+        p = TriangleToBuildProtocol(lambda n: NaiveTriangleProtocol())
+        with pytest.raises(ValueError):
+            p.output(BoardView(((1, (1, 0), (1, 4)),)), 2)
+
+
+class TestMisToBuild:
+    def test_rebuilds_arbitrary_graphs(self):
+        for seed in range(4):
+            g = gen.random_graph(7, 0.5, seed=seed)
+            p = MisToBuildProtocol(lambda n, root: NaiveMisProtocol(root))
+            r = run(g, p, SIMASYNC, RandomScheduler(seed))
+            assert r.success and r.output == g
+
+    def test_dense_and_sparse_extremes(self):
+        p = MisToBuildProtocol(lambda n, root: NaiveMisProtocol(root))
+        for g in (gen.complete_graph(6), LabeledGraph(6), gen.star_graph(6)):
+            assert run(g, p, SIMASYNC, MinIdScheduler()).output == g
+
+    def test_schedule_independent(self):
+        g = gen.random_graph(4, 0.5, seed=9)
+        p = MisToBuildProtocol(lambda n, root: NaiveMisProtocol(root))
+        outputs = {r.output for r in all_executions(g, p, SIMASYNC)}
+        assert outputs == {g}
+
+
+def _random_base(n: int, seed: int) -> LabeledGraph:
+    import random
+
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(2, n + 1)
+        for v in range(u + 1, n + 1)
+        if (u - v) % 2 == 1 and rng.random() < 0.5
+    ]
+    return LabeledGraph(n, edges)
+
+
+class TestEobBfsToBuild:
+    def test_roundtrip_random_bases(self):
+        scheme = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+        for seed in range(5):
+            base = _random_base(9, seed)
+            code = scheme.encode(base)
+            assert scheme.decode(code, 9) == base
+
+    def test_roundtrip_extremes(self):
+        scheme = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+        empty = LabeledGraph(7)
+        assert scheme.decode(scheme.encode(empty), 7) == empty
+        # complete even-odd-bipartite on labels 2..7
+        full = LabeledGraph(
+            7,
+            [(u, v) for u in range(2, 8) for v in range(u + 1, 8) if (u - v) % 2],
+        )
+        assert scheme.decode(scheme.encode(full), 7) == full
+
+    def test_code_length_is_base_size(self):
+        scheme = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+        base = _random_base(11, 3)
+        assert len(scheme.encode(base)) == 10  # nodes v_2..v_11
+
+    def test_bits_per_node_accounting(self):
+        scheme = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+        base = _random_base(9, 1)
+        code = scheme.encode(base)
+        assert scheme.bits_per_node(base) == max(payload_bits(p) for p in code)
+
+    def test_invalid_base_rejected(self):
+        scheme = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+        with pytest.raises(ValueError):
+            scheme.encode(LabeledGraph(8, [(2, 3)]))  # even n
+
+    def test_non_forest_output_rejected(self):
+        from repro.core.protocol import Protocol
+
+        class Liar(Protocol):
+            name = "liar"
+
+            def message(self, view):
+                return (view.node,)
+
+            def output(self, board, n):
+                return "NOT_EOB"
+
+        scheme = EobBfsToBuildScheme(lambda: Liar())
+        code = scheme.encode(_random_base(7, 0))
+        with pytest.raises(ValueError):
+            scheme.decode(code, 7)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_thm8_roundtrip_property(seed):
+    scheme = EobBfsToBuildScheme(lambda: NaiveEobBfsProtocol())
+    base = _random_base(7, seed)
+    assert scheme.decode(scheme.encode(base), 7) == base

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        p = build_parser()
+        for cmd in ("table2", "fig1", "fig2", "lemma1", "lemma3", "demo"):
+            args = p.parse_args([cmd])
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_lemma1(self, capsys):
+        assert main(["lemma1", "--kmax", "2", "--sizes", "16", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 1" in out and "k=2" in out
+
+    def test_lemma3(self, capsys):
+        assert main(["lemma3", "--sizes", "16", "64"]) == 0
+        assert "all graphs" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "proto", ["build", "mis", "two-cliques", "eob-bfs", "bfs"]
+    )
+    def test_demo(self, proto, capsys):
+        assert main(["demo", "--protocol", proto, "--n", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "whiteboard" in out and "output:" in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "BUILD k-degenerate" in out
+        assert "matches the paper: True" in out

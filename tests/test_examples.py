@@ -1,0 +1,40 @@
+"""Smoke-run every example script as a subprocess.
+
+The examples are documentation that executes; this keeps them from
+rotting.  Each must exit 0 and print its expected headline.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED = {
+    "quickstart.py": "reconstruction equals the input graph: True",
+    "phone_network_reconstruction.py": "triangle query answered",
+    "bfs_spanning_forest.py": "corrupted configuration",
+    "model_separation.py": "Open Problem 1",
+    "lower_bound_explorer.py": "no output function can",
+    "exhaustive_prover.py": "UNSOLVABLE",
+    "graph_sketching.py": "components recovered exactly: True",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED), ids=lambda s: s.split(".")[0])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED[script] in result.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTED), "update EXPECTED when adding examples"

@@ -1,0 +1,114 @@
+"""Generic protocol × graph-family verification matrix.
+
+Uses the :mod:`repro.graphs.families` registry to sweep every positive
+protocol over samples of every graph class it is claimed to handle —
+the library-level restatement of Table 2's 'yes' cells, driven by one
+data table instead of bespoke tests.
+"""
+
+import pytest
+
+from repro.analysis.verify import verify_protocol
+from repro.core import ASYNC, SIMASYNC, SIMSYNC, SYNC
+from repro.graphs.families import family
+from repro.graphs.properties import (
+    canonical_bfs_forest,
+    is_even_odd_bipartite,
+    is_rooted_mis,
+    is_two_cliques,
+)
+from repro.protocols.bfs import EobBfsProtocol, SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol, ForestBuildProtocol
+from repro.protocols.connectivity import ConnectivityProtocol, SpanningForestProtocol
+from repro.protocols.distance import DegenerateSquareProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.protocols.naive import NOT_EOB
+from repro.protocols.triangle import DegenerateTriangleProtocol
+from repro.protocols.two_cliques import NOT_TWO_CLIQUES, TWO_CLIQUES, TwoCliquesProtocol
+
+
+def _build_checker(g, out, r):
+    return out == g
+
+
+def _mis_checker(root):
+    return lambda g, out, r: is_rooted_mis(g, out, root)
+
+
+def _bfs_checker(g, out, r):
+    return out == canonical_bfs_forest(g)
+
+
+def _eob_checker(g, out, r):
+    if is_even_odd_bipartite(g):
+        return out == canonical_bfs_forest(g)
+    return out == NOT_EOB
+
+
+def _two_cliques_checker(g, out, r):
+    return out == (TWO_CLIQUES if is_two_cliques(g) else NOT_TWO_CLIQUES)
+
+
+def _triangle_checker(g, out, r):
+    from repro.graphs.properties import has_triangle
+
+    return out == (1 if has_triangle(g) else 0)
+
+
+def _square_checker(g, out, r):
+    from repro.graphs.properties import has_square
+
+    return out == (1 if has_square(g) else 0)
+
+
+def _connectivity_checker(g, out, r):
+    from repro.graphs.properties import is_connected
+
+    return out == (1 if is_connected(g) else 0)
+
+
+def _forest_edges_checker(g, out, r):
+    return out == canonical_bfs_forest(g).tree_edges()
+
+
+# (test id, protocol factory, model, family name, sizes, checker)
+MATRIX = [
+    ("forest-build/forests", lambda: ForestBuildProtocol(), SIMASYNC,
+     "forests", (5, 11), _build_checker),
+    ("build2/degenerate2", lambda: DegenerateBuildProtocol(2), SIMASYNC,
+     "degenerate2", (5, 12), _build_checker),
+    ("build3/degenerate3", lambda: DegenerateBuildProtocol(3), SIMASYNC,
+     "degenerate3", (5, 12), _build_checker),
+    ("triangle2/degenerate2", lambda: DegenerateTriangleProtocol(2), SIMASYNC,
+     "degenerate2", (5, 12), _triangle_checker),
+    ("square2/degenerate2", lambda: DegenerateSquareProtocol(2), SIMASYNC,
+     "degenerate2", (5, 12), _square_checker),
+    ("mis/all", lambda: RootedMisProtocol(1), SIMSYNC,
+     "all", (5, 12), _mis_checker(1)),
+    ("two-cliques/promise", lambda: TwoCliquesProtocol(), SIMSYNC,
+     "two-cliques-promise", (8, 12), _two_cliques_checker),
+    ("eob-bfs/eob", lambda: EobBfsProtocol(), ASYNC,
+     "even-odd-bipartite", (5, 11), _eob_checker),
+    ("eob-bfs/all", lambda: EobBfsProtocol(), ASYNC,
+     "all", (5, 10), _eob_checker),
+    ("sync-bfs/all", lambda: SyncBfsProtocol(), SYNC,
+     "all", (5, 11), _bfs_checker),
+    ("connectivity/all", lambda: ConnectivityProtocol(), SYNC,
+     "all", (5, 11), _connectivity_checker),
+    ("spanning-forest/all", lambda: SpanningForestProtocol(), SYNC,
+     "all", (5, 11), _forest_edges_checker),
+]
+
+
+@pytest.mark.parametrize(
+    "proto_factory,model,family_name,sizes,checker",
+    [row[1:] for row in MATRIX],
+    ids=[row[0] for row in MATRIX],
+)
+def test_protocol_on_family(proto_factory, model, family_name, sizes, checker):
+    cls = family(family_name)
+    instances = [cls.sample_in_class(n, seed) for n in sizes for seed in range(2)]
+    report = verify_protocol(proto_factory(), model, instances, checker)
+    assert report.ok, report.failures[:3]
+    if min(sizes) <= 5:
+        assert report.exhaustive_instances >= 1  # small sizes checked fully

@@ -1,0 +1,23 @@
+"""The heavyweight tier: Table 2 regenerated with the full workloads.
+
+Slower than the quick-mode test in tests/analysis/test_table2.py
+(~30 s), but it is the complete headline claim — run it in CI's main
+lane, not just the benchmarks.
+"""
+
+import pytest
+
+from repro.analysis.table2 import generate_table2
+from repro.core.models import ALL_MODELS
+from repro.hierarchy.lattice import TABLE2_ROWS
+
+
+@pytest.mark.slow
+def test_full_table2_matches_paper():
+    result = generate_table2(quick=False, seed=2)
+    assert result.all_ok
+    assert result.matches_paper()
+    for row in TABLE2_ROWS:
+        for model in ALL_MODELS:
+            cell = result.cell(row.key, model)
+            assert cell.evidence, (row.key, model.name)

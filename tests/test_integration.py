@@ -1,0 +1,148 @@
+"""End-to-end integration tests crossing all package layers.
+
+Each test tells one of the paper's stories in full: protocol + model +
+adversary + oracle + bit accounting in a single scenario.
+"""
+
+import math
+
+from repro.analysis.scaling import fit_log, is_sublinear
+from repro.core import (
+    ALL_MODELS,
+    ASYNC,
+    SIMASYNC,
+    SIMSYNC,
+    SYNC,
+    RandomScheduler,
+    run,
+)
+from repro.core.schedulers import default_portfolio
+from repro.core.simulator import all_executions
+from repro.graphs import generators as gen
+from repro.graphs.degeneracy import degeneracy
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.properties import canonical_bfs_forest, is_rooted_mis
+from repro.hierarchy.adapters import lift
+from repro.protocols.bfs import EobBfsProtocol, SyncBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.protocols.naive import NaiveBuildProtocol, NaiveMisProtocol
+from repro.reductions.counting import (
+    build_feasible,
+    log2_all_graphs,
+    min_message_bits_for_build,
+)
+from repro.reductions.transformers import MisToBuildProtocol
+
+
+class TestTheorem2Story:
+    """Theorem 2 end to end: tiny messages rebuild structured graphs in
+    every model, and the measured sizes obey the claimed law."""
+
+    def test_full_pipeline(self):
+        bits_by_n = {}
+        for n in (8, 16, 32, 64):
+            g = gen.random_k_degenerate(n, 3, seed=n)
+            assert degeneracy(g) <= 3
+            for model in ALL_MODELS:
+                r = run(g, DegenerateBuildProtocol(3), model, RandomScheduler(n))
+                assert r.success and r.output == g
+            bits_by_n[n] = r.max_message_bits
+        ns, bits = zip(*sorted(bits_by_n.items()))
+        assert is_sublinear(list(ns) + [], list(bits))
+        fit = fit_log(ns, bits)
+        assert fit.r_squared > 0.9  # clean logarithmic growth
+
+    def test_beats_naive_at_scale(self):
+        g = gen.random_k_degenerate(128, 2, seed=0)
+        smart = run(g, DegenerateBuildProtocol(2), SIMASYNC, RandomScheduler(1))
+        naive = run(g, NaiveBuildProtocol(), SIMASYNC, RandomScheduler(1))
+        assert smart.output == naive.output == g
+        assert naive.max_message_bits > 2 * smart.max_message_bits
+
+
+class TestSeparationStories:
+    """The Section 5 separations, executed."""
+
+    def test_mis_separates_simasync_from_simsync(self):
+        # Positive side: SIMSYNC protocol correct under all schedules.
+        g = gen.random_graph(5, 0.5, seed=3)
+        for r in all_executions(g, RootedMisProtocol(2), SIMSYNC):
+            assert is_rooted_mis(g, r.output, 2)
+        # Negative side: the Theorem 6 compiler + Lemma 3 arithmetic.
+        compiler = MisToBuildProtocol(lambda n, root: NaiveMisProtocol(root))
+        g2 = gen.random_graph(7, 0.4, seed=5)
+        assert run(g2, compiler, SIMASYNC, RandomScheduler(0)).output == g2
+        n = 256
+        assert min_message_bits_for_build(log2_all_graphs(n), n) > 100
+        assert not build_feasible(log2_all_graphs(n), n, int(math.log2(n)) * 4)
+
+    def test_eob_bfs_separates_simsync_from_async(self):
+        g = gen.random_even_odd_bipartite(11, 0.4, seed=7)
+        ref = canonical_bfs_forest(g)
+        for sched in default_portfolio((0, 1, 2)):
+            r = run(g, EobBfsProtocol(), ASYNC, sched)
+            assert r.success and r.output == ref
+
+    def test_sync_strictly_handles_what_async_protocol_cannot(self):
+        """Theorem 10 vs Corollary 4 on the same non-bipartite input."""
+        from repro.protocols.bfs import BipartiteBfsAsyncProtocol
+
+        g = LabeledGraph(6, [(1, 2), (2, 3), (3, 1), (5, 6)])
+        ref = canonical_bfs_forest(g)
+        sync_r = run(g, SyncBfsProtocol(), SYNC, RandomScheduler(0))
+        assert sync_r.success and sync_r.output == ref
+        async_r = run(g, BipartiteBfsAsyncProtocol(), ASYNC, RandomScheduler(0))
+        assert async_r.corrupted  # the odd cycle blocks the epoch switch
+
+
+class TestHierarchyStory:
+    """Lemma 4: one protocol, four models, identical answers."""
+
+    def test_build_up_the_chain(self):
+        g = gen.random_k_degenerate(12, 2, seed=9)
+        results = {
+            model.name: run(g, lift(DegenerateBuildProtocol(2), model), model,
+                            RandomScheduler(2)).output
+            for model in ALL_MODELS
+        }
+        assert all(out == g for out in results.values())
+
+    def test_mis_up_the_chain(self):
+        g = gen.random_connected_graph(9, 0.35, seed=4)
+        for model in (SIMSYNC, ASYNC, SYNC):
+            r = run(g, lift(RootedMisProtocol(3), model), model, RandomScheduler(8))
+            assert is_rooted_mis(g, r.output, 3)
+
+    def test_eob_up_the_chain(self):
+        g = gen.random_even_odd_bipartite(9, 0.5, seed=6)
+        ref = canonical_bfs_forest(g)
+        for model in (ASYNC, SYNC):
+            r = run(g, lift(EobBfsProtocol(), model), model, RandomScheduler(3))
+            assert r.output == ref
+
+
+class TestWhiteboardEconomy:
+    """Cross-cutting sanity: measured bits respect the theory."""
+
+    def test_all_log_protocols_are_sublinear(self):
+        ns = (16, 64, 256)
+        for make_proto, make_graph, model in [
+            (lambda: DegenerateBuildProtocol(2),
+             lambda n: gen.random_k_degenerate(n, 2, seed=n), SIMASYNC),
+            (lambda: RootedMisProtocol(1),
+             lambda n: gen.random_connected_graph(n, 0.1, seed=n), SIMSYNC),
+            (lambda: SyncBfsProtocol(),
+             lambda n: gen.random_connected_graph(n, 0.08, seed=n), SYNC),
+        ]:
+            bits = []
+            for n in ns:
+                r = run(make_graph(n), make_proto(), model, RandomScheduler(0))
+                assert r.success
+                bits.append(r.max_message_bits)
+            assert is_sublinear(ns, bits), (make_proto().name, bits)
+
+    def test_board_capacity_is_n_times_f(self):
+        g = gen.random_k_degenerate(32, 2, seed=1)
+        r = run(g, DegenerateBuildProtocol(2), SIMASYNC, RandomScheduler(0))
+        assert r.total_bits <= g.n * r.max_message_bits
