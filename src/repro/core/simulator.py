@@ -21,10 +21,15 @@ transcripts for analysis.
 
 ``all_executions`` enumerates *every* schedule for a given input by
 depth-first search over adversary choices, turning the paper's "for all
-adversaries" quantifier into a finite check on small graphs.  Branches
-are replayed from scratch, which keeps stateful protocol adapters
-correct at a cost that is negligible at the sizes where exhaustion is
-feasible.
+adversaries" quantifier into a finite check on small graphs.  For
+*stateless* protocols (the default: ``fresh()`` returns ``self``) the
+search is incremental — each branch point checkpoints the simulator
+state, applies one write, recurses, and undoes the write on backtrack,
+so every edge of the schedule tree is executed exactly once instead of
+once per leaf below it.  Stateful protocol adapters (which mutate
+per-execution caches the engine cannot snapshot) fall back to replaying
+each branch from scratch, which is always correct and remains cheap at
+the sizes where exhaustion is feasible.
 """
 
 from __future__ import annotations
@@ -172,7 +177,7 @@ def _execute(
             ) from exc
         if bit_budget is not None and bits > bit_budget:
             raise MessageTooLarge(writer, bits, bit_budget)
-        board.write(writer, payload, event)
+        board.write(writer, payload, event, bits=bits)
         written.add(writer)
         active.discard(writer)
         activation_pass(event)
@@ -256,21 +261,154 @@ def all_executions(
     Depth-first over the tree of adversary choices.  For simultaneous
     models on an ``n``-node graph this yields exactly ``n!`` runs, so cap
     usage at ``n <= 7`` or pass ``limit``.
+
+    Stateless protocols (``fresh()`` returns ``self``) are enumerated
+    incrementally with checkpoint/undo branching; stateful ones are
+    replayed from scratch per branch.  Both produce the same results in
+    the same (ascending-choice DFS) order.
     """
+    if protocol.fresh() is protocol:
+        runs = _all_executions_incremental(graph, protocol, model, bit_budget)
+    else:
+        runs = _all_executions_replay(graph, protocol, model, bit_budget)
     produced = 0
+    for result in runs:
+        yield result
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def _all_executions_replay(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    bit_budget: Optional[int],
+) -> Iterator[RunResult]:
+    """Replay-from-scratch DFS — the fallback for stateful protocols."""
     stack: list[tuple[int, ...]] = [()]
     while stack:
         prefix = stack.pop()
         result, branches = _probe(graph, protocol, model, prefix, bit_budget)
         if result is not None:
             yield result
-            produced += 1
-            if limit is not None and produced >= limit:
-                return
         else:
             # Reversed so the natural (ascending) order is explored first.
             for c in reversed(branches):
                 stack.append(prefix + (c,))
+
+
+def _all_executions_incremental(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    bit_budget: Optional[int],
+) -> Iterator[RunResult]:
+    """Checkpoint/undo DFS over adversary choices for stateless protocols.
+
+    Maintains one live simulator state; each branch applies a single
+    write event (plus the activation pass it triggers) and undoes both on
+    backtrack.  Every tree edge is executed once, versus once per leaf
+    under replay.  Semantics — candidate order, frozen-message rules,
+    budget enforcement, deadlock detection — mirror :func:`_execute`
+    exactly; equivalence is pinned by tests.
+    """
+    proto = protocol.fresh()
+    n = graph.n
+    board = Whiteboard()
+    written: set[int] = set()
+    active: set[int] = set()
+    frozen: dict[int, Any] = {}
+    frozen_bits: dict[int, int] = {}
+    activation_round: dict[int, int] = {}
+
+    def view_of(v: int) -> NodeView:
+        return NodeView(node=v, neighbors=graph.neighbors(v), n=n, board=board.view())
+
+    def activation_pass(event: int) -> list[int]:
+        """Activate eligible nodes; return them so the caller can undo."""
+        added: list[int] = []
+        for v in graph.nodes():
+            if v in active or v in written:
+                continue
+            if model.simultaneous:
+                should = event == 0  # everyone activates after round 1
+            else:
+                should = bool(proto.wants_to_activate(view_of(v)))
+            if should:
+                active.add(v)
+                activation_round[v] = event
+                added.append(v)
+                if model.asynchronous:
+                    frozen[v] = proto.message(view_of(v))
+        return added
+
+    def snapshot(success: bool, output: Any) -> RunResult:
+        frozen_board = Whiteboard(entries=list(board.entries))
+        return RunResult(
+            success=success,
+            output=output,
+            board=frozen_board,
+            write_order=tuple(e.author for e in frozen_board.entries),
+            activation_round=dict(activation_round),
+            max_message_bits=frozen_board.max_bits(),
+            total_bits=frozen_board.total_bits(),
+            model=model,
+            protocol_name=proto.name,
+            n=n,
+        )
+
+    def message_bits(writer: int, payload: Any) -> int:
+        if model.asynchronous:
+            bits = frozen_bits.get(writer)
+            if bits is not None:
+                return bits
+        try:
+            bits = payload_bits(payload)
+        except TypeError as exc:
+            raise ProtocolViolation(
+                f"{proto.name}: node {writer} produced a non-payload message: {exc}"
+            ) from exc
+        if model.asynchronous:
+            frozen_bits[writer] = bits
+        return bits
+
+    def dfs(event: int) -> Iterator[RunResult]:
+        if len(written) == n:
+            yield snapshot(True, proto.output(board.view(), n))
+            return
+        candidates = tuple(sorted(active - written))
+        if not candidates:
+            # Corrupted final configuration: awake nodes remain but no
+            # valid successor exists.
+            yield snapshot(False, None)
+            return
+        for writer in candidates:
+            if model.asynchronous:
+                payload = frozen[writer]
+            else:
+                payload = proto.message(view_of(writer))
+            bits = message_bits(writer, payload)
+            if bit_budget is not None and bits > bit_budget:
+                raise MessageTooLarge(writer, bits, bit_budget)
+            board.write(writer, payload, event + 1, bits=bits)
+            written.add(writer)
+            active.discard(writer)
+            activated = activation_pass(event + 1)
+            yield from dfs(event + 1)
+            # -- undo the write and its activation side-effects ---------
+            for v in activated:
+                active.discard(v)
+                del activation_round[v]
+                if model.asynchronous:
+                    frozen.pop(v, None)
+                    frozen_bits.pop(v, None)
+            board.entries.pop()
+            written.discard(writer)
+            active.add(writer)
+
+    activation_pass(0)
+    yield from dfs(0)
 
 
 def count_executions(

@@ -66,13 +66,24 @@ class Whiteboard:
 
     entries: list[Entry] = field(default_factory=list)
 
-    def write(self, author: int, payload: Payload, round_written: int) -> Entry:
-        """Append a message; computes and records its exact bit size."""
+    def write(
+        self,
+        author: int,
+        payload: Payload,
+        round_written: int,
+        bits: int | None = None,
+    ) -> Entry:
+        """Append a message; records its exact bit size.
+
+        ``bits`` lets callers that already ran the accounting (the
+        simulator charges the budget before writing) pass the size in
+        instead of recomputing the canonical encoding length.
+        """
         entry = Entry(
             index=len(self.entries),
             author=author,
             payload=payload,
-            bits=payload_bits(payload),
+            bits=payload_bits(payload) if bits is None else bits,
             round_written=round_written,
         )
         self.entries.append(entry)

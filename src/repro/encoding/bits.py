@@ -17,6 +17,13 @@ Encoding scheme (self-delimiting, decodable without out-of-band length):
 * symbols (short ASCII strings such as ``"ROOT"`` or ``"no"``) use a
   gamma length followed by 7 bits per character;
 * tuples use a gamma length followed by the encoded elements.
+
+Performance notes: :class:`BitWriter` accumulates into one Python int
+(appending ``w`` bits is a shift-or, not ``w`` list appends), and
+:func:`payload_bits` walks the payload with an explicit stack — board
+accounting runs on every write event of every simulated execution, so
+both are hot paths.  The bit sequences and sizes produced are identical
+to the original list-based implementation.
 """
 
 from __future__ import annotations
@@ -42,22 +49,24 @@ _TAG_TUPLE = 2
 
 
 class BitWriter:
-    """Append-only bit buffer."""
+    """Append-only bit buffer (one big int, MSB-first)."""
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_acc", "_len")
 
     def __init__(self) -> None:
-        self._bits: list[int] = []
+        self._acc = 0
+        self._len = 0
 
     def write_bit(self, b: int) -> None:
-        self._bits.append(1 if b else 0)
+        self._acc = self._acc << 1 | (1 if b else 0)
+        self._len += 1
 
     def write_uint(self, value: int, width: int) -> None:
         """Write ``value`` in exactly ``width`` bits, MSB first."""
         if value < 0 or (width < value.bit_length()):
             raise ValueError(f"{value} does not fit in {width} bits")
-        for i in range(width - 1, -1, -1):
-            self._bits.append(value >> i & 1)
+        self._acc = self._acc << width | value
+        self._len += width
 
     def write_gamma(self, value: int) -> None:
         """Elias gamma code of ``value >= 1``: ``len-1`` zeros, then the
@@ -65,29 +74,21 @@ class BitWriter:
         if value < 1:
             raise ValueError(f"gamma codes naturals >= 1, got {value}")
         width = value.bit_length()
-        for _ in range(width - 1):
-            self._bits.append(0)
-        self.write_uint(value, width)
+        # width-1 leading zeros then the width-bit expansion: one shift.
+        self._acc = self._acc << (2 * width - 1) | value
+        self._len += 2 * width - 1
 
     def __len__(self) -> int:
-        return len(self._bits)
+        return self._len
 
     def to_bytes(self) -> bytes:
         """Pack to bytes (zero-padded to a byte boundary)."""
-        out = bytearray()
-        acc = 0
-        for i, b in enumerate(self._bits):
-            acc = acc << 1 | b
-            if i % 8 == 7:
-                out.append(acc)
-                acc = 0
-        rem = len(self._bits) % 8
-        if rem:
-            out.append(acc << (8 - rem))
-        return bytes(out)
+        pad = -self._len % 8
+        return (self._acc << pad).to_bytes((self._len + pad) // 8, "big")
 
     def bits(self) -> tuple[int, ...]:
-        return tuple(self._bits)
+        acc, n = self._acc, self._len
+        return tuple(acc >> i & 1 for i in range(n - 1, -1, -1))
 
 
 class BitReader:
@@ -208,15 +209,46 @@ def decode_payload(bits: tuple[int, ...] | list[int]) -> Payload:
 def payload_bits(payload: Payload) -> int:
     """Exact size in bits of the canonical encoding of ``payload``.
 
-    Computed without materializing the bit sequence, and covered by a
+    Computed without materializing the bit sequence (iteratively — the
+    simulator charges every write event through here), and covered by a
     property test asserting equality with ``len(encode_payload(p))``.
     """
-    if isinstance(payload, bool):
+    # The stack holds only (sub)tuples; atoms are charged inline while
+    # scanning a tuple's items, so each element costs one loop step
+    # rather than a push and a pop.  ``type(x) is int`` is the fast path
+    # and correctly excludes bool (a distinct type), which the fallback
+    # rejects; subclasses of the payload types take the fallback too.
+    total = 0
+    stack = [(payload,)]
+    pop = stack.pop
+    append = stack.append
+    while stack:
+        for p in pop():
+            t = type(p)
+            if t is int:
+                u = p + p if p >= 0 else -p - p - 1
+                total += 1 + 2 * (u + 1).bit_length()  # 2 (tag) + gamma
+            elif t is tuple:
+                total += 1 + 2 * (len(p) + 1).bit_length()
+                append(p)
+            elif t is str:
+                total += 1 + 2 * (len(p) + 1).bit_length() + 7 * len(p)
+            else:
+                total += _atom_bits_slow(p)
+    return total
+
+
+def _atom_bits_slow(p: Payload) -> int:
+    """Fallback accounting for payload-type subclasses; rejects the rest."""
+    if isinstance(p, bool):
         raise TypeError("bool payloads are ambiguous; use 0/1 or a symbol")
-    if isinstance(payload, int):
-        return 2 + gamma_bits(_zigzag(payload) + 1)
-    if isinstance(payload, str):
-        return 2 + gamma_bits(len(payload) + 1) + 7 * len(payload)
-    if isinstance(payload, tuple):
-        return 2 + gamma_bits(len(payload) + 1) + sum(payload_bits(p) for p in payload)
-    raise TypeError(f"unsupported payload element of type {type(payload).__name__}")
+    if isinstance(p, int):
+        u = p + p if p >= 0 else -p - p - 1
+        return 1 + 2 * (u + 1).bit_length()
+    if isinstance(p, str):
+        return 1 + 2 * (len(p) + 1).bit_length() + 7 * len(p)
+    if isinstance(p, tuple):
+        return 1 + 2 * (len(p) + 1).bit_length() + sum(
+            payload_bits(item) for item in p
+        )
+    raise TypeError(f"unsupported payload element of type {type(p).__name__}")

@@ -157,3 +157,58 @@ def test_recovered_items_are_genuine_property(vector, seed):
     if got is not None:
         item, weight = got
         assert vector.get(item) == weight
+
+
+class TestBatchUpdate:
+    def test_matches_sequential_updates(self):
+        a = L0Sampler(seed=21, levels=10)
+        b = L0Sampler(seed=21, levels=10)
+        items = [3, 17, 3, 99, 250]
+        deltas = [1, -2, 4, 1, -1]
+        for i, d in zip(items, deltas):
+            a.update(i, d)
+        b.batch_update(items, deltas)
+        assert a.state() == b.state()
+
+    def test_rejects_invalid_items(self):
+        with pytest.raises(ValueError):
+            L0Sampler(seed=1, levels=4).batch_update([1, 0], [1, 1])
+
+    def test_empty_stream_is_identity(self):
+        s = L0Sampler(seed=2, levels=5)
+        s.batch_update([], [])
+        assert s.is_zero
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=500),
+            st.integers(min_value=-3, max_value=3),
+        ),
+        max_size=12,
+    ),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_batch_update_is_linear_property(stream, seed):
+    """Linearity of the batched path: sketching a stream in one batch,
+    one update at a time, or split across two sketches that are then
+    combined must all yield the identical state."""
+    items = [i for i, _ in stream]
+    deltas = [d for _, d in stream]
+
+    batched = L0Sampler(seed=seed, levels=10)
+    batched.batch_update(items, deltas)
+
+    sequential = L0Sampler(seed=seed, levels=10)
+    for i, d in zip(items, deltas):
+        sequential.update(i, d)
+
+    left = L0Sampler(seed=seed, levels=10)
+    right = L0Sampler(seed=seed, levels=10)
+    half = len(stream) // 2
+    left.batch_update(items[:half], deltas[:half])
+    right.batch_update(items[half:], deltas[half:])
+
+    assert batched.state() == sequential.state() == left.combine(right).state()

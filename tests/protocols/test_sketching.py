@@ -143,3 +143,36 @@ class TestSpanningForestProtocol:
         p = SketchSpanningForestProtocol(shared_seed=1)
         with pytest.raises(ValueError):
             p.output(BoardView(()), 3)
+
+
+class TestSlotEdgeBoundaries:
+    def test_first_slot(self):
+        for n in (2, 3, 9, 96):
+            assert slot_edge(1, n) == (1, 2)
+
+    def test_last_slot(self):
+        for n in (2, 3, 9, 96):
+            assert slot_edge(n * (n - 1) // 2, n) == (n - 1, n)
+
+    def test_one_past_the_end_rejected_upfront(self):
+        for n in (2, 5, 96):
+            with pytest.raises(ValueError, match="out of range"):
+                slot_edge(n * (n - 1) // 2 + 1, n)
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(ValueError, match="start at 1"):
+            slot_edge(0, 5)
+        with pytest.raises(ValueError, match="start at 1"):
+            slot_edge(-3, 5)
+
+    def test_degenerate_n(self):
+        """n < 2 admits no edges at all."""
+        for n in (0, 1):
+            with pytest.raises(ValueError):
+                slot_edge(1, n)
+
+    def test_closed_form_matches_bijection_large_n(self):
+        n = 150  # far past where the old O(n) walk was the bottleneck
+        for slot in (1, 2, n - 1, n, 5000, n * (n - 1) // 2):
+            u, v = slot_edge(slot, n)
+            assert edge_slot(u, v, n) == slot

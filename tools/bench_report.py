@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Render the ``BENCH_perf.json`` perf trajectory as a human report.
+
+``benchmarks/bench_regression.py`` appends one entry per run (seconds and
+speedup vs. the frozen seed baseline for each hot path).  This tool
+prints the full trajectory and per-benchmark trend so a reviewer can see
+at a glance whether a PR moved the hot paths, without re-running the
+benchmarks.
+
+Usage::
+
+    python tools/bench_report.py [path/to/BENCH_perf.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+
+def load_trajectory(path: Path) -> dict:
+    if not path.exists():
+        raise SystemExit(
+            f"{path} not found — run "
+            "`PYTHONPATH=src python benchmarks/bench_regression.py` first"
+        )
+    return json.loads(path.read_text())
+
+
+def render(trajectory: dict) -> str:
+    lines = ["Performance trajectory (speedup vs. seed baseline)", ""]
+    baseline = trajectory.get("seed_baseline_seconds", {})
+    for name, seconds in baseline.items():
+        lines.append(f"  seed {name}: {seconds:.4f}s")
+    lines.append("")
+
+    runs = trajectory.get("runs", [])
+    if not runs:
+        lines.append("(no runs recorded)")
+        return "\n".join(lines)
+
+    names = sorted({n for run in runs for n in run.get("results", {})})
+    header = f"{'timestamp':<22}" + "".join(f"{n:>22}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for run in runs:
+        row = f"{run.get('timestamp', '?'):<22}"
+        for name in names:
+            r = run.get("results", {}).get(name)
+            cell = f"{r['seconds']:.4f}s ({r['speedup_vs_seed']:.1f}x)" if r else "-"
+            row += f"{cell:>22}"
+        lines.append(row)
+
+    lines.append("")
+    latest = runs[-1].get("results", {})
+    for name in names:
+        r = latest.get(name)
+        if r:
+            lines.append(
+                f"latest {name}: {r['seconds']:.4f}s, "
+                f"{r['speedup_vs_seed']:.1f}x faster than seed"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else DEFAULT_PATH
+    print(render(load_trajectory(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
