@@ -14,6 +14,12 @@ a trajectory in ``BENCH_perf.json`` at the repo root so later PRs can see
 * ``all_executions_n6`` — exhaustive enumeration of all 720 adversary
   schedules of a 6-node instance (the tier-1 exhaustive-matrix shape),
   exercising the incremental checkpoint/undo branching.
+* ``parallel_verify_n120x4`` — a 4-instance SYNC-BFS verification plan
+  on the chunk-sharded ``ProcessPoolBackend`` (4 workers).  Its
+  "seed" baseline is the serial sweep of the same plan — semantically
+  the seed's only execution path — so the recorded speedup *is* the
+  serial↔process crossover ratio on the recording machine (≈1x on a
+  single core, >1x once real cores are available).
 
 ``--smoke`` runs a trimmed version (< 30 s) and exits nonzero when the
 hot paths regress, so CI fails loudly.  The gate never compares CI
@@ -67,6 +73,9 @@ TRAJECTORY_PATH = REPO_ROOT / "BENCH_perf.json"
 SEED_BASELINE = {
     "sketch_n96": 0.3849,
     "all_executions_n6": 0.1839,
+    # Serial sweep of the parallel_verify plan on the recording machine —
+    # the seed had no process backend, so serial is its baseline path.
+    "parallel_verify_n120x4": 2.5161,
 }
 
 #: CI gate: minimum acceptable *same-machine* ratio of the seed-style
@@ -113,10 +122,45 @@ def bench_all_executions_n6(reps: int) -> float:
     return _median_time(one_run, reps)
 
 
+def _parallel_verify_plan():
+    from repro.analysis.checkers import BfsCanonical
+    from repro.core import SYNC
+    from repro.protocols.bfs import SyncBfsProtocol
+    from repro.runtime import ExecutionPlan
+
+    instances = [gen.random_connected_graph(120, 0.05, seed=s) for s in range(4)]
+    return ExecutionPlan.build(
+        SyncBfsProtocol(), SYNC, instances,
+        mode="verify", checker=BfsCanonical(), schedulers=[MinIdScheduler()],
+    )
+
+
+def bench_parallel_verify_n120x4(reps: int) -> float:
+    from repro.runtime import ProcessPoolBackend
+
+    plan = _parallel_verify_plan()
+    backend = ProcessPoolBackend(jobs=4)
+
+    def one_run():
+        report = plan.verification_report(backend=backend)
+        assert report.ok and report.instances == 4
+
+    return _median_time(one_run, reps)
+
+
 BENCHES = {
     "sketch_n96": bench_sketch_n96,
     "all_executions_n6": bench_all_executions_n6,
+    "parallel_verify_n120x4": bench_parallel_verify_n120x4,
 }
+
+#: Benches timed in ``--smoke`` runs.  The parallel-verify bench is
+#: excluded: it has no same-machine gate (a serial-vs-pool floor would
+#: flake on single-core runners, where the honest ratio is ~1.0), so
+#: burning ~9s of CI on an ungated cross-machine number buys nothing —
+#: CI exercises the process backend via ``reproduce-all --jobs 2``
+#: instead, and full runs still record the crossover trajectory.
+SMOKE_BENCHES = ("sketch_n96", "all_executions_n6")
 
 
 # ----------------------------------------------------------------------
@@ -209,9 +253,11 @@ def run_smoke_gate(reps: int) -> tuple[dict, list[str]]:
     return ratios, failures
 
 
-def run_benchmarks(reps: int) -> dict:
+def run_benchmarks(reps: int, names=None) -> dict:
     results = {}
     for name, bench in BENCHES.items():
+        if names is not None and name not in names:
+            continue
         seconds = bench(reps)
         speedup = SEED_BASELINE[name] / seconds
         results[name] = {
@@ -249,7 +295,7 @@ def main(argv=None) -> int:
     reps = args.reps if args.reps is not None else (3 if args.smoke else 7)
     if reps < 1:
         parser.error(f"--reps must be >= 1, got {reps}")
-    results = run_benchmarks(reps)
+    results = run_benchmarks(reps, names=SMOKE_BENCHES if args.smoke else None)
     if not args.no_write:
         append_trajectory(results, reps)
 

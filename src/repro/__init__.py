@@ -15,6 +15,7 @@ Layout
 ``repro.protocols``   the paper's protocols (Thms 2, 5, 7, 9, 10, ...)
 ``repro.reductions``  Lemma 3 counting, Figure 1/2 gadgets, compilers
 ``repro.hierarchy``   Lemma 4 adapters, the Table 2 lattice
+``repro.runtime``     execution plans, serial/process backends, sinks
 ``repro.analysis``    verification harness, Table 2 / figure regeneration
 
 Quickstart
@@ -27,7 +28,17 @@ Quickstart
 True
 """
 
-from . import analysis, core, encoding, experiments, graphs, hierarchy, protocols, reductions
+from . import (
+    analysis,
+    core,
+    encoding,
+    experiments,
+    graphs,
+    hierarchy,
+    protocols,
+    reductions,
+    runtime,
+)
 
 __version__ = "1.0.0"
 
@@ -40,5 +51,6 @@ __all__ = [
     "hierarchy",
     "protocols",
     "reductions",
+    "runtime",
     "__version__",
 ]

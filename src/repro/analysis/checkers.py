@@ -23,6 +23,7 @@ from ..graphs.properties import (
 )
 
 __all__ = [
+    "AcceptAny",
     "BuildEqualsInput",
     "MisValid",
     "BfsCanonical",
@@ -33,6 +34,19 @@ __all__ = [
     "ConnectivityCorrect",
     "SpanningForestCanonical",
 ]
+
+
+@dataclass(frozen=True)
+class AcceptAny:
+    """Vacuous oracle: every successful execution counts as correct.
+
+    Used by sweeps without a known output oracle (e.g. ``repro sweep``
+    on a protocol with no registered checker), which then still measure
+    deadlocks and exact message sizes across the adversary product.
+    """
+
+    def __call__(self, graph: LabeledGraph, output, result) -> bool:
+        return True
 
 
 @dataclass(frozen=True)

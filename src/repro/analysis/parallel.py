@@ -1,49 +1,40 @@
-"""Process-parallel verification sweeps.
+"""Deprecated shim: process-parallel verification sweeps.
 
-Correctness sweeps are embarrassingly parallel across instances: each
-(graph, protocol, adversary set) cell is independent.  For the pure-
-Python simulator the GIL rules out threads, so this module fans the
-instance list out to a :class:`~concurrent.futures.ProcessPoolExecutor`
-and merges per-instance reports.
+This module predates the unified execution runtime; its hand-rolled
+``ProcessPoolExecutor`` fan-out and report-merging loop now live in
+:class:`repro.runtime.backends.ProcessPoolBackend` and
+:meth:`repro.runtime.results.VerificationReport.merge`.
+:func:`verify_protocol_parallel` remains as a thin wrapper so existing
+callers keep working, but new code should pass a backend directly::
 
-Requirements imposed by pickling: the protocol, the schedulers and the
-checker must be picklable — lambdas are not, so use the callable classes
-in :mod:`repro.analysis.checkers` (or your own module-level callables).
+    from repro.analysis.verify import verify_protocol
+    from repro.runtime import ProcessPoolBackend
 
-The serial path (:func:`repro.analysis.verify.verify_protocol`) remains
-the default everywhere; parallelism pays off once instances take
-hundreds of milliseconds each (see ``benchmarks/bench_parallel.py`` for
-the crossover measurement).
+    report = verify_protocol(..., backend=ProcessPoolBackend(jobs=4))
+
+Requirements imposed by pickling are unchanged: the protocol, the
+schedulers and the checker must be picklable — lambdas are not, so use
+the callable classes in :mod:`repro.analysis.checkers` (or your own
+module-level callables).  The serial path remains the default
+everywhere; parallelism pays off once instances take hundreds of
+milliseconds each (see ``benchmarks/bench_parallel.py`` for the
+crossover measurement).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from collections.abc import Sequence
 from typing import Optional
 
-from ..graphs.labeled_graph import LabeledGraph
-from ..core.models import MODELS_BY_NAME, ModelSpec
+from ..core.models import ModelSpec
 from ..core.protocol import Protocol
-from ..core.schedulers import Scheduler, default_portfolio
+from ..core.schedulers import Scheduler
+from ..graphs.labeled_graph import LabeledGraph
+from ..runtime.backends import ProcessPoolBackend
 from .verify import Checker, VerificationReport, verify_protocol
 
 __all__ = ["verify_protocol_parallel"]
-
-
-def _verify_one(payload) -> VerificationReport:
-    """Worker: verify a single instance (top-level for pickling)."""
-    (protocol, model_name, graph, checker, schedulers,
-     exhaustive_threshold, allow_deadlock) = payload
-    return verify_protocol(
-        protocol,
-        MODELS_BY_NAME[model_name],
-        [graph],
-        checker,
-        schedulers=schedulers,
-        exhaustive_threshold=exhaustive_threshold,
-        allow_deadlock=allow_deadlock,
-    )
 
 
 def verify_protocol_parallel(
@@ -58,29 +49,24 @@ def verify_protocol_parallel(
 ) -> VerificationReport:
     """Parallel counterpart of :func:`~repro.analysis.verify.verify_protocol`.
 
-    Splits ``instances`` across ``n_jobs`` worker processes (default:
-    ``os.cpu_count()``) and merges the per-instance reports.  Semantics
-    match the serial version exactly — asserted by the test suite, which
-    runs both and compares reports field by field.
+    Deprecated: equivalent to ``verify_protocol(..., backend=
+    ProcessPoolBackend(jobs=n_jobs))``, which is the supported spelling.
+    Semantics match the serial version exactly — asserted by the test
+    suite, which runs both and compares reports field by field.
     """
-    scheds = list(schedulers) if schedulers is not None else default_portfolio()
-    payloads = [
-        (protocol, model.name, g, checker, scheds, exhaustive_threshold,
-         allow_deadlock)
-        for g in instances
-    ]
-    merged = VerificationReport(protocol.name, model.name)
-    if not payloads:
-        return merged
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        for report in pool.map(_verify_one, payloads):
-            merged.instances += report.instances
-            merged.executions += report.executions
-            merged.exhaustive_instances += report.exhaustive_instances
-            merged.failures.extend(report.failures)
-            merged.max_message_bits = max(
-                merged.max_message_bits, report.max_message_bits
-            )
-            for n, b in report.max_bits_by_n.items():
-                merged.max_bits_by_n[n] = max(merged.max_bits_by_n.get(n, 0), b)
-    return merged
+    warnings.warn(
+        "verify_protocol_parallel is deprecated; call verify_protocol with "
+        "backend=repro.runtime.ProcessPoolBackend(jobs=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return verify_protocol(
+        protocol,
+        model,
+        instances,
+        checker,
+        schedulers=schedulers,
+        exhaustive_threshold=exhaustive_threshold,
+        allow_deadlock=allow_deadlock,
+        backend=ProcessPoolBackend(jobs=n_jobs, chunk_size=1),
+    )

@@ -12,75 +12,31 @@ the harness approximates that with
 Alongside correctness it records exact message-size statistics so the
 ``O(log n)`` / ``O(k^2 log n)`` claims are measured by the same runs
 that establish correctness.
+
+Since the unified execution runtime landed this module is a thin policy
+layer: :func:`verify_protocol` builds a ``verify``-mode
+:class:`~repro.runtime.plan.ExecutionPlan` and runs it on a
+:class:`~repro.runtime.backends.Backend` (serial by default; pass a
+:class:`~repro.runtime.backends.ProcessPoolBackend` to fan instances
+across processes — then the checker and schedulers must be picklable).
+:class:`VerificationReport` and :class:`Failure` now live in
+:mod:`repro.runtime.results` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
-from ..graphs.labeled_graph import LabeledGraph
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
-from ..core.schedulers import Scheduler, default_portfolio
-from ..core.simulator import RunResult, all_executions, run
+from ..core.schedulers import Scheduler
+from ..graphs.labeled_graph import LabeledGraph
+from ..runtime.backends import Backend
+from ..runtime.plan import Checker, ExecutionPlan
+from ..runtime.results import Failure, VerificationReport
 
 __all__ = ["Failure", "VerificationReport", "verify_protocol", "Checker"]
-
-#: ``checker(graph, output, result) -> bool`` — truthy means correct.
-Checker = Callable[[LabeledGraph, Any, RunResult], bool]
-
-
-@dataclass(frozen=True)
-class Failure:
-    """One incorrect or deadlocked execution."""
-
-    graph: LabeledGraph
-    schedule: tuple[int, ...]
-    output: Any
-    kind: str  # "wrong-output" | "deadlock"
-
-
-@dataclass
-class VerificationReport:
-    """Aggregated result of a verification sweep."""
-
-    protocol_name: str
-    model_name: str
-    instances: int = 0
-    executions: int = 0
-    exhaustive_instances: int = 0
-    failures: list[Failure] = field(default_factory=list)
-    max_message_bits: int = 0
-    max_bits_by_n: dict[int, int] = field(default_factory=dict)
-
-    @property
-    def ok(self) -> bool:
-        return not self.failures
-
-    def record(self, graph: LabeledGraph, result: RunResult, correct: bool) -> None:
-        self.executions += 1
-        self.max_message_bits = max(self.max_message_bits, result.max_message_bits)
-        prev = self.max_bits_by_n.get(graph.n, 0)
-        self.max_bits_by_n[graph.n] = max(prev, result.max_message_bits)
-        if result.corrupted:
-            self.failures.append(
-                Failure(graph, result.write_order, None, "deadlock")
-            )
-        elif not correct:
-            self.failures.append(
-                Failure(graph, result.write_order, result.output, "wrong-output")
-            )
-
-    def summary(self) -> str:
-        state = "OK" if self.ok else f"{len(self.failures)} FAILURES"
-        return (
-            f"{self.protocol_name} under {self.model_name}: {state} "
-            f"({self.instances} instances, {self.executions} executions, "
-            f"{self.exhaustive_instances} exhaustive, "
-            f"max message {self.max_message_bits} bits)"
-        )
 
 
 def verify_protocol(
@@ -93,6 +49,7 @@ def verify_protocol(
     exhaustive_limit: Optional[int] = None,
     bit_budget: Optional[Callable[[int], int]] = None,
     allow_deadlock: bool = False,
+    backend: Optional[Backend] = None,
 ) -> VerificationReport:
     """Sweep ``protocol`` under ``model`` over ``instances``.
 
@@ -108,30 +65,20 @@ def verify_protocol(
     allow_deadlock:
         When ``True`` deadlocks are not failures (used for the
         open-problem measurements, e.g. Corollary 4 on odd cycles).
+    backend:
+        Execution backend for the per-instance cells; ``None`` means
+        serial.  Any backend yields a field-identical report.
     """
-    scheds = list(schedulers) if schedulers is not None else default_portfolio()
-    report = VerificationReport(protocol.name, model.name)
-    for graph in instances:
-        report.instances += 1
-        budget = bit_budget(graph.n) if bit_budget else None
-        if graph.n <= exhaustive_threshold:
-            report.exhaustive_instances += 1
-            runs: Iterable[RunResult] = all_executions(
-                graph, protocol, model, bit_budget=budget, limit=exhaustive_limit
-            )
-        else:
-            runs = (
-                run(graph, protocol, model, sched, bit_budget=budget)
-                for sched in scheds
-            )
-        for result in runs:
-            if result.corrupted and allow_deadlock:
-                report.executions += 1
-                continue
-            correct = (
-                bool(checker(graph, result.output, result))
-                if result.success
-                else False
-            )
-            report.record(graph, result, correct)
-    return report
+    plan = ExecutionPlan.build(
+        protocol,
+        model,
+        instances,
+        mode="verify",
+        schedulers=schedulers,
+        checker=checker,
+        exhaustive_threshold=exhaustive_threshold,
+        exhaustive_limit=exhaustive_limit,
+        bit_budget=bit_budget,
+        allow_deadlock=allow_deadlock,
+    )
+    return plan.verification_report(backend=backend)

@@ -9,6 +9,15 @@
   ``O(k^2 log n)`` bound
 * ``lemma3``  — print the counting-bound table for the paper's classes
 * ``demo``    — run one protocol on one graph and dump the whiteboard
+* ``sweep``   — verification sweep over (protocol × instances ×
+  adversaries) through the execution runtime, optionally ``--jobs N``
+* ``experiment`` / ``reproduce-all`` — the E1–E18 index (``--jobs`` fans
+  experiments across worker processes)
+* ``protocols`` — list every shipped protocol (the census registry)
+
+Protocol names come from one registry — :data:`repro.protocols.census.
+CENSUS_BY_KEY` — so ``demo`` choices, ``sweep`` choices and the
+``protocols`` listing cannot drift apart.
 """
 
 from __future__ import annotations
@@ -16,8 +25,65 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from collections.abc import Callable
 
 __all__ = ["main", "build_parser"]
+
+#: ``demo`` registry: CLI name -> (census key, instance family).  The
+#: protocol itself always comes from the census entry, so the demo list
+#: and the ``protocols`` listing share one source of truth.
+_DEMOS: dict[str, tuple[str, Callable]] = {
+    "build": ("build-degenerate",
+              lambda gen, n, seed: gen.random_k_degenerate(n, 2, seed=seed)),
+    "mis": ("mis-greedy",
+            lambda gen, n, seed: gen.random_connected_graph(n, 0.3, seed=seed)),
+    "two-cliques": ("two-cliques",
+                    lambda gen, n, seed: gen.two_cliques(max(2, n // 2))),
+    "eob-bfs": ("eob-bfs",
+                lambda gen, n, seed: gen.random_even_odd_bipartite(
+                    n, 0.4, seed=seed)),
+    "bfs": ("bfs-sync",
+            lambda gen, n, seed: gen.random_graph(n, 0.3, seed=seed)),
+}
+
+#: ``sweep`` instance families: name -> builder over the generators module.
+_FAMILIES: dict[str, Callable] = {
+    "k-degenerate": lambda gen, n, seed: gen.random_k_degenerate(n, 2, seed=seed),
+    "random": lambda gen, n, seed: gen.random_graph(n, 0.3, seed=seed),
+    "connected": lambda gen, n, seed: gen.random_connected_graph(n, 0.3, seed=seed),
+    "eob": lambda gen, n, seed: gen.random_even_odd_bipartite(n, 0.4, seed=seed),
+    "path": lambda gen, n, seed: gen.path_graph(n),
+    "cycle": lambda gen, n, seed: gen.cycle_graph(n),
+    "two-cliques": lambda gen, n, seed: gen.two_cliques(max(2, n // 2)),
+}
+
+
+def _sweep_checker(census_key: str):
+    """Output oracle for a census protocol (vacuous when none is known)."""
+    from .analysis import checkers as ch
+
+    table = {
+        "build-forest": ch.BuildEqualsInput(),
+        "build-degenerate": ch.BuildEqualsInput(),
+        "build-extended": ch.BuildEqualsInput(),
+        "naive-build": ch.BuildEqualsInput(),
+        "mis-greedy": ch.MisValid(1),
+        "naive-mis": ch.MisValid(1),
+        "two-cliques": ch.TwoCliquesCorrect(),
+        "eob-bfs": ch.EobBfsCorrect(),
+        "naive-eob-bfs": ch.EobBfsCorrect(),
+        "bfs-sync": ch.BfsCanonical(),
+        "connectivity-sync": ch.ConnectivityCorrect(),
+        "sketch-connectivity": ch.ConnectivityCorrect(),
+        # sketch-spanning-forest stays on AcceptAny: its forest is valid
+        # but seed-dependent, never the canonical BFS forest.
+        "spanning-forest-sync": ch.SpanningForestCanonical(),
+        "triangle-degenerate": ch.TriangleCorrect(),
+        "naive-triangle": ch.TriangleCorrect(),
+        "square-degenerate": ch.SquareCorrect(),
+        "naive-square": ch.SquareCorrect(),
+    }
+    return table.get(census_key, ch.AcceptAny())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,19 +108,46 @@ def build_parser() -> argparse.ArgumentParser:
     l3.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64, 128])
 
     demo = sub.add_parser("demo", help="run a protocol and dump the whiteboard")
-    demo.add_argument("--protocol", default="build",
-                      choices=["build", "mis", "two-cliques", "eob-bfs", "bfs"])
+    demo.add_argument("--protocol", default="build", choices=sorted(_DEMOS))
     demo.add_argument("--n", type=int, default=10)
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--trace", action="store_true",
                       help="narrate the execution round by round")
+
+    from .protocols.census import CENSUS_BY_KEY
+
+    sw = sub.add_parser(
+        "sweep",
+        help="verification sweep over (protocol x instances x adversaries)")
+    sw.add_argument("--protocol", dest="protocols", action="append",
+                    required=True, choices=sorted(CENSUS_BY_KEY),
+                    help="census protocol key (repeatable)")
+    sw.add_argument("--family", default="random", choices=sorted(_FAMILIES),
+                    help="instance family (default: random)")
+    sw.add_argument("--sizes", type=int, nargs="+", default=[6, 9],
+                    help="instance sizes n")
+    sw.add_argument("--seeds", type=int, nargs="+", default=[0],
+                    help="instance seeds (one instance per size x seed)")
+    sw.add_argument("--mode", default="verify",
+                    choices=["verify", "single", "exhaustive"],
+                    help="verify = exhaustive below the threshold, "
+                         "portfolio above (default)")
+    sw.add_argument("--threshold", type=int, default=5,
+                    help="exhaustive-enumeration size threshold")
+    sw.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: serial)")
 
     exp = sub.add_parser("experiment", help="regenerate one experiment (E1-E18)")
     exp.add_argument("experiment_id", help="e.g. E5")
     exp.add_argument("--full", action="store_true", help="larger workloads")
 
     allp = sub.add_parser("reproduce-all", help="regenerate the whole E1-E18 index")
-    allp.add_argument("--full", action="store_true", help="larger workloads")
+    size = allp.add_mutually_exclusive_group()
+    size.add_argument("--full", action="store_true", help="larger workloads")
+    size.add_argument("--quick", action="store_true",
+                      help="small workloads (the default; explicit for scripts)")
+    allp.add_argument("--jobs", type=int, default=None,
+                      help="fan experiments across worker processes")
 
     sub.add_parser("protocols", help="list every shipped protocol")
     return parser
@@ -129,34 +222,17 @@ def _cmd_lemma3(args) -> int:
 
 
 def _cmd_demo(args) -> int:
-    from .core import ASYNC, SIMASYNC, SIMSYNC, SYNC, RandomScheduler, run
+    from .core import MODELS_BY_NAME, RandomScheduler, run
     from .graphs import generators as gen
-    from .protocols import (
-        DegenerateBuildProtocol,
-        EobBfsProtocol,
-        RootedMisProtocol,
-        SyncBfsProtocol,
-        TwoCliquesProtocol,
-    )
+    from .protocols.census import CENSUS_BY_KEY
 
-    n, seed = args.n, args.seed
-    if args.protocol == "build":
-        g = gen.random_k_degenerate(n, 2, seed=seed)
-        proto, model = DegenerateBuildProtocol(2), SIMASYNC
-    elif args.protocol == "mis":
-        g = gen.random_connected_graph(n, 0.3, seed=seed)
-        proto, model = RootedMisProtocol(1), SIMSYNC
-    elif args.protocol == "two-cliques":
-        g = gen.two_cliques(max(2, n // 2))
-        proto, model = TwoCliquesProtocol(), SIMSYNC
-    elif args.protocol == "eob-bfs":
-        g = gen.random_even_odd_bipartite(n, 0.4, seed=seed)
-        proto, model = EobBfsProtocol(), ASYNC
-    else:
-        g = gen.random_graph(n, 0.3, seed=seed)
-        proto, model = SyncBfsProtocol(), SYNC
+    census_key, make_graph = _DEMOS[args.protocol]
+    entry = CENSUS_BY_KEY[census_key]
+    proto = entry.instantiate()
+    model = MODELS_BY_NAME[entry.model]
+    g = make_graph(gen, args.n, args.seed)
 
-    result = run(g, proto, model, RandomScheduler(seed))
+    result = run(g, proto, model, RandomScheduler(args.seed))
     if args.trace:
         from .analysis.trace import narrate
 
@@ -172,6 +248,48 @@ def _cmd_demo(args) -> int:
     print(f"max message: {result.max_message_bits} bits; "
           f"board total: {result.total_bits} bits")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .core.models import MODELS_BY_NAME
+    from .graphs import generators as gen
+    from .protocols.census import CENSUS_BY_KEY
+    from .runtime import ExecutionPlan, resolve_backend
+
+    backend = resolve_backend(args.jobs)
+    built = [
+        _FAMILIES[args.family](gen, n, seed)
+        for n in args.sizes for seed in args.seeds
+    ]
+    # Seed-invariant families (path, cycle, two-cliques) produce the same
+    # instance for every seed; drop duplicates instead of re-verifying them.
+    instances = [g for i, g in enumerate(built) if g not in built[:i]]
+    from .analysis.checkers import AcceptAny
+
+    all_ok = True
+    for key in args.protocols:
+        entry = CENSUS_BY_KEY[key]
+        checker = _sweep_checker(key)
+        plan = ExecutionPlan.build(
+            entry.instantiate(),
+            MODELS_BY_NAME[entry.model],
+            instances,
+            mode=args.mode,
+            checker=checker,
+            exhaustive_threshold=args.threshold,
+            keep_runs=False,
+        )
+        report = plan.verification_report(backend=backend)
+        all_ok &= report.ok
+        vacuous = (
+            "  (no oracle registered: success/size only)"
+            if isinstance(checker, AcceptAny) else ""
+        )
+        print(f"[{len(plan):>3} tasks via {backend.name}] "
+              f"{report.summary()}{vacuous}")
+        for n, bits in sorted(report.max_bits_by_n.items()):
+            print(f"    n={n}: max message {bits} bits")
+    return 0 if all_ok else 1
 
 
 def _cmd_experiment(args) -> int:
@@ -190,7 +308,7 @@ def _cmd_experiment(args) -> int:
 def _cmd_reproduce_all(args) -> int:
     from .experiments import run_all
 
-    results = run_all(quick=not args.full)
+    results = run_all(quick=not args.full, jobs=args.jobs)
     failed = [r for r in results if not r.ok]
     for r in results:
         print(f"{r.experiment_id:<5} {'OK' if r.ok else 'FAILED'}   ", end="")
@@ -215,6 +333,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lemma3(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "reproduce-all":

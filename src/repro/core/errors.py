@@ -29,6 +29,11 @@ class MessageTooLarge(WhiteboardError):
         self.bits = bits
         self.budget = budget
 
+    def __reduce__(self):
+        # Exception.args holds only the formatted message; rebuild from the
+        # real fields so worker processes can ship this across a pool.
+        return (MessageTooLarge, (self.node, self.bits, self.budget))
+
 
 class ProtocolViolation(WhiteboardError):
     """A protocol broke a model rule (e.g. produced a non-payload message,

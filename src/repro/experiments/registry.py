@@ -16,8 +16,9 @@ interactive use.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = [
     "ExperimentResult",
@@ -475,18 +476,18 @@ def _e17_cost_attribution(quick: bool) -> ExperimentResult:
 
 def _e18_parallel(quick: bool) -> ExperimentResult:
     from ..analysis.checkers import BuildEqualsInput
-    from ..analysis.parallel import verify_protocol_parallel
-    from ..analysis.verify import verify_protocol
     from ..core import SIMASYNC
     from ..graphs.generators import random_k_degenerate
     from ..protocols.build import DegenerateBuildProtocol
+    from ..runtime import ExecutionPlan, ProcessPoolBackend, SerialBackend
 
     instances = [random_k_degenerate(n, 2, seed=n) for n in (8, 12)]
-    checker = BuildEqualsInput()
-    serial = verify_protocol(DegenerateBuildProtocol(2), SIMASYNC, instances, checker)
-    parallel = verify_protocol_parallel(
-        DegenerateBuildProtocol(2), SIMASYNC, instances, checker, n_jobs=2
+    plan = ExecutionPlan.build(
+        DegenerateBuildProtocol(2), SIMASYNC, instances,
+        mode="verify", checker=BuildEqualsInput(),
     )
+    serial = plan.verification_report(backend=SerialBackend())
+    parallel = plan.verification_report(backend=ProcessPoolBackend(jobs=2))
     ok = (
         serial.ok and parallel.ok
         and serial.executions == parallel.executions
@@ -494,8 +495,8 @@ def _e18_parallel(quick: bool) -> ExperimentResult:
     )
     return ExperimentResult(
         "E18", ok,
-        "E18 — parallel sweep equivalence: serial and process-parallel "
-        f"verification agree on {serial.executions} executions",
+        "E18 — parallel sweep equivalence: serial and process-pool backends "
+        f"agree on {serial.executions} executions of a {len(plan)}-task plan",
     )
 
 
@@ -537,6 +538,30 @@ def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
     return get_experiment(experiment_id).run(quick)
 
 
-def run_all(quick: bool = True) -> list[ExperimentResult]:
-    """Regenerate the whole index, in order."""
-    return [e.run(quick) for e in CATALOG]
+def _run_spec(spec: tuple[str, bool]) -> ExperimentResult:
+    """Worker: regenerate one experiment (top-level for pickling)."""
+    experiment_id, quick = spec
+    return get_experiment(experiment_id).run(quick)
+
+
+def run_all(
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    experiment_ids: Optional[Sequence[str]] = None,
+) -> list[ExperimentResult]:
+    """Regenerate the index (all of it, or ``experiment_ids``), in order.
+
+    ``jobs`` fans experiments across worker processes through the
+    execution runtime's backends; results always come back in catalogue
+    order regardless of which worker finishes first.  Experiments are
+    coarse, uneven tasks, so the process backend shards one per future.
+    """
+    from ..runtime.backends import resolve_backend
+
+    ids = (
+        [e.experiment_id for e in CATALOG]
+        if experiment_ids is None
+        else [get_experiment(i).experiment_id for i in experiment_ids]
+    )
+    backend = resolve_backend(jobs, chunk_size=1)
+    return list(backend.map(_run_spec, [(i, quick) for i in ids]))

@@ -12,7 +12,7 @@ One module per result:
 * :mod:`~repro.protocols.randomized` — Section 7's randomized 2-CLIQUES
 """
 
-from .census import CENSUS, ProtocolEntry, render_census
+from .census import CENSUS, CENSUS_BY_KEY, ProtocolEntry, render_census
 from .build_extended import ExtendedBuildProtocol, has_mixed_elimination_order
 from .connectivity import ConnectivityProtocol, SpanningForestProtocol
 from .distance import (
@@ -61,6 +61,7 @@ from .two_cliques import MIXED, NOT_TWO_CLIQUES, TWO_CLIQUES, TwoCliquesProtocol
 
 __all__ = [
     "CENSUS",
+    "CENSUS_BY_KEY",
     "ProtocolEntry",
     "render_census",
     "ExtendedBuildProtocol",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from ..core.protocol import Protocol
 
-__all__ = ["ProtocolEntry", "CENSUS", "render_census"]
+__all__ = ["ProtocolEntry", "CENSUS", "CENSUS_BY_KEY", "render_census"]
 
 
 @dataclass(frozen=True)
@@ -123,6 +123,10 @@ def _census() -> tuple[ProtocolEntry, ...]:
 
 
 CENSUS: tuple[ProtocolEntry, ...] = _census()
+
+#: The protocol registry, addressable by key — the single source for
+#: every CLI listing/choice that names protocols.
+CENSUS_BY_KEY: dict[str, ProtocolEntry] = {e.key: e for e in CENSUS}
 
 
 def render_census() -> str:

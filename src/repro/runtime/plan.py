@@ -1,0 +1,233 @@
+"""Execution plans: the (graph × protocol × model × scheduler) product.
+
+The paper's results are universally quantified — "for every adversary",
+"for every input in the class" — so every empirical claim in this repo
+is a *sweep* over cells of that product.  An :class:`ExecutionPlan`
+enumerates the cells once, deterministically, into picklable
+:class:`ExecutionTask` specs; a :class:`~repro.runtime.backends.Backend`
+then executes them serially or fanned across processes.  Everything that
+used to hand-roll this loop (``verify_protocol``, the parallel sweep
+module, the experiment registry, the CLI) builds a plan instead.
+
+Plan modes:
+
+* ``single`` — each cell runs once per scheduler in the portfolio.
+* ``exhaustive`` — each cell enumerates *every* adversary schedule.
+* ``verify`` — the harness policy: exhaustive when the instance is small
+  enough (``n <= exhaustive_threshold``), scheduler portfolio otherwise,
+  raw transcripts dropped so only aggregates cross process boundaries.
+
+Tasks are frozen and fully resolved at build time (the ``bit_budget``
+callable, for instance, is applied to each graph's ``n`` up front), so a
+task pickles cleanly and executes identically in any process.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from ..core.models import MODELS_BY_NAME, ModelSpec
+from ..core.protocol import Protocol
+from ..core.schedulers import Scheduler, default_portfolio
+from ..core.simulator import RunResult, all_executions, run
+from ..graphs.labeled_graph import LabeledGraph
+from .results import ListSink, ReportMergeSink, ResultSink, TaskOutcome, VerificationReport
+
+__all__ = ["Checker", "ExecutionTask", "ExecutionPlan"]
+
+#: ``checker(graph, output, result) -> bool`` — truthy means correct.
+Checker = Callable[[LabeledGraph, Any, "RunResult"], bool]
+
+_MODES = ("single", "exhaustive", "verify")
+
+
+@dataclass(frozen=True)
+class ExecutionTask:
+    """One independent cell of a sweep, resolved and picklable.
+
+    ``mode`` is ``"schedules"`` (run once per scheduler) or
+    ``"exhaustive"`` (enumerate every adversary schedule); the plan-level
+    ``verify`` mode lowers each cell to one of these at build time.
+    """
+
+    index: int
+    graph: LabeledGraph
+    protocol: Protocol
+    model_name: str
+    mode: str
+    schedulers: tuple[Scheduler, ...] = ()
+    checker: Optional[Checker] = None
+    bit_budget: Optional[int] = None
+    exhaustive_limit: Optional[int] = None
+    allow_deadlock: bool = False
+    keep_runs: bool = True
+
+    @property
+    def model(self) -> ModelSpec:
+        return MODELS_BY_NAME[self.model_name]
+
+    def execute(self) -> TaskOutcome:
+        """Run the cell and aggregate, mirroring the serial harness exactly.
+
+        Deadlocks under ``allow_deadlock`` count as executions but do not
+        touch the bit maxima — the historical ``verify_protocol``
+        behaviour, which equivalence tests pin.
+        """
+        model = self.model
+        if self.mode == "exhaustive":
+            results: Iterable[RunResult] = all_executions(
+                self.graph, self.protocol, model,
+                bit_budget=self.bit_budget, limit=self.exhaustive_limit,
+            )
+        else:
+            results = (
+                run(self.graph, self.protocol, model, sched,
+                    bit_budget=self.bit_budget)
+                for sched in self.schedulers
+            )
+        report: Optional[VerificationReport] = None
+        if self.checker is not None:
+            report = VerificationReport(self.protocol.name, self.model_name)
+            report.instances = 1
+            if self.mode == "exhaustive":
+                report.exhaustive_instances = 1
+        kept: Optional[list[RunResult]] = [] if self.keep_runs else None
+        for result in results:
+            if kept is not None:
+                kept.append(result)
+            if report is None:
+                continue
+            if result.corrupted and self.allow_deadlock:
+                report.executions += 1
+                continue
+            correct = (
+                bool(self.checker(self.graph, result.output, result))
+                if result.success
+                else False
+            )
+            report.record(self.graph, result, correct)
+        return TaskOutcome(
+            self.index, report, tuple(kept) if kept is not None else None
+        )
+
+
+def _as_tuple(value, kind) -> tuple:
+    if isinstance(value, kind):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A deterministic, indexed list of execution tasks.
+
+    Built once, runnable on any backend; task ``index`` is the only
+    ordering authority, so results are identical no matter how a backend
+    shards or races the work.
+    """
+
+    tasks: tuple[ExecutionTask, ...]
+    protocol_names: tuple[str, ...]
+    model_names: tuple[str, ...]
+    mode: str
+
+    @classmethod
+    def build(
+        cls,
+        protocols: Union[Protocol, Sequence[Protocol]],
+        models: Union[ModelSpec, Sequence[ModelSpec]],
+        instances: Iterable[LabeledGraph],
+        *,
+        mode: str = "single",
+        schedulers: Optional[Sequence[Scheduler]] = None,
+        checker: Optional[Checker] = None,
+        exhaustive_threshold: int = 5,
+        exhaustive_limit: Optional[int] = None,
+        bit_budget: Union[None, int, Callable[[int], int]] = None,
+        allow_deadlock: bool = False,
+        keep_runs: Optional[bool] = None,
+    ) -> "ExecutionPlan":
+        """Enumerate the (protocol × model × instance) product into tasks.
+
+        Enumeration order is protocol-major, then model, then instance —
+        stable for any input ordering, so a plan built twice from the
+        same arguments is identical task for task.
+        """
+        if mode not in _MODES:
+            raise ValueError(f"unknown plan mode {mode!r}; expected one of {_MODES}")
+        protos = _as_tuple(protocols, Protocol)
+        model_specs = _as_tuple(models, ModelSpec)
+        graphs = list(instances)
+        scheds = (
+            tuple(schedulers) if schedulers is not None
+            else tuple(default_portfolio())
+        )
+        if keep_runs is None:
+            keep_runs = mode != "verify"
+        if checker is None and not keep_runs:
+            raise ValueError("a plan without a checker must keep its runs")
+        tasks: list[ExecutionTask] = []
+        for proto in protos:
+            for model in model_specs:
+                for graph in graphs:
+                    budget = bit_budget(graph.n) if callable(bit_budget) else bit_budget
+                    if mode == "exhaustive":
+                        task_mode = "exhaustive"
+                    elif mode == "verify":
+                        task_mode = (
+                            "exhaustive" if graph.n <= exhaustive_threshold
+                            else "schedules"
+                        )
+                    else:
+                        task_mode = "schedules"
+                    tasks.append(ExecutionTask(
+                        index=len(tasks),
+                        graph=graph,
+                        protocol=proto,
+                        model_name=model.name,
+                        mode=task_mode,
+                        schedulers=scheds if task_mode == "schedules" else (),
+                        checker=checker,
+                        bit_budget=budget,
+                        exhaustive_limit=exhaustive_limit,
+                        allow_deadlock=allow_deadlock,
+                        keep_runs=keep_runs,
+                    ))
+        return cls(
+            tasks=tuple(tasks),
+            protocol_names=tuple(dict.fromkeys(p.name for p in protos)),
+            model_names=tuple(dict.fromkeys(m.name for m in model_specs)),
+            mode=mode,
+        )
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[ExecutionTask]:
+        return iter(self.tasks)
+
+    def run(self, backend=None, sink: Optional[ResultSink] = None):
+        """Execute every task on ``backend``, streaming outcomes into
+        ``sink`` in task order; returns ``sink.result()``.
+
+        Defaults: :class:`~repro.runtime.backends.SerialBackend` and a
+        :class:`~repro.runtime.results.ListSink` (list of outcomes).
+        """
+        from .backends import SerialBackend
+
+        if backend is None:
+            backend = SerialBackend()
+        if sink is None:
+            sink = ListSink()
+        for outcome in backend.run(self.tasks):
+            sink.add(outcome)
+        return sink.result()
+
+    def verification_report(self, backend=None) -> VerificationReport:
+        """Run the plan and merge per-task reports into one."""
+        sink = ReportMergeSink(
+            "+".join(self.protocol_names), "+".join(self.model_names)
+        )
+        return self.run(backend=backend, sink=sink)

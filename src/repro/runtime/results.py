@@ -1,0 +1,159 @@
+"""Result types and streaming sinks for the execution runtime.
+
+:class:`VerificationReport` (and its per-execution :class:`Failure`
+records) is the canonical aggregate of a correctness sweep.  It
+historically lived in :mod:`repro.analysis.verify`, which still
+re-exports it; it moved here so the runtime layer — which produces
+per-task reports in worker processes — can depend on it without
+importing the analysis layer.
+
+Backends deliver :class:`TaskOutcome` objects in deterministic task
+order; a :class:`ResultSink` consumes them one at a time, so arbitrarily
+large sweeps never require holding every execution in memory at once.
+:class:`ReportMergeSink` folds per-task reports into a single
+:class:`VerificationReport` via :meth:`VerificationReport.merge` — the
+one merging loop shared by the serial path, the process backend, and the
+deprecated ``verify_protocol_parallel`` shim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..graphs.labeled_graph import LabeledGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.simulator import RunResult
+
+__all__ = [
+    "Failure",
+    "VerificationReport",
+    "TaskOutcome",
+    "ResultSink",
+    "ListSink",
+    "ReportMergeSink",
+]
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One incorrect or deadlocked execution."""
+
+    graph: LabeledGraph
+    schedule: tuple[int, ...]
+    output: Any
+    kind: str  # "wrong-output" | "deadlock"
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated result of a verification sweep."""
+
+    protocol_name: str
+    model_name: str
+    instances: int = 0
+    executions: int = 0
+    exhaustive_instances: int = 0
+    failures: list[Failure] = field(default_factory=list)
+    max_message_bits: int = 0
+    max_bits_by_n: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, graph: LabeledGraph, result: "RunResult", correct: bool) -> None:
+        self.executions += 1
+        self.max_message_bits = max(self.max_message_bits, result.max_message_bits)
+        prev = self.max_bits_by_n.get(graph.n, 0)
+        self.max_bits_by_n[graph.n] = max(prev, result.max_message_bits)
+        if result.corrupted:
+            self.failures.append(
+                Failure(graph, result.write_order, None, "deadlock")
+            )
+        elif not correct:
+            self.failures.append(
+                Failure(graph, result.write_order, result.output, "wrong-output")
+            )
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        """Fold ``other`` into this report (counts, failures, bit maxima).
+
+        Merging is associative and order-preserving over ``failures`` and
+        ``max_bits_by_n`` insertion order, so folding per-task reports in
+        task order reproduces the serial sweep field for field.  Returns
+        ``self`` for chaining.
+        """
+        self.instances += other.instances
+        self.executions += other.executions
+        self.exhaustive_instances += other.exhaustive_instances
+        self.failures.extend(other.failures)
+        self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
+        for n, bits in other.max_bits_by_n.items():
+            self.max_bits_by_n[n] = max(self.max_bits_by_n.get(n, 0), bits)
+        return self
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"{self.protocol_name} under {self.model_name}: {state} "
+            f"({self.instances} instances, {self.executions} executions, "
+            f"{self.exhaustive_instances} exhaustive, "
+            f"max message {self.max_message_bits} bits)"
+        )
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What one :class:`~repro.runtime.plan.ExecutionTask` produced.
+
+    ``report`` is present iff the task carried a checker; ``runs`` is
+    present iff the task kept its raw :class:`RunResult` transcripts
+    (verification sweeps drop them so workers only ship aggregates).
+    """
+
+    index: int
+    report: Optional[VerificationReport]
+    runs: Optional[tuple["RunResult", ...]]
+
+
+class ResultSink:
+    """Streaming consumer of task outcomes, fed in task order."""
+
+    def add(self, outcome: TaskOutcome) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class ListSink(ResultSink):
+    """Collect every outcome (the default for raw sweeps)."""
+
+    def __init__(self) -> None:
+        self.outcomes: list[TaskOutcome] = []
+
+    def add(self, outcome: TaskOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def result(self) -> list[TaskOutcome]:
+        return self.outcomes
+
+
+class ReportMergeSink(ResultSink):
+    """Merge per-task verification reports into one."""
+
+    def __init__(self, protocol_name: str, model_name: str) -> None:
+        self.report = VerificationReport(protocol_name, model_name)
+
+    def add(self, outcome: TaskOutcome) -> None:
+        if outcome.report is None:
+            raise ValueError(
+                f"task {outcome.index} produced no report; build the plan "
+                "with a checker to merge verification reports"
+            )
+        self.report.merge(outcome.report)
+
+    def result(self) -> VerificationReport:
+        return self.report

@@ -1,0 +1,133 @@
+"""Backend equivalence and determinism tests.
+
+The load-bearing guarantee: any backend executing the same plan produces
+field-identical results in the same order, no matter how tasks are
+sharded or which worker finishes first.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.checkers import BuildEqualsInput, MisValid, TriangleCorrect
+from repro.core import SIMASYNC, SIMSYNC
+from repro.core.errors import MessageTooLarge
+from repro.graphs import generators as gen
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.protocols.mis import RootedMisProtocol
+from repro.runtime import (
+    ExecutionPlan,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+
+
+def _square(x):
+    """Top-level map payload (worker processes must pickle it)."""
+    return x * x
+
+
+def _make_plan(sizes=(4, 8, 12), checker=None, protocol=None, model=SIMASYNC):
+    instances = [gen.random_k_degenerate(n, 2, seed=n) for n in sizes]
+    return ExecutionPlan.build(
+        protocol or DegenerateBuildProtocol(2), model, instances,
+        mode="verify", checker=checker or BuildEqualsInput(),
+    )
+
+
+def _assert_reports_identical(a, b):
+    assert a.protocol_name == b.protocol_name
+    assert a.model_name == b.model_name
+    assert a.instances == b.instances
+    assert a.executions == b.executions
+    assert a.exhaustive_instances == b.exhaustive_instances
+    assert a.failures == b.failures
+    assert a.max_message_bits == b.max_message_bits
+    assert a.max_bits_by_n == b.max_bits_by_n
+
+
+class TestEquivalence:
+    def test_process_pool_report_field_identical(self):
+        plan = _make_plan()
+        serial = plan.verification_report(backend=SerialBackend())
+        pooled = plan.verification_report(backend=ProcessPoolBackend(jobs=2))
+        _assert_reports_identical(serial, pooled)
+
+    def test_failures_identical_across_backends(self):
+        # Wrong oracle on purpose: every execution becomes a failure, so
+        # the failure *lists* (graphs, schedules, outputs, order) must
+        # survive the process boundary unchanged.
+        plan = _make_plan(sizes=(4, 6), checker=TriangleCorrect())
+        serial = plan.verification_report(backend=SerialBackend())
+        pooled = plan.verification_report(
+            backend=ProcessPoolBackend(jobs=2, chunk_size=1)
+        )
+        assert not serial.ok
+        _assert_reports_identical(serial, pooled)
+
+    def test_mis_sweep_equivalent(self):
+        instances = [gen.random_connected_graph(7, 0.3, seed=s) for s in range(4)]
+        plan = ExecutionPlan.build(
+            RootedMisProtocol(2), SIMSYNC, instances,
+            mode="verify", checker=MisValid(2),
+        )
+        serial = plan.verification_report(backend=SerialBackend())
+        pooled = plan.verification_report(backend=ProcessPoolBackend(jobs=3))
+        _assert_reports_identical(serial, pooled)
+
+    def test_worker_exceptions_propagate(self):
+        plan = ExecutionPlan.build(
+            DegenerateBuildProtocol(2), SIMASYNC,
+            [gen.random_k_degenerate(8, 2, seed=1)],
+            mode="verify", checker=BuildEqualsInput(), bit_budget=lambda n: 3,
+        )
+        with pytest.raises(MessageTooLarge):
+            plan.verification_report(backend=ProcessPoolBackend(jobs=2))
+
+
+class TestOrdering:
+    def test_task_order_survives_shuffled_submission(self):
+        plan = _make_plan(sizes=(12, 4, 10, 6, 8))
+        tasks = list(plan.tasks)
+        random.Random(0).shuffle(tasks)
+        # chunk_size=1 maximises completion races: uneven cell costs mean
+        # later shards can finish first, yet output order == submission.
+        backend = ProcessPoolBackend(jobs=3, chunk_size=1)
+        outcomes = list(backend.run(tasks))
+        assert [o.index for o in outcomes] == [t.index for t in tasks]
+
+    def test_map_preserves_order_across_chunkings(self):
+        items = list(range(23))
+        want = [x * x for x in items]
+        for chunk_size in (1, 2, 7, 50):
+            backend = ProcessPoolBackend(jobs=3, chunk_size=chunk_size)
+            assert list(backend.map(_square, items)) == want
+
+    def test_map_empty(self):
+        assert list(ProcessPoolBackend(jobs=2).map(_square, [])) == []
+        assert list(SerialBackend().map(_square, [])) == []
+
+
+class TestConfig:
+    def test_resolve_backend(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend(1), SerialBackend)
+        pool = resolve_backend(4, chunk_size=1)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.jobs == 4 and pool.chunk_size == 1
+        for bad in (0, -4):
+            with pytest.raises(ValueError):
+                resolve_backend(bad)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(jobs=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(chunk_size=0)
+
+    def test_default_sharding_targets_four_per_worker(self):
+        backend = ProcessPoolBackend(jobs=2)
+        shards = backend._shards(list(range(17)), jobs=2)
+        assert sum(len(s) for s in shards) == 17
+        assert max(len(s) for s in shards) == 3  # ceil(17 / 8)

@@ -16,6 +16,28 @@ class TestParser:
             args = p.parse_args([cmd])
             assert args.command == cmd
 
+    def test_demo_choices_come_from_registry(self):
+        from repro.cli import _DEMOS
+        from repro.protocols.census import CENSUS_BY_KEY
+
+        p = build_parser()
+        for name, (census_key, _) in _DEMOS.items():
+            assert census_key in CENSUS_BY_KEY
+            assert p.parse_args(["demo", "--protocol", name]).protocol == name
+        with pytest.raises(SystemExit):
+            p.parse_args(["demo", "--protocol", "not-a-protocol"])
+
+    def test_reproduce_all_quick_jobs_flags(self):
+        p = build_parser()
+        args = p.parse_args(["reproduce-all", "--quick", "--jobs", "2"])
+        assert args.quick and not args.full and args.jobs == 2
+        with pytest.raises(SystemExit):
+            p.parse_args(["reproduce-all", "--quick", "--full"])
+
+    def test_sweep_requires_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
 
 class TestCommands:
     def test_fig1(self, capsys):
@@ -48,3 +70,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "BUILD k-degenerate" in out
         assert "matches the paper: True" in out
+
+    def test_sweep_serial(self, capsys):
+        assert main(["sweep", "--protocol", "build-degenerate",
+                     "--family", "k-degenerate", "--sizes", "4", "8",
+                     "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "via serial" in out and "OK" in out and "n=8" in out
+
+    def test_sweep_parallel_jobs(self, capsys):
+        assert main(["sweep", "--protocol", "build-degenerate",
+                     "--protocol", "mis-greedy", "--family", "k-degenerate",
+                     "--sizes", "4", "6", "--seeds", "0", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "via process-pool" in out
+        assert "build-degenerate" in out and "mis-greedy" in out
+
+    def test_sweep_without_registered_oracle(self, capsys):
+        # No checker registered for the diameter protocols: the sweep
+        # falls back to AcceptAny and still measures sizes/deadlocks.
+        assert main(["sweep", "--protocol", "diameter-degenerate",
+                     "--family", "k-degenerate", "--sizes", "4",
+                     "--seeds", "0"]) == 0
+        assert "OK" in capsys.readouterr().out

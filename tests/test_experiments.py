@@ -43,6 +43,12 @@ class TestRegeneration:
         assert len(results) == 18
         assert all(r.ok for r in results)
 
+    def test_run_all_parallel_subset_keeps_order(self):
+        ids = ["E1", "E7", "E3"]
+        results = run_all(quick=True, jobs=2, experiment_ids=ids)
+        assert [r.experiment_id for r in results] == ids
+        assert all(r.ok for r in results)
+
     def test_table2_details(self):
         result = run_experiment("E2", quick=True)
         assert result.details.get("matches_paper") is True
