@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Adversary search vs. exhaustive ground truth at small n.
+
+For every fixture small enough to enumerate exhaustively, measures
+
+* **agreement** — does each search strategy's worst witness reach the
+  exhaustive maximum (bits), and does the deadlock seeker find a
+  deadlock exactly when one exists?
+* **time** — wall clock of the search vs. the exhaustive sweep it
+  replaces, plus the number of write events each explored.
+
+The summary lands in ``reports/adversary_search.txt``;
+``benchmarks/bench_regression.py`` records the headline
+``adversary_search_n6`` number into ``BENCH_perf.json`` so the
+search-vs-enumeration trajectory is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adversary.py [--reps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.adversaries import (  # noqa: E402
+    BeamSearchAdversary,
+    BranchAndBoundAdversary,
+    DeadlockAdversary,
+    GreedyBitsAdversary,
+)
+from repro.core import ASYNC, SIMASYNC, SIMSYNC, all_executions  # noqa: E402
+from repro.graphs import generators as gen  # noqa: E402
+from repro.graphs.labeled_graph import LabeledGraph  # noqa: E402
+from repro.protocols.bfs import (  # noqa: E402
+    BipartiteBfsAsyncProtocol,
+    EobBfsProtocol,
+)
+from repro.protocols.build import DegenerateBuildProtocol  # noqa: E402
+
+REPORT_PATH = REPO_ROOT / "reports" / "adversary_search.txt"
+
+FIXTURES = [
+    ("build-simasync-n6", gen.random_k_degenerate(6, 2, seed=0),
+     lambda: DegenerateBuildProtocol(2), SIMASYNC),
+    ("build-simsync-n6", gen.random_k_degenerate(6, 2, seed=0),
+     lambda: DegenerateBuildProtocol(2), SIMSYNC),
+    ("eob-bfs-async-n6", gen.random_even_odd_bipartite(6, 0.5, seed=1),
+     lambda: EobBfsProtocol(), ASYNC),
+    ("bipartite-deadlock-n5",
+     LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)]),
+     lambda: BipartiteBfsAsyncProtocol(), ASYNC),
+]
+
+STRATEGIES = [
+    lambda: GreedyBitsAdversary(restarts=2),
+    lambda: BeamSearchAdversary(width=8),
+    lambda: BranchAndBoundAdversary(),
+    lambda: DeadlockAdversary(),
+]
+
+
+def _median_time(fn, reps: int):
+    times = []
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    lines = ["adversary search vs exhaustive ground truth", ""]
+    header = (f"{'fixture':<24} {'strategy':<18} {'bits':>5} {'truth':>5} "
+              f"{'dead':>5} {'steps':>7} {'seconds':>9} {'exh sec':>9} agree")
+    print(header)
+    lines.append(header)
+    all_agree = True
+    for tag, graph, make_proto, model in FIXTURES:
+        def enumerate_all():
+            bits, dead, count = 0, False, 0
+            for r in all_executions(graph, make_proto(), model):
+                bits = max(bits, r.max_message_bits)
+                dead |= r.corrupted
+                count += 1
+            return bits, dead, count
+
+        t_exh, (truth_bits, truth_dead, schedules) = _median_time(
+            enumerate_all, args.reps)
+        for make_strategy in STRATEGIES:
+            strategy = make_strategy()
+            t_search, witness = _median_time(
+                lambda s=strategy: s.search(graph, make_proto(), model),
+                args.reps)
+            if strategy.name == "deadlock-dfs":
+                agree = witness.deadlock == truth_dead
+            else:
+                agree = witness.deadlock or witness.bits == truth_bits
+            all_agree &= agree
+            row = (f"{tag:<24} {strategy.name:<18} {witness.bits:>5} "
+                   f"{truth_bits:>5} {str(witness.deadlock):>5} "
+                   f"{witness.explored:>7} {t_search:>9.4f} {t_exh:>9.4f} "
+                   f"{'yes' if agree else 'NO'}")
+            print(row)
+            lines.append(row)
+        lines.append(f"{'':<24} (exhaustive: {schedules} schedules)")
+
+    lines.append("")
+    lines.append(f"agreement on every fixture: {all_agree}")
+    REPORT_PATH.parent.mkdir(exist_ok=True)
+    REPORT_PATH.write_text("\n".join(lines) + "\n")
+    print(f"\nagreement on every fixture: {all_agree}")
+    print(f"report written to {REPORT_PATH}")
+    return 0 if all_agree else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

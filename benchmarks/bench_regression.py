@@ -20,6 +20,14 @@ a trajectory in ``BENCH_perf.json`` at the repo root so later PRs can see
   the seed's only execution path — so the recorded speedup *is* the
   serial↔process crossover ratio on the recording machine (≈1x on a
   single core, >1x once real cores are available).
+* ``adversary_search_n6`` — the full adversary-search portfolio
+  (greedy, beam, branch-and-bound, deadlock DFS) hunting the worst
+  witness on the 720-schedule n=6 instance.  Its "seed" baseline is
+  the exhaustive enumeration of the same instance — the only way the
+  pre-adversary-engine code could answer "what can the worst adversary
+  force?" — and the bench asserts every bit-maximising strategy matches
+  the exhaustive maximum before timing counts
+  (``benchmarks/bench_adversary.py`` has the full agreement matrix).
 
 ``--smoke`` runs a trimmed version (< 30 s) and exits nonzero when the
 hot paths regress, so CI fails loudly.  The gate never compares CI
@@ -76,6 +84,10 @@ SEED_BASELINE = {
     # Serial sweep of the parallel_verify plan on the recording machine —
     # the seed had no process backend, so serial is its baseline path.
     "parallel_verify_n120x4": 2.5161,
+    # Exhaustive 720-schedule sweep of the adversary_search instance on
+    # the recording machine — the seed had no guided search, so
+    # enumeration is its only route to a worst-case answer.
+    "adversary_search_n6": 0.0686,
 }
 
 #: CI gate: minimum acceptable *same-machine* ratio of the seed-style
@@ -86,6 +98,9 @@ SEED_BASELINE = {
 SMOKE_FLOORS = {
     "sketch_message_ratio": 5.0,
     "all_executions_ratio": 1.5,
+    # Full search portfolio vs exhaustive enumeration of the same n=6
+    # instance (measured ~13x; the SIMASYNC collapse alone is ~600x).
+    "adversary_search_ratio": 2.0,
 }
 
 
@@ -148,10 +163,29 @@ def bench_parallel_verify_n120x4(reps: int) -> float:
     return _median_time(one_run, reps)
 
 
+def bench_adversary_search_n6(reps: int) -> float:
+    from repro.adversaries import default_search_portfolio
+
+    g = gen.random_k_degenerate(6, 2, seed=0)
+    proto = DegenerateBuildProtocol(2)
+    truth = max(r.max_message_bits
+                for r in all_executions(g, proto, SIMASYNC))
+
+    def one_run():
+        for strategy in default_search_portfolio():
+            witness = strategy.search(g, proto, SIMASYNC)
+            assert not witness.deadlock
+            if strategy.name != "deadlock-dfs":
+                assert witness.bits == truth
+
+    return _median_time(one_run, reps)
+
+
 BENCHES = {
     "sketch_n96": bench_sketch_n96,
     "all_executions_n6": bench_all_executions_n6,
     "parallel_verify_n120x4": bench_parallel_verify_n120x4,
+    "adversary_search_n6": bench_adversary_search_n6,
 }
 
 #: Benches timed in ``--smoke`` runs.  The parallel-verify bench is
@@ -159,8 +193,9 @@ BENCHES = {
 #: flake on single-core runners, where the honest ratio is ~1.0), so
 #: burning ~9s of CI on an ungated cross-machine number buys nothing —
 #: CI exercises the process backend via ``reproduce-all --jobs 2``
-#: instead, and full runs still record the crossover trajectory.
-SMOKE_BENCHES = ("sketch_n96", "all_executions_n6")
+#: instead, and full runs still record the crossover trajectory.  The
+#: adversary bench is cheap (~5 ms) and same-machine gated, so it stays.
+SMOKE_BENCHES = ("sketch_n96", "all_executions_n6", "adversary_search_n6")
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +279,14 @@ def run_smoke_gate(reps: int) -> tuple[dict, list[str]]:
         lambda: sum(1 for _ in all_executions(g6, proto, SIMASYNC)), reps
     )
     ratios["all_executions_ratio"] = round(t_ref / t_now, 2)
+
+    t_ref = _median_time(
+        lambda: max(r.max_message_bits
+                    for r in all_executions(g6, proto, SIMASYNC)),
+        max(1, reps // 2),
+    )
+    t_now = bench_adversary_search_n6(reps)
+    ratios["adversary_search_ratio"] = round(t_ref / t_now, 2)
 
     for name, ratio in ratios.items():
         if ratio < SMOKE_FLOORS[name]:

@@ -1,0 +1,55 @@
+"""Searchable adversary strategies over the stepwise execution core.
+
+"For every adversary" is checkable by brute force only up to ``n ≈ 7``;
+above that, this package replaces the exhaustive quantifier with *guided
+search* over schedule prefixes, each strategy steering one
+:class:`~repro.core.execution.ExecutionState` and returning a concrete,
+replayable worst :class:`~repro.adversaries.base.Witness` schedule:
+
+* :class:`GreedyBitsAdversary` — one-step-lookahead bit maximisation
+  with seeded random-restart tie-breaking; linear cost.
+* :class:`BeamSearchAdversary` — width-bounded best-first frontier over
+  prefixes, random-restart tiebreaks.
+* :class:`BranchAndBoundAdversary` — exact sweep with structural
+  pruning (SIMASYNC and frozen-tail collapses), anytime under a step
+  budget with randomised restart passes.
+* :class:`DeadlockAdversary` — complete deadlock-reachability DFS with
+  starvation-first child ordering and configuration memoisation.
+
+The ``stress`` plan mode (:mod:`repro.runtime.plan`) runs
+:func:`default_search_portfolio` on every instance too large for
+exhaustive enumeration; tests pin each strategy against the exhaustive
+ground truth on small fixtures.
+"""
+
+from .base import AdversarySearch, Witness, witness_rank, worst_witness
+from .beam import BeamSearchAdversary
+from .bnb import BranchAndBoundAdversary
+from .deadlock import DeadlockAdversary
+from .greedy import GreedyBitsAdversary
+
+__all__ = [
+    "AdversarySearch",
+    "Witness",
+    "witness_rank",
+    "worst_witness",
+    "BeamSearchAdversary",
+    "BranchAndBoundAdversary",
+    "DeadlockAdversary",
+    "GreedyBitsAdversary",
+    "default_search_portfolio",
+]
+
+
+def default_search_portfolio(seed: int = 0) -> list[AdversarySearch]:
+    """The standard strategy portfolio used by ``stress`` plans.
+
+    Budgets keep every strategy polynomial-ish at large ``n`` while the
+    branch-and-bound pass stays exact on small instances.
+    """
+    return [
+        GreedyBitsAdversary(restarts=4, seed=seed),
+        BeamSearchAdversary(width=8, restarts=1, seed=seed),
+        BranchAndBoundAdversary(max_steps=5000, restarts=2, seed=seed),
+        DeadlockAdversary(max_steps=5000),
+    ]

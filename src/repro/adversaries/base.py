@@ -1,0 +1,125 @@
+"""Searchable adversary strategies: the interface and its currency.
+
+The paper's guarantees are universally quantified over adversarial write
+schedules.  Exhaustive enumeration checks that quantifier exactly but
+dies at ``n ≈ 7`` (``n!`` schedules); the fixed schedulers in
+:mod:`repro.core.schedulers` scale but probe only a handful of points.
+An :class:`AdversarySearch` sits between the two: it *searches* the
+schedule tree — driving one :class:`~repro.core.execution.ExecutionState`
+with ``advance``/``snapshot``/``restore`` — for a concrete **witness**
+schedule that is as bad as it can find: a deadlock if one is reachable,
+otherwise a schedule maximising the largest message written.
+
+Every strategy returns a :class:`Witness` carrying the schedule itself,
+so a claimed worst case is always replayable
+(:func:`~repro.core.execution.replay_schedule`) and narratable
+(:func:`~repro.analysis.trace.narrate_witness`) — never just a number.
+
+Badness is ordered lexicographically by :func:`witness_rank`: a deadlock
+(the protocol produces no output at all) beats any finite message size;
+among non-deadlocks, more bits in the largest message is worse, with the
+total board size as the tiebreak.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.execution import ExecutionState
+from ..core.models import ModelSpec
+from ..core.protocol import Protocol
+from ..graphs.labeled_graph import LabeledGraph
+
+__all__ = ["Witness", "AdversarySearch", "witness_rank", "worst_witness"]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A concrete worst-case schedule found by an adversary search.
+
+    Attributes
+    ----------
+    strategy:
+        Name of the strategy that found it.
+    schedule:
+        The full adversary choice sequence, replayable from the initial
+        configuration to a terminal one.
+    bits / total_bits:
+        Largest single message and whole-board size along the run.
+    deadlock:
+        The schedule ends in a corrupted (deadlocked) configuration.
+    explored:
+        Write events the search applied (``advance`` calls) — the cost
+        of finding the witness, comparable across strategies.
+    """
+
+    strategy: str
+    schedule: tuple[int, ...]
+    bits: int
+    total_bits: int
+    deadlock: bool
+    explored: int
+
+
+def witness_rank(witness: Witness) -> tuple[bool, int, int]:
+    """Sort key for adversarial badness (higher = worse for the protocol)."""
+    return (witness.deadlock, witness.bits, witness.total_bits)
+
+
+def worst_witness(*witnesses: Optional[Witness]) -> Witness:
+    """The worst of the given witnesses (``None`` entries are skipped)."""
+    found = [w for w in witnesses if w is not None]
+    if not found:
+        raise ValueError("no witnesses to compare")
+    return max(found, key=witness_rank)
+
+
+class AdversarySearch(ABC):
+    """Strategy interface: search the schedule tree for a worst witness.
+
+    Implementations must be deterministic for fixed construction
+    parameters (seeds are explicit) and picklable, so stress plans can
+    fan searches across worker processes.
+    """
+
+    name: str = "adversary-search"
+
+    @abstractmethod
+    def search(
+        self,
+        graph: LabeledGraph,
+        protocol: Protocol,
+        model: ModelSpec,
+        bit_budget: Optional[int] = None,
+    ) -> Witness:
+        """Return the worst witness schedule this strategy can find.
+
+        ``bit_budget`` is enforced during the search exactly as in
+        normal execution: a message over budget raises
+        :class:`~repro.core.errors.MessageTooLarge` (which *is* a worst
+        case — the caller sees the violating schedule in the exception).
+        """
+
+    def _initial(
+        self,
+        graph: LabeledGraph,
+        protocol: Protocol,
+        model: ModelSpec,
+        bit_budget: Optional[int],
+    ) -> ExecutionState:
+        return ExecutionState.initial(graph, protocol, model, bit_budget)
+
+    def _witness(self, state: ExecutionState, explored: int) -> Witness:
+        """Freeze a terminal state into a witness (no output computation —
+        scoring only needs the board accounting)."""
+        board = state.board
+        return Witness(
+            strategy=self.name,
+            schedule=state.schedule,
+            bits=board.max_bits(),
+            total_bits=board.total_bits(),
+            deadlock=state.deadlocked,
+            explored=explored,
+        )

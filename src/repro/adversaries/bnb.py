@@ -1,0 +1,142 @@
+"""Branch-and-bound over the full schedule tree."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Optional
+
+from ..core.execution import ExecutionState
+from ..core.models import ModelSpec
+from ..core.protocol import Protocol
+from ..graphs.labeled_graph import LabeledGraph
+from .base import AdversarySearch, Witness, worst_witness
+
+__all__ = ["BranchAndBoundAdversary"]
+
+
+class _OutOfBudget(Exception):
+    """Internal: the step budget ran out mid-search."""
+
+
+class BranchAndBoundAdversary(AdversarySearch):
+    """Exact search for the worst schedule, with structural pruning.
+
+    A depth-first sweep of the whole choice tree over one
+    :class:`~repro.core.execution.ExecutionState` — the same shape as
+    exhaustive enumeration — but subtrees whose outcome is already
+    determined are *bounded* instead of enumerated:
+
+    * **SIMASYNC collapse.**  Simultaneous-asynchronous executions
+      freeze every message before the first write, so the board multiset
+      — hence the largest message and the total — is schedule-invariant,
+      and simultaneous models cannot deadlock.  One completion is the
+      exact answer: the tree never branches at all.
+    * **Frozen-tail collapse.**  In any asynchronous model, once every
+      node has activated the remaining messages are frozen and no
+      further activation decision exists: every completion of the prefix
+      writes the same multiset, and no deadlock can appear.  The subtree
+      (up to ``k!`` schedules) is replaced by a single ascending
+      completion.
+
+    Within ``max_steps`` the sweep is complete, so the witness is the
+    exact worst case (ties broken towards the DFS-first schedule).  When
+    the budget runs out the incumbent is returned and, if ``restarts``
+    is positive, additional budgeted passes with seeded-random child
+    order diversify the truncated exploration — the branch-and-bound
+    analogue of random restarts.
+    """
+
+    name = "branch-and-bound"
+
+    def __init__(
+        self,
+        max_steps: Optional[int] = None,
+        restarts: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if max_steps is not None and max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        if restarts < 0:
+            raise ValueError(f"restarts must be >= 0, got {restarts}")
+        self.max_steps = max_steps
+        self.restarts = restarts
+        self.seed = seed
+
+    def search(
+        self,
+        graph: LabeledGraph,
+        protocol: Protocol,
+        model: ModelSpec,
+        bit_budget: Optional[int] = None,
+    ) -> Witness:
+        self._explored = 0
+        self._best: Optional[Witness] = None
+        state = ExecutionState.initial(graph, protocol, model, bit_budget)
+        if model.simultaneous and model.asynchronous:
+            self._complete_ascending(state)
+            return self._best
+        truncated = self._sweep(state, rng=None)
+        if truncated:
+            for attempt in range(self.restarts):
+                rng = random.Random(f"{self.seed}:{attempt}")
+                fresh = ExecutionState.initial(graph, protocol, model,
+                                               bit_budget)
+                self._sweep(fresh, rng=rng)
+        if self._best is None:
+            # Budget exhausted before any completion: force one descent.
+            fresh = ExecutionState.initial(graph, protocol, model, bit_budget)
+            self._complete_ascending(fresh)
+        return replace(self._best, explored=self._explored)
+
+    def _sweep(self, state: ExecutionState,
+               rng: Optional[random.Random]) -> bool:
+        """One budgeted DFS pass; returns whether it was truncated."""
+        budget_before = self._explored
+        limit = (None if self.max_steps is None
+                 else budget_before + self.max_steps)
+        try:
+            self._dfs(state, rng, limit)
+        except _OutOfBudget:
+            return True
+        return False
+
+    def _record(self, state: ExecutionState) -> None:
+        witness = self._witness(state, self._explored)
+        self._best = (witness if self._best is None
+                      else worst_witness(self._best, witness))
+
+    def _advance(self, state: ExecutionState, choice: int,
+                 limit: Optional[int]) -> None:
+        if limit is not None and self._explored >= limit:
+            raise _OutOfBudget
+        state.advance(choice)
+        self._explored += 1
+
+    def _complete_ascending(self, state: ExecutionState,
+                            limit: Optional[int] = None) -> None:
+        while not state.terminal:
+            self._advance(state, state.candidates[0], limit)
+        self._record(state)
+
+    def _dfs(self, state: ExecutionState, rng: Optional[random.Random],
+             limit: Optional[int]) -> None:
+        if state.terminal:
+            self._record(state)
+            return
+        if (state.model.asynchronous
+                and len(state.active) + len(state.written) == state.n):
+            # Frozen tail: every completion writes the same multiset and
+            # none deadlocks — one ascending completion is exact.
+            checkpoint = state.snapshot()
+            self._complete_ascending(state, limit)
+            state.restore(checkpoint)
+            return
+        candidates = list(state.candidates)
+        if rng is not None:
+            rng.shuffle(candidates)
+        for choice in candidates:
+            checkpoint = state.snapshot()
+            self._advance(state, choice, limit)
+            self._dfs(state, rng, limit)
+            state.restore(checkpoint)

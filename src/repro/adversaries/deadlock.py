@@ -1,0 +1,144 @@
+"""Deadlock-seeking adversary: search for a corrupted configuration."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..core.execution import ExecutionState
+from ..core.models import ModelSpec
+from ..core.protocol import Protocol
+from ..graphs.labeled_graph import LabeledGraph
+from .base import AdversarySearch, Witness, worst_witness
+
+__all__ = ["DeadlockAdversary"]
+
+
+class _OutOfBudget(Exception):
+    """Internal: the step budget ran out mid-search."""
+
+
+class DeadlockAdversary(AdversarySearch):
+    """Depth-first hunt for a schedule that starves the protocol.
+
+    A configuration is corrupted when unwritten nodes remain but none is
+    active — only possible in the free models (simultaneous models keep
+    every unwritten node active, so the search returns immediately with
+    a completed run there).  The DFS steers one
+    :class:`~repro.core.execution.ExecutionState` with snapshot/restore
+    and stops at the *first* deadlock found:
+
+    * children are probed one step ahead and explored in order of fewest
+      resulting candidates first — choices that starve future
+      activations are tried early, which is what finds deadlocks fast;
+    * a probe that lands directly in a corrupted configuration returns
+      its witness without recursing;
+    * for stateless protocols, revisited configurations — same board
+      view, same active set with the same frozen messages, same written
+      set — are pruned, since deadlock reachability is a function of the
+      configuration alone.
+
+    Within ``max_steps`` the search is complete: it finds a deadlock iff
+    one is reachable.  If the budget runs out first, the worst completed
+    run seen so far is returned (``deadlock=False`` then means "none
+    found", not "none exists").
+    """
+
+    name = "deadlock-dfs"
+
+    def __init__(self, max_steps: Optional[int] = 100_000) -> None:
+        if max_steps is not None and max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.max_steps = max_steps
+
+    def search(
+        self,
+        graph: LabeledGraph,
+        protocol: Protocol,
+        model: ModelSpec,
+        bit_budget: Optional[int] = None,
+    ) -> Witness:
+        state = ExecutionState.initial(graph, protocol, model, bit_budget)
+        self._explored = 0
+        self._best_complete: Optional[Witness] = None
+        self._seen: set = set()
+        if model.simultaneous:
+            # Every unwritten node is active: no deadlock exists.  One
+            # completion supplies the (vacuous) witness.
+            return self._complete(state)
+        try:
+            found = self._dfs(state)
+        except _OutOfBudget:
+            found = None
+        if found is not None:
+            return found
+        if self._best_complete is None:
+            # Budget too small to finish any probe: force one completion.
+            return self._complete(state)
+        return replace(self._best_complete, explored=self._explored)
+
+    def _complete(self, state: ExecutionState) -> Witness:
+        while not state.terminal:
+            state.advance(state.candidates[0])
+            self._explored += 1
+        return self._witness(state, self._explored)
+
+    def _spend(self) -> None:
+        self._explored += 1
+        if self.max_steps is not None and self._explored > self.max_steps:
+            raise _OutOfBudget
+
+    def _key(self, state: ExecutionState):
+        """Memo key: everything future dynamics depend on (stateless
+        protocols only).  ``activation_round`` is deliberately absent —
+        it is transcript metadata, not dynamics."""
+        if not state.stateless:
+            return None
+        key = (
+            tuple(state.board.view()),
+            frozenset(state.written),
+            frozenset(state.active),
+            tuple(sorted((v, state.frozen[v]) for v in state.active))
+            if state.model.asynchronous else None,
+        )
+        try:
+            hash(key)
+        except TypeError:  # unhashable payload: skip memoisation
+            return None
+        return key
+
+    def _dfs(self, state: ExecutionState) -> Optional[Witness]:
+        if state.terminal:
+            witness = self._witness(state, self._explored)
+            if state.deadlocked:
+                return witness
+            self._best_complete = (
+                witness if self._best_complete is None
+                else worst_witness(self._best_complete, witness)
+            )
+            return None
+        children = []
+        for choice in state.candidates:
+            checkpoint = state.snapshot()
+            self._spend()
+            state.advance(choice)
+            if state.deadlocked:
+                witness = self._witness(state, self._explored)
+                state.restore(checkpoint)
+                return witness
+            key = self._key(state)
+            children.append((len(state.candidates), choice, key))
+            state.restore(checkpoint)
+        for _, choice, key in sorted(children, key=lambda c: c[:2]):
+            if key is not None:
+                if key in self._seen:
+                    continue
+                self._seen.add(key)
+            checkpoint = state.snapshot()
+            self._spend()
+            state.advance(choice)
+            found = self._dfs(state)
+            state.restore(checkpoint)
+            if found is not None:
+                return found
+        return None

@@ -11,7 +11,6 @@ from .checkers import (
     TriangleCorrect,
     TwoCliquesCorrect,
 )
-from .parallel import verify_protocol_parallel
 from .budgets import klogn_budget, linear_budget, logn_budget, polylog_budget
 from .latex import escape_latex, lemma1_to_latex, table2_to_latex
 from .figures import ascii_adjacency, render_figure1, render_figure2
@@ -22,6 +21,18 @@ from .scaling import FitResult, fit_against, fit_klog, fit_log, is_sublinear
 from .trace import activation_timeline, narrate
 from .table2 import EmpiricalCell, Table2Result, generate_table2, render_table2
 from .verify import Checker, Failure, VerificationReport, verify_protocol
+
+
+def __getattr__(name):
+    # Lazy: importing the deprecated parallel shim emits its
+    # DeprecationWarning, which must hit shim users only — not everyone
+    # who imports the analysis package.
+    if name == "verify_protocol_parallel":
+        from .parallel import verify_protocol_parallel
+
+        return verify_protocol_parallel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BfsCanonical",

@@ -36,6 +36,14 @@ from .verify import Checker, VerificationReport, verify_protocol
 
 __all__ = ["verify_protocol_parallel"]
 
+warnings.warn(
+    "repro.analysis.parallel is deprecated; use "
+    "repro.runtime.ProcessPoolBackend with verify_protocol(..., backend=...) "
+    "instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 
 def verify_protocol_parallel(
     protocol: Protocol,

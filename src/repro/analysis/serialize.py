@@ -96,6 +96,17 @@ def report_to_dict(report: VerificationReport) -> dict[str, Any]:
             }
             for f in report.failures
         ],
+        "witnesses": [
+            {
+                "strategy": w.strategy,
+                "graph": graph_to_dict(w.graph),
+                "model": w.model_name,
+                "schedule": list(w.schedule),
+                "bits": w.bits,
+                "deadlock": w.deadlock,
+            }
+            for w in report.witnesses
+        ],
     }
 
 

@@ -6,13 +6,28 @@ and how many bits it cost, and how the run ended (successful or
 corrupted configuration).  Used by ``python -m repro demo --trace`` and
 by the examples; handy when developing new protocols against the
 Section 2 semantics.
+
+:func:`narrate_witness` extends the same narration to the worst-case
+witness schedules that stress sweeps record
+(:class:`~repro.runtime.results.WitnessRecord`): the schedule is
+replayed through the step machine and rendered with a header naming the
+strategy that found it — so "the adversary can force 23-bit messages"
+is always backed by a transcript anyone can read.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
+from ..core.execution import replay_schedule
+from ..core.models import MODELS_BY_NAME
+from ..core.protocol import Protocol
 from ..core.simulator import RunResult
 
-__all__ = ["narrate", "activation_timeline"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.results import WitnessRecord
+
+__all__ = ["narrate", "narrate_witness", "activation_timeline"]
 
 
 def activation_timeline(result: RunResult) -> dict[int, list[int]]:
@@ -64,3 +79,39 @@ def narrate(result: RunResult, max_payload_chars: int = 60) -> str:
             f"active-and-written (deadlock); no output"
         )
     return "\n".join(lines)
+
+
+def narrate_witness(
+    witness: "WitnessRecord",
+    protocol: Protocol,
+    bit_budget: Optional[int] = None,
+    max_payload_chars: int = 60,
+) -> str:
+    """Replay a stress-sweep witness schedule and narrate the transcript.
+
+    ``protocol`` must be the protocol the witness was recorded against
+    (reports are per-protocol, so the caller always has it); the model
+    and instance travel inside the record.  The replayed accounting is
+    cross-checked against the record — a mismatch raises
+    :class:`ValueError`, since a witness that does not reproduce is a
+    bug, not a rendering concern.
+    """
+    model = MODELS_BY_NAME[witness.model_name]
+    result = replay_schedule(
+        witness.graph, protocol, model, witness.schedule, bit_budget
+    )
+    if (result.max_message_bits, result.corrupted) != (
+            witness.bits, witness.deadlock):
+        raise ValueError(
+            f"witness does not reproduce: recorded ({witness.bits} bits, "
+            f"deadlock={witness.deadlock}), replayed "
+            f"({result.max_message_bits} bits, deadlock={result.corrupted})"
+        )
+    outcome = ("deadlock" if witness.deadlock
+               else f"max message {witness.bits} bits")
+    header = (
+        f"worst witness found by {witness.strategy!r} on n={witness.graph.n} "
+        f"under {witness.model_name}: {outcome}\n"
+        f"schedule: {witness.schedule}\n"
+    )
+    return header + narrate(result, max_payload_chars=max_payload_chars)

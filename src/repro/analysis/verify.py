@@ -7,7 +7,12 @@ the harness approximates that with
 * **exhaustive** schedule enumeration when the instance is small enough
   (``n <= exhaustive_threshold``), which makes the check a proof for
   those instances, and
-* a **portfolio** of structured + seeded-random schedulers otherwise.
+* above the threshold, either a **portfolio** of structured +
+  seeded-random schedulers (``mode="verify"``, the default) or **guided
+  adversary search** (``mode="stress"``), where the strategies in
+  :mod:`repro.adversaries` hunt for worst-case schedules and every cell
+  reports concrete, replayable witness schedules in
+  ``VerificationReport.witnesses``.
 
 Alongside correctness it records exact message-size statistics so the
 ``O(log n)`` / ``O(k^2 log n)`` claims are measured by the same runs
@@ -28,15 +33,22 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from typing import Optional
 
+from ..adversaries import AdversarySearch
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
 from ..core.schedulers import Scheduler
 from ..graphs.labeled_graph import LabeledGraph
 from ..runtime.backends import Backend
 from ..runtime.plan import Checker, ExecutionPlan
-from ..runtime.results import Failure, VerificationReport
+from ..runtime.results import Failure, VerificationReport, WitnessRecord
 
-__all__ = ["Failure", "VerificationReport", "verify_protocol", "Checker"]
+__all__ = [
+    "Failure",
+    "VerificationReport",
+    "WitnessRecord",
+    "verify_protocol",
+    "Checker",
+]
 
 
 def verify_protocol(
@@ -50,6 +62,8 @@ def verify_protocol(
     bit_budget: Optional[Callable[[int], int]] = None,
     allow_deadlock: bool = False,
     backend: Optional[Backend] = None,
+    mode: str = "verify",
+    adversaries: Optional[Sequence[AdversarySearch]] = None,
 ) -> VerificationReport:
     """Sweep ``protocol`` under ``model`` over ``instances``.
 
@@ -68,13 +82,25 @@ def verify_protocol(
     backend:
         Execution backend for the per-instance cells; ``None`` means
         serial.  Any backend yields a field-identical report.
+    mode:
+        ``"verify"`` (scheduler portfolio above the threshold) or
+        ``"stress"`` (adversary search above the threshold, witness
+        schedules reported in ``VerificationReport.witnesses``).
+    adversaries:
+        Search strategies for stress mode; defaults to
+        :func:`repro.adversaries.default_search_portfolio`.
     """
+    if mode not in ("verify", "stress"):
+        raise ValueError(
+            f"verify_protocol mode must be 'verify' or 'stress', got {mode!r}"
+        )
     plan = ExecutionPlan.build(
         protocol,
         model,
         instances,
-        mode="verify",
+        mode=mode,
         schedulers=schedulers,
+        adversaries=adversaries,
         checker=checker,
         exhaustive_threshold=exhaustive_threshold,
         exhaustive_limit=exhaustive_limit,

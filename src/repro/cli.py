@@ -11,7 +11,9 @@
 * ``demo``    — run one protocol on one graph and dump the whiteboard
 * ``sweep``   — verification sweep over (protocol × instances ×
   adversaries) through the execution runtime, optionally ``--jobs N``
-* ``experiment`` / ``reproduce-all`` — the E1–E18 index (``--jobs`` fans
+* ``stress``  — adversarial stress: exhaustive schedules at small n,
+  guided adversary search above, reporting worst witness schedules
+* ``experiment`` / ``reproduce-all`` — the E1–E19 index (``--jobs`` fans
   experiments across worker processes)
 * ``protocols`` — list every shipped protocol (the census registry)
 
@@ -56,6 +58,21 @@ _FAMILIES: dict[str, Callable] = {
     "cycle": lambda gen, n, seed: gen.cycle_graph(n),
     "two-cliques": lambda gen, n, seed: gen.two_cliques(max(2, n // 2)),
 }
+
+
+def _build_instances(args) -> list:
+    """One instance per (size × seed) of the requested family.
+
+    Seed-invariant families (path, cycle, two-cliques) produce the same
+    instance for every seed; drop duplicates instead of re-verifying them.
+    """
+    from .graphs import generators as gen
+
+    built = [
+        _FAMILIES[args.family](gen, n, seed)
+        for n in args.sizes for seed in args.seeds
+    ]
+    return [g for i, g in enumerate(built) if g not in built[:i]]
 
 
 def _sweep_checker(census_key: str):
@@ -137,11 +154,31 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--jobs", type=int, default=None,
                     help="worker processes (default: serial)")
 
-    exp = sub.add_parser("experiment", help="regenerate one experiment (E1-E18)")
+    st = sub.add_parser(
+        "stress",
+        help="adversary stress: exhaustive at small n, guided search above")
+    st.add_argument("--protocol", dest="protocols", action="append",
+                    required=True, choices=sorted(CENSUS_BY_KEY),
+                    help="census protocol key (repeatable)")
+    st.add_argument("--family", default="random", choices=sorted(_FAMILIES),
+                    help="instance family (default: random)")
+    st.add_argument("--sizes", type=int, nargs="+", default=[5, 9],
+                    help="instance sizes n")
+    st.add_argument("--seeds", type=int, nargs="+", default=[0],
+                    help="instance seeds (one instance per size x seed)")
+    st.add_argument("--threshold", type=int, default=5,
+                    help="exhaustive-enumeration size threshold; larger "
+                         "instances use adversary search")
+    st.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: serial)")
+    st.add_argument("--trace", action="store_true",
+                    help="narrate the overall worst witness transcript")
+
+    exp = sub.add_parser("experiment", help="regenerate one experiment (E1-E19)")
     exp.add_argument("experiment_id", help="e.g. E5")
     exp.add_argument("--full", action="store_true", help="larger workloads")
 
-    allp = sub.add_parser("reproduce-all", help="regenerate the whole E1-E18 index")
+    allp = sub.add_parser("reproduce-all", help="regenerate the whole E1-E19 index")
     size = allp.add_mutually_exclusive_group()
     size.add_argument("--full", action="store_true", help="larger workloads")
     size.add_argument("--quick", action="store_true",
@@ -252,18 +289,11 @@ def _cmd_demo(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from .core.models import MODELS_BY_NAME
-    from .graphs import generators as gen
     from .protocols.census import CENSUS_BY_KEY
     from .runtime import ExecutionPlan, resolve_backend
 
     backend = resolve_backend(args.jobs)
-    built = [
-        _FAMILIES[args.family](gen, n, seed)
-        for n in args.sizes for seed in args.seeds
-    ]
-    # Seed-invariant families (path, cycle, two-cliques) produce the same
-    # instance for every seed; drop duplicates instead of re-verifying them.
-    instances = [g for i, g in enumerate(built) if g not in built[:i]]
+    instances = _build_instances(args)
     from .analysis.checkers import AcceptAny
 
     all_ok = True
@@ -289,6 +319,49 @@ def _cmd_sweep(args) -> int:
               f"{report.summary()}{vacuous}")
         for n, bits in sorted(report.max_bits_by_n.items()):
             print(f"    n={n}: max message {bits} bits")
+    return 0 if all_ok else 1
+
+
+def _cmd_stress(args) -> int:
+    from .core.models import MODELS_BY_NAME
+    from .protocols.census import CENSUS_BY_KEY
+    from .runtime import ExecutionPlan, resolve_backend
+
+    backend = resolve_backend(args.jobs)
+    instances = _build_instances(args)
+
+    all_ok = True
+    for key in args.protocols:
+        entry = CENSUS_BY_KEY[key]
+        proto = entry.instantiate()
+        plan = ExecutionPlan.build(
+            proto,
+            MODELS_BY_NAME[entry.model],
+            instances,
+            mode="stress",
+            checker=_sweep_checker(key),
+            exhaustive_threshold=args.threshold,
+        )
+        report = plan.verification_report(backend=backend)
+        all_ok &= report.ok
+        print(f"[{len(plan):>3} tasks via {backend.name}] {report.summary()}")
+        for witness in report.witnesses:
+            outcome = ("DEADLOCK" if witness.deadlock
+                       else f"{witness.bits:>3} bits")
+            schedule = ",".join(map(str, witness.schedule))
+            if len(schedule) > 48:
+                schedule = schedule[:45] + "..."
+            print(f"    n={witness.graph.n:>3} {witness.strategy:<20} "
+                  f"{outcome}  schedule {schedule}")
+        if args.trace and report.witnesses:
+            from .analysis.trace import narrate_witness
+
+            worst = max(
+                report.witnesses,
+                key=lambda w: (w.deadlock, w.bits),
+            )
+            print()
+            print(narrate_witness(worst, entry.instantiate()))
     return 0 if all_ok else 1
 
 
@@ -335,6 +408,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "stress":
+        return _cmd_stress(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "reproduce-all":

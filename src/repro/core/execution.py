@@ -1,0 +1,406 @@
+"""Stepwise execution core: one engine, many drivers.
+
+The Section 2 semantics used to live inside a monolithic recursive
+``_execute`` loop in :mod:`repro.core.simulator`; every consumer that
+wanted to *steer* an execution (the exhaustive enumerator, the guided
+adversary searches) had to smuggle its control flow through a chooser
+callback or an exception.  :class:`ExecutionState` turns the simulator
+into an explicit state machine instead:
+
+* :meth:`ExecutionState.initial` builds the configuration after the
+  round-0 activation pass;
+* :attr:`ExecutionState.candidates` is the adversary's current choice
+  set (active, unwritten nodes, ascending);
+* :meth:`ExecutionState.advance` applies one adversary choice — compute
+  the writer's message (frozen value in asynchronous models, recomputed
+  in synchronous ones), charge the bit budget, append to the board, run
+  the activation pass;
+* :meth:`ExecutionState.snapshot` / :meth:`ExecutionState.restore` give
+  first-class checkpointing.  For *stateless* protocols (``fresh()``
+  returns ``self``) restore is an O(steps-undone) journal rollback — the
+  checkpoint/undo DFS that used to be hard-wired into the enumerator.
+  Stateful protocols (per-run caches the engine cannot snapshot) are
+  restored by replaying the choice prefix from scratch on a fresh
+  protocol instance, which is always correct;
+* :meth:`ExecutionState.copy` forks an independent state (beam searches
+  hold a frontier of them);
+* :meth:`ExecutionState.result` freezes a terminal configuration into a
+  :class:`RunResult`.
+
+``run``, ``all_executions`` and ``count_executions`` in
+:mod:`repro.core.simulator` are thin drivers over this machine, as are
+the searchable adversary strategies in :mod:`repro.adversaries`.  The
+observable semantics — candidate order, frozen-message rules, budget
+enforcement, deadlock detection, bit accounting — are pinned to the
+pre-refactor engine by the simulator equivalence tests and the sketch
+golden fixtures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..encoding.bits import payload_bits
+from ..graphs.labeled_graph import LabeledGraph
+from .errors import MessageTooLarge, ProtocolViolation, SchedulerError
+from .models import ModelSpec
+from .protocol import NodeView, Protocol
+from .whiteboard import Whiteboard
+
+__all__ = ["RunResult", "ExecutionState", "Checkpoint", "replay_schedule"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one execution.
+
+    Attributes
+    ----------
+    success:
+        All nodes wrote — the paper's *successful* final configuration.
+    output:
+        ``protocol.output`` on the final whiteboard, or ``None`` when the
+        execution deadlocked.
+    board:
+        Full whiteboard with metadata.
+    write_order:
+        Node identifiers in the order their messages appeared.
+    activation_round:
+        Write-event index at which each node became active (0 = before
+        any write).
+    max_message_bits / total_bits:
+        Exact sizes of the largest message and of the whole board.
+    """
+
+    success: bool
+    output: Any
+    board: Whiteboard
+    write_order: tuple[int, ...]
+    activation_round: dict[int, int]
+    max_message_bits: int
+    total_bits: int
+    model: ModelSpec
+    protocol_name: str
+    n: int
+
+    @property
+    def corrupted(self) -> bool:
+        return not self.success
+
+    @property
+    def deadlocked_nodes(self) -> frozenset[int]:
+        """Nodes that never wrote (empty iff the run succeeded)."""
+        written = set(self.write_order)
+        return frozenset(v for v in range(1, self.n + 1) if v not in written)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Opaque token returned by :meth:`ExecutionState.snapshot`.
+
+    ``depth`` is the schedule-prefix length; ``choices`` is carried only
+    for stateful protocols, whose restore path replays it from scratch.
+    A checkpoint is valid only for restoring an extension of the state it
+    was taken from (the DFS/backtracking discipline).
+    """
+
+    depth: int
+    choices: Optional[tuple[int, ...]] = None
+
+
+class ExecutionState:
+    """One live configuration of the round-based execution engine."""
+
+    __slots__ = (
+        "graph", "protocol", "proto", "model", "bit_budget", "stateless",
+        "board", "written", "active", "frozen", "frozen_bits",
+        "activation_round", "choices", "_journal", "_candidates",
+    )
+
+    def __init__(self) -> None:  # use ExecutionState.initial(...)
+        raise TypeError("use ExecutionState.initial(graph, protocol, model)")
+
+    @classmethod
+    def initial(
+        cls,
+        graph: LabeledGraph,
+        protocol: Protocol,
+        model: ModelSpec,
+        bit_budget: Optional[int] = None,
+    ) -> "ExecutionState":
+        """The configuration after the round-0 activation pass."""
+        self = object.__new__(cls)
+        self.graph = graph
+        self.protocol = protocol
+        self.model = model
+        self.bit_budget = bit_budget
+        proto = protocol.fresh()
+        self.proto = proto
+        self.stateless = proto is protocol
+        self._reset()
+        return self
+
+    def _reset(self) -> None:
+        """(Re-)enter the initial configuration on a fresh protocol."""
+        self.board = Whiteboard()
+        self.written = set()
+        self.active = set()
+        self.frozen = {}
+        self.frozen_bits = {}
+        self.activation_round = {}
+        self.choices = []
+        self._journal = []
+        self._candidates = None
+        self._activation_pass(0)
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def depth(self) -> int:
+        """Number of write events applied so far."""
+        return len(self.choices)
+
+    @property
+    def schedule(self) -> tuple[int, ...]:
+        """The adversary choices applied so far."""
+        return tuple(self.choices)
+
+    @property
+    def candidates(self) -> tuple[int, ...]:
+        """Active, unwritten nodes the adversary may pick (ascending)."""
+        c = self._candidates
+        if c is None:
+            c = tuple(sorted(self.active - self.written))
+            self._candidates = c
+        return c
+
+    @property
+    def done(self) -> bool:
+        """Every node has written (the successful final configuration)."""
+        return len(self.written) == self.graph.n
+
+    @property
+    def deadlocked(self) -> bool:
+        """Unwritten nodes remain but none is active (corrupted)."""
+        return not self.done and not self.candidates
+
+    @property
+    def terminal(self) -> bool:
+        return self.done or not self.candidates
+
+    # -- the step relation --------------------------------------------
+
+    def _view_of(self, v: int) -> NodeView:
+        g = self.graph
+        return NodeView(node=v, neighbors=g.neighbors(v), n=g.n,
+                        board=self.board.view())
+
+    def _activation_pass(self, event: int) -> list[int]:
+        """Activate eligible nodes; return them so restore can undo.
+
+        All awake nodes examine the same board snapshot: activations
+        within one round are simultaneous and cannot see each other.
+        """
+        added: list[int] = []
+        model = self.model
+        proto = self.proto
+        active, written = self.active, self.written
+        for v in self.graph.nodes():
+            if v in active or v in written:
+                continue
+            if model.simultaneous:
+                should = event == 0  # everyone activates after round 1
+            else:
+                should = bool(proto.wants_to_activate(self._view_of(v)))
+            if should:
+                active.add(v)
+                self.activation_round[v] = event
+                added.append(v)
+                if model.asynchronous:
+                    # "Once a node raises its hand it cannot change its
+                    # mind": compute and freeze the message now.
+                    self.frozen[v] = proto.message(self._view_of(v))
+        return added
+
+    def _message_bits(self, writer: int, payload: Any) -> int:
+        if self.model.asynchronous:
+            bits = self.frozen_bits.get(writer)
+            if bits is not None:
+                return bits
+        try:
+            bits = payload_bits(payload)
+        except TypeError as exc:
+            raise ProtocolViolation(
+                f"{self.proto.name}: node {writer} produced a non-payload "
+                f"message: {exc}"
+            ) from exc
+        if self.model.asynchronous:
+            self.frozen_bits[writer] = bits
+        return bits
+
+    def advance(self, choice: int) -> "ExecutionState":
+        """Apply one adversary choice (a write event); returns ``self``.
+
+        Raises :class:`SchedulerError` when ``choice`` is not currently a
+        candidate, :class:`MessageTooLarge` when the message exceeds the
+        bit budget, and :class:`ProtocolViolation` on a non-payload
+        message — all before the board is touched.
+        """
+        candidates = self.candidates
+        if choice not in candidates:
+            raise SchedulerError(
+                f"scheduler chose {choice}, not among active nodes {candidates}"
+            )
+        if self.model.asynchronous:
+            payload = self.frozen[choice]
+        else:
+            payload = self.proto.message(self._view_of(choice))
+        bits = self._message_bits(choice, payload)
+        if self.bit_budget is not None and bits > self.bit_budget:
+            raise MessageTooLarge(choice, bits, self.bit_budget)
+        event = len(self.choices) + 1
+        self.board.write(choice, payload, event, bits=bits)
+        self.written.add(choice)
+        self.active.discard(choice)
+        activated = self._activation_pass(event)
+        self.choices.append(choice)
+        self._journal.append((choice, tuple(activated)))
+        self._candidates = None
+        return self
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> Checkpoint:
+        """Checkpoint the current configuration (O(1) for stateless
+        protocols; records the choice prefix for stateful ones)."""
+        if self.stateless:
+            return Checkpoint(len(self.choices))
+        return Checkpoint(len(self.choices), tuple(self.choices))
+
+    def restore(self, checkpoint: Checkpoint) -> "ExecutionState":
+        """Roll back to ``checkpoint`` (an ancestor of this state).
+
+        Stateless protocols undo the journal step by step; stateful ones
+        replay the checkpointed prefix on a fresh protocol instance.
+        """
+        if checkpoint.depth > len(self.choices):
+            raise ValueError(
+                f"checkpoint depth {checkpoint.depth} is not an ancestor of "
+                f"the current depth {len(self.choices)}"
+            )
+        if self.stateless:
+            while len(self.choices) > checkpoint.depth:
+                self._undo_one()
+        else:
+            prefix = checkpoint.choices or ()
+            self.proto = self.protocol.fresh()
+            self._reset()
+            for choice in prefix:
+                self.advance(choice)
+        self._candidates = None
+        return self
+
+    def _undo_one(self) -> None:
+        """Undo the last write event and its activation side-effects."""
+        writer, activated = self._journal.pop()
+        self.choices.pop()
+        asynchronous = self.model.asynchronous
+        for v in activated:
+            self.active.discard(v)
+            del self.activation_round[v]
+            if asynchronous:
+                self.frozen.pop(v, None)
+                self.frozen_bits.pop(v, None)
+        self.board.entries.pop()
+        self.written.discard(writer)
+        self.active.add(writer)
+
+    def copy(self) -> "ExecutionState":
+        """An independent fork of this configuration.
+
+        Stateless protocols share the protocol object and copy the cheap
+        containers; stateful ones replay the schedule from scratch.
+        """
+        if not self.stateless:
+            clone = ExecutionState.initial(
+                self.graph, self.protocol, self.model, self.bit_budget
+            )
+            for choice in self.choices:
+                clone.advance(choice)
+            return clone
+        clone = object.__new__(ExecutionState)
+        clone.graph = self.graph
+        clone.protocol = self.protocol
+        clone.proto = self.proto
+        clone.model = self.model
+        clone.bit_budget = self.bit_budget
+        clone.stateless = True
+        clone.board = Whiteboard(entries=list(self.board.entries))
+        clone.written = set(self.written)
+        clone.active = set(self.active)
+        clone.frozen = dict(self.frozen)
+        clone.frozen_bits = dict(self.frozen_bits)
+        clone.activation_round = dict(self.activation_round)
+        clone.choices = list(self.choices)
+        clone._journal = list(self._journal)
+        clone._candidates = self._candidates
+        return clone
+
+    # -- results -------------------------------------------------------
+
+    def result(self) -> RunResult:
+        """Freeze this terminal configuration into a :class:`RunResult`.
+
+        Raises :class:`ValueError` when the state still has candidates —
+        a non-terminal configuration has no outcome yet.
+        """
+        if not self.terminal:
+            raise ValueError(
+                f"execution is not terminal: candidates {self.candidates} "
+                "remain"
+            )
+        success = self.done
+        output = (
+            self.proto.output(self.board.view(), self.graph.n)
+            if success else None
+        )
+        frozen_board = Whiteboard(entries=list(self.board.entries))
+        return RunResult(
+            success=success,
+            output=output,
+            board=frozen_board,
+            write_order=tuple(e.author for e in frozen_board.entries),
+            activation_round=dict(self.activation_round),
+            max_message_bits=frozen_board.max_bits(),
+            total_bits=frozen_board.total_bits(),
+            model=self.model,
+            protocol_name=self.proto.name,
+            n=self.graph.n,
+        )
+
+
+def replay_schedule(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    schedule: Iterable[int],
+    bit_budget: Optional[int] = None,
+) -> RunResult:
+    """Re-execute a concrete adversary schedule to a terminal result.
+
+    The schedule must be valid (every choice a candidate when applied —
+    :class:`SchedulerError` otherwise) and complete (the state must be
+    terminal afterwards — :class:`ValueError` otherwise).  This is how
+    witness schedules found by adversary searches are turned back into
+    full transcripts for checking and narration.
+    """
+    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    for choice in schedule:
+        state.advance(choice)
+    return state.result()

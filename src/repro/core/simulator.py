@@ -1,4 +1,4 @@
-"""Round-based execution engine for the four whiteboard models.
+"""Round-based execution drivers for the four whiteboard models.
 
 Semantics (Section 2 of the paper, observable form):
 
@@ -15,186 +15,41 @@ Semantics (Section 2 of the paper, observable form):
    configuration is *corrupted* (the paper's failed final configuration)
    and no output is produced.
 
-The engine enforces the model's message-size budget exactly (bits of the
-canonical encoding, see :mod:`repro.encoding.bits`) and records complete
-transcripts for analysis.
+Those semantics live in one place — the
+:class:`~repro.core.execution.ExecutionState` step machine — and this
+module is its classic drivers:
 
-``all_executions`` enumerates *every* schedule for a given input by
-depth-first search over adversary choices, turning the paper's "for all
-adversaries" quantifier into a finite check on small graphs.  For
-*stateless* protocols (the default: ``fresh()`` returns ``self``) the
-search is incremental — each branch point checkpoints the simulator
-state, applies one write, recurses, and undoes the write on backtrack,
-so every edge of the schedule tree is executed exactly once instead of
-once per leaf below it.  Stateful protocol adapters (which mutate
-per-execution caches the engine cannot snapshot) fall back to replaying
-each branch from scratch, which is always correct and remains cheap at
-the sizes where exhaustion is feasible.
+* :func:`run` walks one schedule chosen live by a
+  :class:`~repro.core.schedulers.Scheduler`;
+* :func:`all_executions` enumerates *every* schedule by depth-first
+  search over adversary choices, turning the paper's "for all
+  adversaries" quantifier into a finite check on small graphs.  Each
+  branch point takes a :meth:`~repro.core.execution.ExecutionState.
+  snapshot`, applies one choice, recurses, and restores — for stateless
+  protocols (the default) that is O(1) checkpoint/undo, so every edge of
+  the schedule tree is executed exactly once; stateful protocol adapters
+  are restored by replay, which is always correct;
+* :func:`count_executions` sizes the schedule tree.
+
+Guided searches that *don't* want to visit the whole tree (greedy,
+beam, branch-and-bound adversaries) drive the same machine from
+:mod:`repro.adversaries`.  ``_all_executions_replay`` remains as the
+deliberately naive replay-from-scratch reference: equivalence tests and
+the perf-regression gate compare the engine against it.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator, Sequence
-from dataclasses import dataclass
-from typing import Any, Optional
+from collections.abc import Iterator
+from typing import Optional
 
-from ..encoding.bits import payload_bits
 from ..graphs.labeled_graph import LabeledGraph
-from .errors import MessageTooLarge, ProtocolViolation, SchedulerError
+from .execution import ExecutionState, RunResult
 from .models import ModelSpec
-from .protocol import NodeView, Protocol
+from .protocol import Protocol
 from .schedulers import Scheduler
-from .whiteboard import Whiteboard
 
 __all__ = ["RunResult", "run", "all_executions", "count_executions"]
-
-#: A chooser receives (candidates, board, activation_round, event_index).
-_Chooser = Callable[[Sequence[int], Whiteboard, dict[int, int], int], int]
-
-
-@dataclass(frozen=True)
-class RunResult:
-    """Outcome of one execution.
-
-    Attributes
-    ----------
-    success:
-        All nodes wrote — the paper's *successful* final configuration.
-    output:
-        ``protocol.output`` on the final whiteboard, or ``None`` when the
-        execution deadlocked.
-    board:
-        Full whiteboard with metadata.
-    write_order:
-        Node identifiers in the order their messages appeared.
-    activation_round:
-        Write-event index at which each node became active (0 = before
-        any write).
-    max_message_bits / total_bits:
-        Exact sizes of the largest message and of the whole board.
-    """
-
-    success: bool
-    output: Any
-    board: Whiteboard
-    write_order: tuple[int, ...]
-    activation_round: dict[int, int]
-    max_message_bits: int
-    total_bits: int
-    model: ModelSpec
-    protocol_name: str
-    n: int
-
-    @property
-    def corrupted(self) -> bool:
-        return not self.success
-
-    @property
-    def deadlocked_nodes(self) -> frozenset[int]:
-        """Nodes that never wrote (empty iff the run succeeded)."""
-        written = set(self.write_order)
-        return frozenset(v for v in range(1, self.n + 1) if v not in written)
-
-
-class _Frontier(Exception):
-    """Internal: raised by the probing chooser to report the branch set."""
-
-    def __init__(self, candidates: tuple[int, ...]) -> None:
-        self.candidates = candidates
-
-
-def _execute(
-    graph: LabeledGraph,
-    protocol: Protocol,
-    model: ModelSpec,
-    chooser: _Chooser,
-    bit_budget: Optional[int],
-) -> RunResult:
-    """Core event loop shared by ``run`` and the exhaustive driver."""
-    proto = protocol.fresh()
-    n = graph.n
-    board = Whiteboard()
-    written: set[int] = set()
-    active: set[int] = set()
-    frozen: dict[int, Any] = {}
-    activation_round: dict[int, int] = {}
-
-    def view_of(v: int) -> NodeView:
-        return NodeView(node=v, neighbors=graph.neighbors(v), n=n, board=board.view())
-
-    def activation_pass(event: int) -> None:
-        # All awake nodes examine the same board snapshot: activations
-        # within one round are simultaneous and cannot see each other.
-        for v in graph.nodes():
-            if v in active or v in written:
-                continue
-            if model.simultaneous:
-                should = event == 0  # everyone activates after round 1
-            else:
-                should = bool(proto.wants_to_activate(view_of(v)))
-            if should:
-                active.add(v)
-                activation_round[v] = event
-                if model.asynchronous:
-                    # "Once a node raises its hand it cannot change its
-                    # mind": compute and freeze the message now.
-                    frozen[v] = proto.message(view_of(v))
-
-    activation_pass(0)
-    event = 0
-    while len(written) < n:
-        candidates = tuple(sorted(active - written))
-        if not candidates:
-            # Corrupted final configuration: awake nodes remain but no
-            # valid successor exists.
-            return RunResult(
-                success=False,
-                output=None,
-                board=board,
-                write_order=tuple(e.author for e in board.entries),
-                activation_round=dict(activation_round),
-                max_message_bits=board.max_bits(),
-                total_bits=board.total_bits(),
-                model=model,
-                protocol_name=proto.name,
-                n=n,
-            )
-        event += 1
-        writer = chooser(candidates, board, activation_round, event)
-        if writer not in candidates:
-            raise SchedulerError(
-                f"scheduler chose {writer}, not among active nodes {candidates}"
-            )
-        if model.asynchronous:
-            payload = frozen[writer]
-        else:
-            payload = proto.message(view_of(writer))
-        try:
-            bits = payload_bits(payload)
-        except TypeError as exc:
-            raise ProtocolViolation(
-                f"{proto.name}: node {writer} produced a non-payload message: {exc}"
-            ) from exc
-        if bit_budget is not None and bits > bit_budget:
-            raise MessageTooLarge(writer, bits, bit_budget)
-        board.write(writer, payload, event, bits=bits)
-        written.add(writer)
-        active.discard(writer)
-        activation_pass(event)
-
-    output = proto.output(board.view(), n)
-    return RunResult(
-        success=True,
-        output=output,
-        board=board,
-        write_order=tuple(e.author for e in board.entries),
-        activation_round=dict(activation_round),
-        max_message_bits=board.max_bits(),
-        total_bits=board.total_bits(),
-        model=model,
-        protocol_name=proto.name,
-        n=n,
-    )
 
 
 def run(
@@ -214,39 +69,13 @@ def run(
         :class:`~repro.core.errors.MessageTooLarge`.  ``None`` records
         sizes without enforcing.
     """
+    state = ExecutionState.initial(graph, protocol, model, bit_budget)
     sched = scheduler.fresh()
-
-    def chooser(candidates, board, activation_round, event):
-        return sched.choose(candidates, board, activation_round)
-
-    return _execute(graph, protocol, model, chooser, bit_budget)
-
-
-def _probe(
-    graph: LabeledGraph,
-    protocol: Protocol,
-    model: ModelSpec,
-    prefix: tuple[int, ...],
-    bit_budget: Optional[int],
-) -> tuple[Optional[RunResult], tuple[int, ...]]:
-    """Replay ``prefix`` write choices; return either the finished result
-    (prefix covered the whole run) or the branch candidates afterwards."""
-
-    def chooser(candidates, board, activation_round, event):
-        if event - 1 < len(prefix):
-            forced = prefix[event - 1]
-            if forced not in candidates:
-                raise SchedulerError(
-                    f"replay diverged: {forced} not active at event {event}"
-                )
-            return forced
-        raise _Frontier(tuple(candidates))
-
-    try:
-        result = _execute(graph, protocol, model, chooser, bit_budget)
-    except _Frontier as frontier:
-        return None, frontier.candidates
-    return result, ()
+    while not state.terminal:
+        writer = sched.choose(state.candidates, state.board,
+                              state.activation_round)
+        state.advance(writer)
+    return state.result()
 
 
 def all_executions(
@@ -258,21 +87,31 @@ def all_executions(
 ) -> Iterator[RunResult]:
     """Enumerate every execution (one per distinct adversary schedule).
 
-    Depth-first over the tree of adversary choices.  For simultaneous
-    models on an ``n``-node graph this yields exactly ``n!`` runs, so cap
-    usage at ``n <= 7`` or pass ``limit``.
+    Depth-first over the tree of adversary choices, ascending choice
+    order at every branch.  For simultaneous models on an ``n``-node
+    graph this yields exactly ``n!`` runs, so cap usage at ``n <= 7`` or
+    pass ``limit``.
 
-    Stateless protocols (``fresh()`` returns ``self``) are enumerated
-    incrementally with checkpoint/undo branching; stateful ones are
-    replayed from scratch per branch.  Both produce the same results in
-    the same (ascending-choice DFS) order.
+    One live :class:`~repro.core.execution.ExecutionState` is steered
+    through the whole tree with snapshot/restore branching: stateless
+    protocols (``fresh()`` returns ``self``) undo in O(1) per backtrack,
+    stateful ones restore by replay.  Both produce the same results in
+    the same order (pinned against ``_all_executions_replay`` by tests).
     """
-    if protocol.fresh() is protocol:
-        runs = _all_executions_incremental(graph, protocol, model, bit_budget)
-    else:
-        runs = _all_executions_replay(graph, protocol, model, bit_budget)
+    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+
+    def dfs() -> Iterator[RunResult]:
+        if state.terminal:
+            yield state.result()
+            return
+        for choice in state.candidates:
+            checkpoint = state.snapshot()
+            state.advance(choice)
+            yield from dfs()
+            state.restore(checkpoint)
+
     produced = 0
-    for result in runs:
+    for result in dfs():
         yield result
         produced += 1
         if limit is not None and produced >= limit:
@@ -285,130 +124,25 @@ def _all_executions_replay(
     model: ModelSpec,
     bit_budget: Optional[int],
 ) -> Iterator[RunResult]:
-    """Replay-from-scratch DFS — the fallback for stateful protocols."""
+    """Replay-from-scratch DFS — the naive correctness reference.
+
+    Every probed prefix rebuilds a fresh state and replays each choice,
+    so each schedule-tree edge executes once per node below it.  Kept
+    (not used by :func:`all_executions`) as the equivalence baseline for
+    tests and the same-machine perf-regression gate.
+    """
     stack: list[tuple[int, ...]] = [()]
     while stack:
         prefix = stack.pop()
-        result, branches = _probe(graph, protocol, model, prefix, bit_budget)
-        if result is not None:
-            yield result
+        state = ExecutionState.initial(graph, protocol, model, bit_budget)
+        for choice in prefix:
+            state.advance(choice)
+        if state.terminal:
+            yield state.result()
         else:
             # Reversed so the natural (ascending) order is explored first.
-            for c in reversed(branches):
+            for c in reversed(state.candidates):
                 stack.append(prefix + (c,))
-
-
-def _all_executions_incremental(
-    graph: LabeledGraph,
-    protocol: Protocol,
-    model: ModelSpec,
-    bit_budget: Optional[int],
-) -> Iterator[RunResult]:
-    """Checkpoint/undo DFS over adversary choices for stateless protocols.
-
-    Maintains one live simulator state; each branch applies a single
-    write event (plus the activation pass it triggers) and undoes both on
-    backtrack.  Every tree edge is executed once, versus once per leaf
-    under replay.  Semantics — candidate order, frozen-message rules,
-    budget enforcement, deadlock detection — mirror :func:`_execute`
-    exactly; equivalence is pinned by tests.
-    """
-    proto = protocol.fresh()
-    n = graph.n
-    board = Whiteboard()
-    written: set[int] = set()
-    active: set[int] = set()
-    frozen: dict[int, Any] = {}
-    frozen_bits: dict[int, int] = {}
-    activation_round: dict[int, int] = {}
-
-    def view_of(v: int) -> NodeView:
-        return NodeView(node=v, neighbors=graph.neighbors(v), n=n, board=board.view())
-
-    def activation_pass(event: int) -> list[int]:
-        """Activate eligible nodes; return them so the caller can undo."""
-        added: list[int] = []
-        for v in graph.nodes():
-            if v in active or v in written:
-                continue
-            if model.simultaneous:
-                should = event == 0  # everyone activates after round 1
-            else:
-                should = bool(proto.wants_to_activate(view_of(v)))
-            if should:
-                active.add(v)
-                activation_round[v] = event
-                added.append(v)
-                if model.asynchronous:
-                    frozen[v] = proto.message(view_of(v))
-        return added
-
-    def snapshot(success: bool, output: Any) -> RunResult:
-        frozen_board = Whiteboard(entries=list(board.entries))
-        return RunResult(
-            success=success,
-            output=output,
-            board=frozen_board,
-            write_order=tuple(e.author for e in frozen_board.entries),
-            activation_round=dict(activation_round),
-            max_message_bits=frozen_board.max_bits(),
-            total_bits=frozen_board.total_bits(),
-            model=model,
-            protocol_name=proto.name,
-            n=n,
-        )
-
-    def message_bits(writer: int, payload: Any) -> int:
-        if model.asynchronous:
-            bits = frozen_bits.get(writer)
-            if bits is not None:
-                return bits
-        try:
-            bits = payload_bits(payload)
-        except TypeError as exc:
-            raise ProtocolViolation(
-                f"{proto.name}: node {writer} produced a non-payload message: {exc}"
-            ) from exc
-        if model.asynchronous:
-            frozen_bits[writer] = bits
-        return bits
-
-    def dfs(event: int) -> Iterator[RunResult]:
-        if len(written) == n:
-            yield snapshot(True, proto.output(board.view(), n))
-            return
-        candidates = tuple(sorted(active - written))
-        if not candidates:
-            # Corrupted final configuration: awake nodes remain but no
-            # valid successor exists.
-            yield snapshot(False, None)
-            return
-        for writer in candidates:
-            if model.asynchronous:
-                payload = frozen[writer]
-            else:
-                payload = proto.message(view_of(writer))
-            bits = message_bits(writer, payload)
-            if bit_budget is not None and bits > bit_budget:
-                raise MessageTooLarge(writer, bits, bit_budget)
-            board.write(writer, payload, event + 1, bits=bits)
-            written.add(writer)
-            active.discard(writer)
-            activated = activation_pass(event + 1)
-            yield from dfs(event + 1)
-            # -- undo the write and its activation side-effects ---------
-            for v in activated:
-                active.discard(v)
-                del activation_round[v]
-                if model.asynchronous:
-                    frozen.pop(v, None)
-                    frozen_bits.pop(v, None)
-            board.entries.pop()
-            written.discard(writer)
-            active.add(writer)
-
-    activation_pass(0)
-    yield from dfs(0)
 
 
 def count_executions(

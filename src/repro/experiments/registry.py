@@ -1,6 +1,6 @@
 """The experiment catalogue: every regenerable artefact, addressable.
 
-DESIGN.md's per-experiment index (E1–E18) maps each of the paper's
+DESIGN.md's per-experiment index (E1–E19) maps each of the paper's
 tables, figures and quantitative claims to modules and benchmarks.  This
 package makes the index *executable*: each experiment is a first-class
 object with an identifier, a description of the paper artefact it
@@ -500,6 +500,54 @@ def _e18_parallel(quick: bool) -> ExperimentResult:
     )
 
 
+def _e19_adversary_engine(quick: bool) -> ExperimentResult:
+    from ..adversaries import (
+        BeamSearchAdversary,
+        BranchAndBoundAdversary,
+        DeadlockAdversary,
+        GreedyBitsAdversary,
+    )
+    from ..core import ASYNC, all_executions
+    from ..graphs import generators as gen
+    from ..graphs.labeled_graph import LabeledGraph
+    from ..protocols.bfs import BipartiteBfsAsyncProtocol, EobBfsProtocol
+
+    n = 5 if quick else 6
+    g = gen.random_even_odd_bipartite(n, 0.5, seed=1)
+    truth_bits = 0
+    truth_deadlock = False
+    for r in all_executions(g, EobBfsProtocol(), ASYNC):
+        truth_bits = max(truth_bits, r.max_message_bits)
+        truth_deadlock |= r.corrupted
+    lines = ["E19 — adversary engine: search vs exhaustive ground truth", ""]
+    ok = not truth_deadlock
+    strategies = [
+        GreedyBitsAdversary(restarts=2),
+        BeamSearchAdversary(width=8),
+        BranchAndBoundAdversary(),
+    ]
+    for strategy in strategies:
+        witness = strategy.search(g, EobBfsProtocol(), ASYNC)
+        agree = (not witness.deadlock) and witness.bits == truth_bits
+        ok &= agree
+        lines.append(
+            f"{strategy.name:<18} n={n}: {witness.bits} bits "
+            f"(exhaustive {truth_bits}) via {witness.schedule} "
+            f"[{witness.explored} steps] {'OK' if agree else 'MISMATCH'}"
+        )
+    broken = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+    seeker = DeadlockAdversary()
+    found = seeker.search(broken, BipartiteBfsAsyncProtocol(), ASYNC)
+    clean = seeker.search(g, EobBfsProtocol(), ASYNC)
+    ok &= found.deadlock and not clean.deadlock
+    lines.append(
+        f"{seeker.name:<18} finds the disconnected-instance deadlock "
+        f"({found.schedule}) and none on the connected one: "
+        f"{'OK' if found.deadlock and not clean.deadlock else 'MISMATCH'}"
+    )
+    return ExperimentResult("E19", ok, "\n".join(lines))
+
+
 CATALOG: tuple[Experiment, ...] = (
     Experiment("E1", "Table 1 — model semantics", "Table 1", _e1_table1),
     Experiment("E2", "Table 2 — classification", "Table 2", _e2_table2),
@@ -519,6 +567,8 @@ CATALOG: tuple[Experiment, ...] = (
     Experiment("E16", "laptop-scale stress", "engineering", _e16_scale),
     Experiment("E17", "cost attribution", "ablation", _e17_cost_attribution),
     Experiment("E18", "parallel sweeps", "engineering", _e18_parallel),
+    Experiment("E19", "adversary engine", "Section 2 adversary / engineering",
+               _e19_adversary_engine),
 )
 
 _BY_ID = {e.experiment_id: e for e in CATALOG}

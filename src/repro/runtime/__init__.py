@@ -28,6 +28,7 @@ from .results import (
     ResultSink,
     TaskOutcome,
     VerificationReport,
+    WitnessRecord,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "ResultSink",
     "TaskOutcome",
     "VerificationReport",
+    "WitnessRecord",
 ]

@@ -16,6 +16,11 @@ Plan modes:
 * ``verify`` — the harness policy: exhaustive when the instance is small
   enough (``n <= exhaustive_threshold``), scheduler portfolio otherwise,
   raw transcripts dropped so only aggregates cross process boundaries.
+* ``stress`` — the adversarial policy: exhaustive below the threshold,
+  *guided adversary search* (:mod:`repro.adversaries`) above — replacing
+  the verify-mode cliff where large instances fall back to a fixed
+  portfolio.  Every cell records concrete worst witness schedules in
+  ``VerificationReport.witnesses``.
 
 Tasks are frozen and fully resolved at build time (the ``bit_budget``
 callable, for instance, is applied to each graph's ``n`` up front), so a
@@ -28,28 +33,40 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
+from ..adversaries import AdversarySearch, default_search_portfolio
+from ..core.execution import replay_schedule
 from ..core.models import MODELS_BY_NAME, ModelSpec
 from ..core.protocol import Protocol
 from ..core.schedulers import Scheduler, default_portfolio
 from ..core.simulator import RunResult, all_executions, run
 from ..graphs.labeled_graph import LabeledGraph
-from .results import ListSink, ReportMergeSink, ResultSink, TaskOutcome, VerificationReport
+from .results import (
+    ListSink,
+    ReportMergeSink,
+    ResultSink,
+    TaskOutcome,
+    VerificationReport,
+    WitnessRecord,
+)
 
 __all__ = ["Checker", "ExecutionTask", "ExecutionPlan"]
 
 #: ``checker(graph, output, result) -> bool`` — truthy means correct.
 Checker = Callable[[LabeledGraph, Any, "RunResult"], bool]
 
-_MODES = ("single", "exhaustive", "verify")
+_MODES = ("single", "exhaustive", "verify", "stress")
 
 
 @dataclass(frozen=True)
 class ExecutionTask:
     """One independent cell of a sweep, resolved and picklable.
 
-    ``mode`` is ``"schedules"`` (run once per scheduler) or
-    ``"exhaustive"`` (enumerate every adversary schedule); the plan-level
-    ``verify`` mode lowers each cell to one of these at build time.
+    ``mode`` is ``"schedules"`` (run once per scheduler),
+    ``"exhaustive"`` (enumerate every adversary schedule) or
+    ``"search"`` (run every adversary-search strategy); the plan-level
+    ``verify``/``stress`` modes lower each cell to one of these at
+    build time.  ``capture_witnesses`` makes the cell record concrete
+    worst schedules in its report (stress cells always do).
     """
 
     index: int
@@ -58,11 +75,13 @@ class ExecutionTask:
     model_name: str
     mode: str
     schedulers: tuple[Scheduler, ...] = ()
+    adversaries: tuple[AdversarySearch, ...] = ()
     checker: Optional[Checker] = None
     bit_budget: Optional[int] = None
     exhaustive_limit: Optional[int] = None
     allow_deadlock: bool = False
     keep_runs: bool = True
+    capture_witnesses: bool = False
 
     @property
     def model(self) -> ModelSpec:
@@ -73,14 +92,32 @@ class ExecutionTask:
 
         Deadlocks under ``allow_deadlock`` count as executions but do not
         touch the bit maxima — the historical ``verify_protocol``
-        behaviour, which equivalence tests pin.
+        behaviour, which equivalence tests pin.  Search cells run each
+        adversary strategy and replay its witness schedule through the
+        engine, so witnesses are checked (and budget-enforced) exactly
+        like any other execution.
         """
         model = self.model
+        witness_runs: list[tuple[str, RunResult]] = []
         if self.mode == "exhaustive":
             results: Iterable[RunResult] = all_executions(
                 self.graph, self.protocol, model,
                 bit_budget=self.bit_budget, limit=self.exhaustive_limit,
             )
+        elif self.mode == "search":
+            def searched() -> Iterable[RunResult]:
+                for strategy in self.adversaries:
+                    witness = strategy.search(
+                        self.graph, self.protocol, model,
+                        bit_budget=self.bit_budget,
+                    )
+                    result = replay_schedule(
+                        self.graph, self.protocol, model,
+                        witness.schedule, self.bit_budget,
+                    )
+                    witness_runs.append((strategy.name, result))
+                    yield result
+            results = searched()
         else:
             results = (
                 run(self.graph, self.protocol, model, sched,
@@ -94,9 +131,16 @@ class ExecutionTask:
             if self.mode == "exhaustive":
                 report.exhaustive_instances = 1
         kept: Optional[list[RunResult]] = [] if self.keep_runs else None
+        worst: Optional[RunResult] = None
+        first_deadlock: Optional[RunResult] = None
         for result in results:
             if kept is not None:
                 kept.append(result)
+            if self.capture_witnesses and self.mode == "exhaustive":
+                if worst is None or result.max_message_bits > worst.max_message_bits:
+                    worst = result
+                if first_deadlock is None and result.corrupted:
+                    first_deadlock = result
             if report is None:
                 continue
             if result.corrupted and self.allow_deadlock:
@@ -108,9 +152,31 @@ class ExecutionTask:
                 else False
             )
             report.record(self.graph, result, correct)
+        if report is not None and self.capture_witnesses:
+            if self.mode == "exhaustive":
+                if worst is not None:
+                    self._record_witness(report, "exhaustive", worst)
+                if first_deadlock is not None and first_deadlock is not worst:
+                    self._record_witness(
+                        report, "exhaustive-deadlock", first_deadlock
+                    )
+            else:
+                for strategy_name, result in witness_runs:
+                    self._record_witness(report, strategy_name, result)
         return TaskOutcome(
             self.index, report, tuple(kept) if kept is not None else None
         )
+
+    def _record_witness(self, report: VerificationReport, strategy: str,
+                        result: RunResult) -> None:
+        report.witnesses.append(WitnessRecord(
+            strategy=strategy,
+            graph=self.graph,
+            model_name=self.model_name,
+            schedule=result.write_order,
+            bits=result.max_message_bits,
+            deadlock=result.corrupted,
+        ))
 
 
 def _as_tuple(value, kind) -> tuple:
@@ -142,6 +208,7 @@ class ExecutionPlan:
         *,
         mode: str = "single",
         schedulers: Optional[Sequence[Scheduler]] = None,
+        adversaries: Optional[Sequence[AdversarySearch]] = None,
         checker: Optional[Checker] = None,
         exhaustive_threshold: int = 5,
         exhaustive_limit: Optional[int] = None,
@@ -153,10 +220,16 @@ class ExecutionPlan:
 
         Enumeration order is protocol-major, then model, then instance —
         stable for any input ordering, so a plan built twice from the
-        same arguments is identical task for task.
+        same arguments is identical task for task.  ``adversaries``
+        (stress mode only) defaults to
+        :func:`repro.adversaries.default_search_portfolio`.
         """
         if mode not in _MODES:
             raise ValueError(f"unknown plan mode {mode!r}; expected one of {_MODES}")
+        if adversaries is not None and mode != "stress":
+            raise ValueError(
+                f"adversaries are only used by stress plans; mode is {mode!r}"
+            )
         protos = _as_tuple(protocols, Protocol)
         model_specs = _as_tuple(models, ModelSpec)
         graphs = list(instances)
@@ -164,8 +237,13 @@ class ExecutionPlan:
             tuple(schedulers) if schedulers is not None
             else tuple(default_portfolio())
         )
+        searches = (
+            tuple(adversaries) if adversaries is not None
+            else tuple(default_search_portfolio()) if mode == "stress"
+            else ()
+        )
         if keep_runs is None:
-            keep_runs = mode != "verify"
+            keep_runs = mode not in ("verify", "stress")
         if checker is None and not keep_runs:
             raise ValueError("a plan without a checker must keep its runs")
         tasks: list[ExecutionTask] = []
@@ -175,11 +253,13 @@ class ExecutionPlan:
                     budget = bit_budget(graph.n) if callable(bit_budget) else bit_budget
                     if mode == "exhaustive":
                         task_mode = "exhaustive"
-                    elif mode == "verify":
-                        task_mode = (
-                            "exhaustive" if graph.n <= exhaustive_threshold
-                            else "schedules"
-                        )
+                    elif mode in ("verify", "stress"):
+                        if graph.n <= exhaustive_threshold:
+                            task_mode = "exhaustive"
+                        elif mode == "stress":
+                            task_mode = "search"
+                        else:
+                            task_mode = "schedules"
                     else:
                         task_mode = "schedules"
                     tasks.append(ExecutionTask(
@@ -189,11 +269,13 @@ class ExecutionPlan:
                         model_name=model.name,
                         mode=task_mode,
                         schedulers=scheds if task_mode == "schedules" else (),
+                        adversaries=searches if task_mode == "search" else (),
                         checker=checker,
                         bit_budget=budget,
                         exhaustive_limit=exhaustive_limit,
                         allow_deadlock=allow_deadlock,
                         keep_runs=keep_runs,
+                        capture_witnesses=mode == "stress",
                     ))
         return cls(
             tasks=tuple(tasks),

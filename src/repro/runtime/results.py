@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "Failure",
+    "WitnessRecord",
     "VerificationReport",
     "TaskOutcome",
     "ResultSink",
@@ -46,6 +47,25 @@ class Failure:
     kind: str  # "wrong-output" | "deadlock"
 
 
+@dataclass(frozen=True)
+class WitnessRecord:
+    """A worst adversary schedule surfaced by a stress sweep.
+
+    Unlike a bare maximum, a witness is replayable evidence: ``schedule``
+    applied to ``graph`` under ``model_name`` reproduces ``bits`` (or the
+    deadlock) exactly — :func:`repro.analysis.trace.narrate_witness`
+    renders the full transcript.  ``strategy`` is the adversary search
+    that found it, or ``"exhaustive"`` below the enumeration threshold.
+    """
+
+    strategy: str
+    graph: LabeledGraph
+    model_name: str
+    schedule: tuple[int, ...]
+    bits: int
+    deadlock: bool
+
+
 @dataclass
 class VerificationReport:
     """Aggregated result of a verification sweep."""
@@ -58,6 +78,7 @@ class VerificationReport:
     failures: list[Failure] = field(default_factory=list)
     max_message_bits: int = 0
     max_bits_by_n: dict[int, int] = field(default_factory=dict)
+    witnesses: list[WitnessRecord] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -80,15 +101,16 @@ class VerificationReport:
     def merge(self, other: "VerificationReport") -> "VerificationReport":
         """Fold ``other`` into this report (counts, failures, bit maxima).
 
-        Merging is associative and order-preserving over ``failures`` and
-        ``max_bits_by_n`` insertion order, so folding per-task reports in
-        task order reproduces the serial sweep field for field.  Returns
-        ``self`` for chaining.
+        Merging is associative and order-preserving over ``failures``,
+        ``witnesses`` and ``max_bits_by_n`` insertion order, so folding
+        per-task reports in task order reproduces the serial sweep field
+        for field.  Returns ``self`` for chaining.
         """
         self.instances += other.instances
         self.executions += other.executions
         self.exhaustive_instances += other.exhaustive_instances
         self.failures.extend(other.failures)
+        self.witnesses.extend(other.witnesses)
         self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
         for n, bits in other.max_bits_by_n.items():
             self.max_bits_by_n[n] = max(self.max_bits_by_n.get(n, 0), bits)
@@ -96,11 +118,14 @@ class VerificationReport:
 
     def summary(self) -> str:
         state = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        witnesses = (
+            f", {len(self.witnesses)} witnesses" if self.witnesses else ""
+        )
         return (
             f"{self.protocol_name} under {self.model_name}: {state} "
             f"({self.instances} instances, {self.executions} executions, "
             f"{self.exhaustive_instances} exhaustive, "
-            f"max message {self.max_message_bits} bits)"
+            f"max message {self.max_message_bits} bits{witnesses})"
         )
 
 

@@ -1,4 +1,7 @@
-"""Tests for the process-parallel verification runner."""
+"""Tests for the deprecated process-parallel verification shim."""
+
+import importlib
+import warnings
 
 import pytest
 
@@ -43,6 +46,59 @@ class TestCheckers:
         g = gen.star_graph(5)
         assert MisValid(1)(g, frozenset({1}), None)
         assert not MisValid(2)(g, frozenset({1}), None)
+
+
+class TestDeprecation:
+    def test_import_emits_deprecation_warning(self):
+        import repro.analysis.parallel as parallel_module
+
+        with pytest.warns(DeprecationWarning,
+                          match="repro.analysis.parallel is deprecated"):
+            importlib.reload(parallel_module)
+
+    def test_analysis_package_import_stays_silent(self):
+        """Only shim users see the warning — the analysis package itself
+        re-exports it lazily, so importing the package must not warn."""
+        import repro.analysis as analysis_package
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.reload(analysis_package)
+        # The lazy attribute still resolves to the real shim.
+        import repro.analysis.parallel as parallel_module
+
+        assert (analysis_package.verify_protocol_parallel
+                is parallel_module.verify_protocol_parallel)
+        with pytest.raises(AttributeError):
+            analysis_package.no_such_attribute
+
+    def test_call_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning,
+                          match="verify_protocol_parallel is deprecated"):
+            verify_protocol_parallel(
+                DegenerateBuildProtocol(2), SIMASYNC,
+                [gen.random_k_degenerate(4, 2, seed=0)], BuildEqualsInput(),
+                n_jobs=2,
+            )
+
+    def test_shim_equals_process_pool_backend(self):
+        """The shim is behaviourally identical to passing the backend
+        directly — field-for-field, including witness/failure lists."""
+        from repro.runtime import ProcessPoolBackend
+
+        instances = [gen.random_k_degenerate(n, 2, seed=n) for n in (4, 8)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = verify_protocol_parallel(
+                DegenerateBuildProtocol(2), SIMASYNC, instances,
+                BuildEqualsInput(), n_jobs=2,
+            )
+        direct = verify_protocol(
+            DegenerateBuildProtocol(2), SIMASYNC, instances,
+            BuildEqualsInput(),
+            backend=ProcessPoolBackend(jobs=2, chunk_size=1),
+        )
+        assert shimmed == direct
 
 
 class TestParallelEqualsSerial:

@@ -87,3 +87,20 @@ class TestReportSerialization:
         assert not d["ok"] and d["failures"]
         witness = graph_from_dict(d["failures"][0]["graph"])
         assert witness == gen.path_graph(4)
+
+    def test_stress_report_serializes_witnesses(self):
+        report = verify_protocol(
+            DegenerateBuildProtocol(2), SIMASYNC,
+            [gen.random_k_degenerate(8, 2, seed=1)],
+            lambda g, out, r: out == g,
+            mode="stress",
+        )
+        d = report_to_dict(report)
+        assert d["ok"] and d["witnesses"]
+        json.dumps(d)  # JSON-clean
+        for w, record in zip(d["witnesses"], report.witnesses):
+            assert w["strategy"] == record.strategy
+            assert w["schedule"] == list(record.schedule)
+            assert w["bits"] == record.bits
+            assert w["deadlock"] == record.deadlock
+            assert graph_from_dict(w["graph"]) == record.graph

@@ -1,6 +1,8 @@
 """Tests for the execution narration."""
 
-from repro.analysis.trace import activation_timeline, narrate
+import pytest
+
+from repro.analysis.trace import activation_timeline, narrate, narrate_witness
 from repro.core import ASYNC, SIMASYNC, MinIdScheduler, run
 from repro.graphs import generators as gen
 from repro.graphs.labeled_graph import LabeledGraph
@@ -53,3 +55,42 @@ class TestNarration:
 
         thawed = narrate(run(g, DegenerateBuildProtocol(1), SIMSYNC, MinIdScheduler()))
         assert "(messages frozen)" not in thawed
+
+
+class TestWitnessNarration:
+    @staticmethod
+    def _witness(strategy="greedy-bits", **overrides):
+        from repro.adversaries import GreedyBitsAdversary
+        from repro.runtime.results import WitnessRecord
+
+        g = gen.random_even_odd_bipartite(6, 0.5, seed=1)
+        found = GreedyBitsAdversary(restarts=1).search(g, EobBfsProtocol(), ASYNC)
+        fields = dict(
+            strategy=strategy, graph=g, model_name="ASYNC",
+            schedule=found.schedule, bits=found.bits, deadlock=found.deadlock,
+        )
+        fields.update(overrides)
+        return WitnessRecord(**fields)
+
+    def test_renders_strategy_and_transcript(self):
+        text = narrate_witness(self._witness(), EobBfsProtocol())
+        assert "worst witness found by 'greedy-bits'" in text
+        assert "under ASYNC" in text
+        assert "schedule:" in text
+        assert "adversary picks node" in text
+
+    def test_deadlock_witness_renders_corrupted_transcript(self):
+        from repro.adversaries import DeadlockAdversary
+        from repro.runtime.results import WitnessRecord
+
+        g = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+        found = DeadlockAdversary().search(g, BipartiteBfsAsyncProtocol(), ASYNC)
+        record = WitnessRecord("deadlock-dfs", g, "ASYNC", found.schedule,
+                               found.bits, found.deadlock)
+        text = narrate_witness(record, BipartiteBfsAsyncProtocol())
+        assert "deadlock" in text and "CORRUPTED configuration" in text
+
+    def test_non_reproducing_witness_rejected(self):
+        bogus = self._witness(bits=1)
+        with pytest.raises(ValueError):
+            narrate_witness(bogus, EobBfsProtocol())

@@ -1,0 +1,134 @@
+"""Property tests for the adversarial schedulers.
+
+Three contracts hold for every scheduler, on every input:
+
+* the chosen node is always a member of the candidate set;
+* seeded schedulers are deterministic: same seed, same stream — and
+  ``fresh()`` restarts the stream;
+* invalid configurations surface as :class:`SchedulerError`, never as a
+  silent wrong choice.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.core.schedulers import (
+    DelayTargetScheduler,
+    FifoScheduler,
+    FixedOrderScheduler,
+    LifoScheduler,
+    MaxIdScheduler,
+    MinIdScheduler,
+    RandomScheduler,
+    default_portfolio,
+)
+from repro.core.whiteboard import Whiteboard
+
+BOARD = Whiteboard()
+
+#: Non-empty ascending candidate tuples, as the simulator supplies them.
+candidate_sets = st.sets(
+    st.integers(min_value=1, max_value=40), min_size=1, max_size=12
+).map(lambda s: tuple(sorted(s)))
+
+
+@st.composite
+def candidates_with_activation(draw):
+    candidates = draw(candidate_sets)
+    rounds = {
+        v: draw(st.integers(min_value=0, max_value=len(candidates)))
+        for v in candidates
+    }
+    return candidates, rounds
+
+
+@st.composite
+def schedulers_and_input(draw):
+    candidates, rounds = draw(candidates_with_activation())
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    order = list(candidates)
+    targets = draw(st.sets(st.sampled_from(order)))
+    scheduler = draw(st.sampled_from([
+        MinIdScheduler(),
+        MaxIdScheduler(),
+        FifoScheduler(),
+        LifoScheduler(),
+        RandomScheduler(seed),
+        FixedOrderScheduler(sorted(order, key=lambda v: (v % 3, v))),
+        DelayTargetScheduler(sorted(targets)),
+    ]))
+    return scheduler, candidates, rounds
+
+
+class TestMembership:
+    @given(schedulers_and_input())
+    @settings(max_examples=200)
+    def test_choice_is_always_a_candidate(self, case):
+        scheduler, candidates, rounds = case
+        choice = scheduler.fresh().choose(candidates, BOARD, rounds)
+        assert choice in candidates
+
+    @given(candidates_with_activation())
+    def test_default_portfolio_members_choose_candidates(self, case):
+        candidates, rounds = case
+        for scheduler in default_portfolio((0, 1)):
+            assert scheduler.fresh().choose(candidates, BOARD, rounds) in candidates
+
+
+class TestSeededDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        cases=st.lists(candidates_with_activation(), min_size=1, max_size=8),
+    )
+    def test_random_scheduler_stream_is_a_function_of_the_seed(self, seed, cases):
+        first = RandomScheduler(seed).fresh()
+        second = RandomScheduler(seed).fresh()
+        for candidates, rounds in cases:
+            assert (first.choose(candidates, BOARD, rounds)
+                    == second.choose(candidates, BOARD, rounds))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        case=candidates_with_activation(),
+        draws=st.integers(min_value=1, max_value=6),
+    )
+    def test_fresh_restarts_the_stream(self, seed, case, draws):
+        candidates, rounds = case
+        scheduler = RandomScheduler(seed)
+        first = scheduler.choose(candidates, BOARD, rounds)
+        for _ in range(draws):
+            scheduler.choose(candidates, BOARD, rounds)
+        assert scheduler.fresh().choose(candidates, BOARD, rounds) == first
+
+
+class TestErrorPaths:
+    @given(candidate_sets)
+    def test_fixed_order_missing_node_raises(self, candidates):
+        incomplete = FixedOrderScheduler(candidates[:-1])
+        if len(candidates) == 1:
+            # The order is empty: every candidate is unknown.
+            with pytest.raises(SchedulerError):
+                incomplete.choose(candidates, BOARD, {})
+            return
+        with pytest.raises(SchedulerError):
+            incomplete.choose((candidates[-1],), BOARD, {})
+
+    @given(candidates_with_activation())
+    def test_rogue_scheduler_is_rejected_by_the_engine(self, case):
+        from repro.core import SIMASYNC, run
+        from repro.core.schedulers import Scheduler
+        from repro.graphs.generators import path_graph
+        from repro.protocols.build import ForestBuildProtocol
+
+        candidates, _ = case
+
+        class Rogue(Scheduler):
+            name = "rogue"
+
+            def choose(self, cands, board, rounds):
+                return max(cands) + 1  # never a member
+
+        with pytest.raises(SchedulerError):
+            run(path_graph(3), ForestBuildProtocol(), SIMASYNC, Rogue())

@@ -38,6 +38,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep"])
 
+    def test_stress_flags(self):
+        p = build_parser()
+        args = p.parse_args(["stress", "--protocol", "build-degenerate",
+                             "--sizes", "4", "9", "--threshold", "4",
+                             "--jobs", "2", "--trace"])
+        assert args.protocols == ["build-degenerate"]
+        assert args.sizes == [4, 9] and args.threshold == 4
+        assert args.jobs == 2 and args.trace
+        with pytest.raises(SystemExit):
+            p.parse_args(["stress"])  # protocol is required
+
 
 class TestCommands:
     def test_fig1(self, capsys):
@@ -93,3 +104,20 @@ class TestCommands:
                      "--family", "k-degenerate", "--sizes", "4",
                      "--seeds", "0"]) == 0
         assert "OK" in capsys.readouterr().out
+
+    def test_stress_serial_with_trace(self, capsys):
+        assert main(["stress", "--protocol", "build-degenerate",
+                     "--family", "k-degenerate", "--sizes", "4", "8",
+                     "--seeds", "0", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "via serial" in out and "witnesses" in out
+        assert "exhaustive" in out  # the n=4 cell enumerated every schedule
+        assert "branch-and-bound" in out  # the n=8 cell searched
+        assert "worst witness found by" in out  # --trace narration
+
+    def test_stress_parallel_jobs(self, capsys):
+        assert main(["stress", "--protocol", "eob-bfs", "--family", "eob",
+                     "--sizes", "5", "8", "--seeds", "0",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "via process-pool" in out and "eob-bfs" in out
