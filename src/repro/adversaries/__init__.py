@@ -22,7 +22,15 @@ exhaustive enumeration; tests pin each strategy against the exhaustive
 ground truth on small fixtures.
 """
 
-from .base import AdversarySearch, Witness, witness_rank, worst_witness
+from .base import (
+    AdversarySearch,
+    Witness,
+    minimize_schedule,
+    minimize_witness,
+    schedule_forces,
+    witness_rank,
+    worst_witness,
+)
 from .beam import BeamSearchAdversary
 from .bnb import BranchAndBoundAdversary
 from .deadlock import DeadlockAdversary
@@ -33,6 +41,9 @@ __all__ = [
     "Witness",
     "witness_rank",
     "worst_witness",
+    "schedule_forces",
+    "minimize_schedule",
+    "minimize_witness",
     "BeamSearchAdversary",
     "BranchAndBoundAdversary",
     "DeadlockAdversary",

@@ -24,15 +24,24 @@ total board size as the tiebreak.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..core.errors import MessageTooLarge, ProtocolViolation, SchedulerError
 from ..core.execution import ExecutionState
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
 from ..graphs.labeled_graph import LabeledGraph
 
-__all__ = ["Witness", "AdversarySearch", "witness_rank", "worst_witness"]
+__all__ = [
+    "Witness",
+    "AdversarySearch",
+    "witness_rank",
+    "worst_witness",
+    "schedule_forces",
+    "minimize_schedule",
+    "minimize_witness",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +70,13 @@ class Witness:
     total_bits: int
     deadlock: bool
     explored: int
+    #: Shrunk form of ``schedule`` that still forces the recorded
+    #: bits/deadlock (see :func:`minimize_witness`); ``None`` until a
+    #: minimisation pass has run.  For deadlock witnesses this is a
+    #: complete (terminal) schedule; for bits witnesses it is the
+    #: minimal forcing *prefix* — the claim is established the moment
+    #: the largest message lands, so trailing events carry no evidence.
+    minimal_schedule: Optional[tuple[int, ...]] = None
 
 
 def witness_rank(witness: Witness) -> tuple[bool, int, int]:
@@ -74,6 +90,139 @@ def worst_witness(*witnesses: Optional[Witness]) -> Witness:
     if not found:
         raise ValueError("no witnesses to compare")
     return max(found, key=witness_rank)
+
+
+def schedule_forces(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    schedule: tuple[int, ...],
+    *,
+    bits: int = 0,
+    deadlock: bool = False,
+    bit_budget: Optional[int] = None,
+) -> bool:
+    """Whether ``schedule`` (replayed from the initial configuration)
+    still establishes the witnessed badness.
+
+    * deadlock targets: the schedule must be valid and end in a
+      terminal, deadlocked configuration;
+    * bits targets: the schedule must be valid and write at least one
+      message of ``>= bits`` bits.  It need not be terminal — "the
+      adversary forces a B-bit message" is proven the moment that
+      message lands, which is what lets bits witnesses shrink to
+      prefixes.
+
+    An inapplicable choice, a budget violation, or a protocol violation
+    along the way makes the schedule not-forcing (``False``), never an
+    exception: minimisation probes many invalid mutants by design.
+    """
+    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    try:
+        for choice in schedule:
+            state.advance(choice)
+    except (SchedulerError, MessageTooLarge, ProtocolViolation):
+        return False
+    if deadlock:
+        return state.deadlocked
+    return state.board.max_bits() >= bits
+
+
+def _forcing_prefix(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    schedule: tuple[int, ...],
+    bits: int,
+    bit_budget: Optional[int],
+) -> tuple[int, ...]:
+    """Truncate a (known-forcing) bits schedule at the first event that
+    reaches the target."""
+    if bits <= 0:
+        return ()  # vacuous target: the empty prefix already forces it
+    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    for depth, choice in enumerate(schedule, start=1):
+        state.advance(choice)
+        if state.board.entries[-1].bits >= bits:
+            return schedule[:depth]
+    raise AssertionError("schedule was checked to force the bits target")
+
+
+def minimize_schedule(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    schedule: tuple[int, ...],
+    *,
+    bits: int = 0,
+    deadlock: bool = False,
+    bit_budget: Optional[int] = None,
+) -> tuple[int, ...]:
+    """Greedy prefix/segment shrink of a witness schedule.
+
+    Returns a subsequence of ``schedule`` that still forces the target
+    (checked by full replay at every step, so the result is replayable
+    evidence exactly like the original).  The shrink is ddmin-style:
+    bits targets are first cut to the shortest forcing prefix, then
+    segments of halving length are deleted greedily while the property
+    survives.  The result is 1-minimal — no single remaining event can
+    be dropped — which is the useful guarantee for narration; it is not
+    necessarily a globally shortest subsequence.
+
+    Raises :class:`ValueError` when ``schedule`` does not force the
+    target in the first place (a witness that does not reproduce is a
+    bug upstream, not a minimisation concern).
+    """
+    current = tuple(schedule)
+    if not schedule_forces(graph, protocol, model, current,
+                           bits=bits, deadlock=deadlock,
+                           bit_budget=bit_budget):
+        raise ValueError(
+            f"schedule {current} does not force the target "
+            f"({'deadlock' if deadlock else f'{bits} bits'})"
+        )
+    if not deadlock:
+        current = _forcing_prefix(graph, protocol, model, current, bits,
+                                  bit_budget)
+    size = max(1, len(current) // 2)
+    while size >= 1:
+        index = 0
+        while index + size <= len(current):
+            candidate = current[:index] + current[index + size:]
+            if schedule_forces(graph, protocol, model, candidate,
+                               bits=bits, deadlock=deadlock,
+                               bit_budget=bit_budget):
+                current = candidate
+                if not deadlock:
+                    current = _forcing_prefix(
+                        graph, protocol, model, current, bits, bit_budget
+                    )
+            else:
+                index += size
+        size //= 2
+    return current
+
+
+def minimize_witness(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    witness: Witness,
+    bit_budget: Optional[int] = None,
+) -> Witness:
+    """Attach a minimal forcing schedule to ``witness``.
+
+    The raw schedule is kept untouched (it is the replayable terminal
+    run); ``minimal_schedule`` becomes the shrunk form — targeting the
+    deadlock when the witness deadlocked, the recorded ``bits``
+    otherwise.
+    """
+    minimal = minimize_schedule(
+        graph, protocol, model, witness.schedule,
+        bits=witness.bits, deadlock=witness.deadlock,
+        bit_budget=bit_budget,
+    )
+    return replace(witness, minimal_schedule=minimal)
 
 
 class AdversarySearch(ABC):

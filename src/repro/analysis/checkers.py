@@ -33,6 +33,7 @@ __all__ = [
     "SquareCorrect",
     "ConnectivityCorrect",
     "SpanningForestCanonical",
+    "default_checker",
 ]
 
 
@@ -124,3 +125,37 @@ class SpanningForestCanonical:
 
     def __call__(self, graph, output, result) -> bool:
         return output == canonical_bfs_forest(graph).tree_edges()
+
+
+def default_checker(census_key: str):
+    """The registered output oracle for a census protocol.
+
+    One table shared by the CLI sweeps and the campaign subsystem, so
+    the two cannot drift apart.  Protocols without a known oracle get
+    :class:`AcceptAny` — their sweeps still measure deadlocks and exact
+    message sizes.  (``sketch-spanning-forest`` stays on ``AcceptAny``
+    deliberately: its forest is valid but seed-dependent, never the
+    canonical BFS forest; ``bfs-bipartite-async`` does too, because off
+    the bipartite promise its deadlocks — not outputs — are the
+    measurement, per Corollary 4.)
+    """
+    table = {
+        "build-forest": BuildEqualsInput(),
+        "build-degenerate": BuildEqualsInput(),
+        "build-extended": BuildEqualsInput(),
+        "naive-build": BuildEqualsInput(),
+        "mis-greedy": MisValid(1),
+        "naive-mis": MisValid(1),
+        "two-cliques": TwoCliquesCorrect(),
+        "eob-bfs": EobBfsCorrect(),
+        "naive-eob-bfs": EobBfsCorrect(),
+        "bfs-sync": BfsCanonical(),
+        "connectivity-sync": ConnectivityCorrect(),
+        "sketch-connectivity": ConnectivityCorrect(),
+        "spanning-forest-sync": SpanningForestCanonical(),
+        "triangle-degenerate": TriangleCorrect(),
+        "naive-triangle": TriangleCorrect(),
+        "square-degenerate": SquareCorrect(),
+        "naive-square": SquareCorrect(),
+    }
+    return table.get(census_key, AcceptAny())

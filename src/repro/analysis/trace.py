@@ -114,4 +114,22 @@ def narrate_witness(
         f"under {witness.model_name}: {outcome}\n"
         f"schedule: {witness.schedule}\n"
     )
+    minimal = witness.minimal_schedule
+    if minimal is not None:
+        from ..adversaries.base import schedule_forces
+
+        if not schedule_forces(witness.graph, protocol, model, minimal,
+                               bits=witness.bits, deadlock=witness.deadlock,
+                               bit_budget=bit_budget):
+            raise ValueError(
+                f"minimal schedule {minimal} does not force the recorded "
+                f"badness ({witness.bits} bits, deadlock={witness.deadlock})"
+            )
+    if minimal is not None and minimal != witness.schedule:
+        kind = ("minimal deadlocking schedule" if witness.deadlock
+                else "minimal forcing prefix")
+        header += (
+            f"{kind}: {minimal} "
+            f"({len(minimal)} of {len(witness.schedule)} events)\n"
+        )
     return header + narrate(result, max_payload_chars=max_payload_chars)

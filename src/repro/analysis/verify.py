@@ -64,6 +64,7 @@ def verify_protocol(
     backend: Optional[Backend] = None,
     mode: str = "verify",
     adversaries: Optional[Sequence[AdversarySearch]] = None,
+    store=None,
 ) -> VerificationReport:
     """Sweep ``protocol`` under ``model`` over ``instances``.
 
@@ -89,6 +90,12 @@ def verify_protocol(
     adversaries:
         Search strategies for stress mode; defaults to
         :func:`repro.adversaries.default_search_portfolio`.
+    store:
+        Optional :class:`repro.campaigns.store.ResultStore` for
+        opportunistic reuse: cells whose fingerprint is already stored
+        are served from the store (field-identical to recomputing),
+        everything executed here becomes a future hit.  The merged
+        report is identical with or without a store.
     """
     if mode not in ("verify", "stress"):
         raise ValueError(
@@ -107,4 +114,8 @@ def verify_protocol(
         bit_budget=bit_budget,
         allow_deadlock=allow_deadlock,
     )
+    if store is not None:
+        from ..campaigns.runner import run_plan_with_store
+
+        return run_plan_with_store(plan, store, backend=backend)
     return plan.verification_report(backend=backend)

@@ -1,0 +1,326 @@
+"""Campaigns: named, persistent, resumable, sharded stress sweeps.
+
+A :class:`CampaignSpec` names a set of **cells** — instance family ×
+census protocol (its model and checker come from the registries) — and a
+plan mode (``stress`` by default: exhaustive below the threshold, guided
+adversary search above).  :class:`Campaign` lowers every cell to a
+:class:`~repro.runtime.plan.ExecutionPlan`, fingerprints each task, and
+executes **only the store misses** on any
+:class:`~repro.runtime.backends.Backend` — the backend shards stateless
+tasks exactly as before; the :class:`~repro.campaigns.store.ResultStore`
+is the only shared state, touched only by the driving process through a
+:class:`~repro.runtime.results.StoreBackedSink`.
+
+The three guarantees campaigns are built around (pinned by
+``tests/campaigns/``):
+
+* **resume** — every executed outcome is committed the moment the
+  backend yields it, so a killed ``campaign run`` restarts where it
+  died and finishes with the same merged report;
+* **purity** — an unchanged re-run executes zero tasks (every
+  fingerprint hits) and produces a field-identical report;
+* **trajectory** — each completed run appends one deterministic
+  generation of extremal witnesses per (protocol, model, family, n)
+  (see :mod:`repro.campaigns.trajectories`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..analysis.checkers import default_checker
+from ..core.models import MODELS_BY_NAME
+from ..graphs.families import FAMILIES, family
+from ..protocols.census import CENSUS_BY_KEY
+from ..runtime.backends import Backend, SerialBackend
+from ..runtime.plan import ExecutionPlan, ExecutionTask
+from ..runtime.results import StoreBackedSink, VerificationReport
+from .store import ResultStore
+from .trajectories import record_generation
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "CellResult",
+    "CampaignResult",
+    "Campaign",
+    "quick_campaign",
+    "run_plan_with_store",
+]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (census protocol × instance family) block of a campaign."""
+
+    protocol_key: str
+    family: str
+    sizes: tuple[int, ...]
+    seeds: tuple[int, ...]
+    #: Deadlocks count as executions, not failures — the Corollary 4
+    #: setting, where deadlock witnesses *are* the measurement.
+    allow_deadlock: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol_key not in CENSUS_BY_KEY:
+            known = ", ".join(sorted(CENSUS_BY_KEY))
+            raise ValueError(
+                f"unknown census protocol {self.protocol_key!r}; known: {known}"
+            )
+        if self.family not in FAMILIES:
+            known = ", ".join(sorted(FAMILIES))
+            raise ValueError(
+                f"unknown instance family {self.family!r}; known: {known}"
+            )
+
+    def instances(self):
+        """One instance per (size × seed), duplicates dropped.
+
+        Seed-invariant families (e.g. odd cycles) collapse to one
+        instance per size, exactly like the CLI sweep builder.  A size
+        the family cannot sample (odd cycles at even ``n``, two-cliques
+        at odd ``n``) raises a :class:`ValueError` naming the cell, so
+        the caller sees which spec line to fix instead of a bare
+        generator traceback.
+        """
+        cls = family(self.family)
+        built = []
+        for n in self.sizes:
+            for seed in self.seeds:
+                try:
+                    built.append(cls.sample_in_class(n, seed))
+                except ValueError as exc:
+                    raise ValueError(
+                        f"cell {self.protocol_key} x {self.family}: "
+                        f"size {n} is invalid for this family ({exc})"
+                    ) from exc
+        return [g for i, g in enumerate(built) if g not in built[:i]]
+
+    def build_plan(self, mode: str, exhaustive_threshold: int) -> ExecutionPlan:
+        entry = CENSUS_BY_KEY[self.protocol_key]
+        return ExecutionPlan.build(
+            entry.instantiate(),
+            MODELS_BY_NAME[entry.model],
+            self.instances(),
+            mode=mode,
+            checker=default_checker(self.protocol_key),
+            exhaustive_threshold=exhaustive_threshold,
+            allow_deadlock=self.allow_deadlock,
+            keep_runs=False,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The durable identity of a campaign: name + cells + policy."""
+
+    name: str
+    cells: tuple[CampaignCell, ...]
+    mode: str = "stress"
+    exhaustive_threshold: int = 5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("verify", "stress"):
+            raise ValueError(
+                f"campaign mode must be 'verify' or 'stress', got {self.mode!r}"
+            )
+        if not self.cells:
+            raise ValueError("a campaign needs at least one cell")
+
+    def plans(self) -> Iterator[tuple[CampaignCell, ExecutionPlan]]:
+        """Each cell lowered to its execution plan, in spec order."""
+        for cell in self.cells:
+            yield cell, cell.build_plan(self.mode, self.exhaustive_threshold)
+
+
+@dataclass
+class CellResult:
+    """One cell's merged report plus its cache accounting."""
+
+    cell: CampaignCell
+    report: VerificationReport
+    tasks: int
+    hits: int
+
+    @property
+    def executed(self) -> int:
+        return self.tasks - self.hits
+
+
+@dataclass
+class CampaignResult:
+    """Everything one :meth:`Campaign.run` produced."""
+
+    name: str
+    generation: int
+    report: VerificationReport
+    cells: list[CellResult] = field(default_factory=list)
+
+    @property
+    def tasks(self) -> int:
+        return sum(c.tasks for c in self.cells)
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self.cells)
+
+    @property
+    def executed(self) -> int:
+        return sum(c.executed for c in self.cells)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.tasks if self.tasks else 1.0
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.name!r} generation {self.generation}: "
+            f"{self.tasks} tasks, {self.hits} store hits, "
+            f"{self.executed} executed "
+            f"({self.hit_rate:.0%} cached) — {self.report.summary()}"
+        )
+
+
+def _run_tasks_with_store(
+    tasks: Sequence[ExecutionTask],
+    store: ResultStore,
+    backend: Optional[Backend] = None,
+    campaign: Optional[str] = None,
+) -> tuple[list[VerificationReport], int]:
+    """Execute ``tasks`` through ``store``: misses run on ``backend`` and
+    are committed as they stream; hits are deserialized.  Returns the
+    per-task reports *in task order* plus the hit count.
+    """
+    backend = backend if backend is not None else SerialBackend()
+    fingerprints = {task.index: store.fingerprint(task) for task in tasks}
+    cached: dict[int, VerificationReport] = {}
+    misses: list[ExecutionTask] = []
+    for task in tasks:
+        report = store.get(fingerprints[task.index])
+        if report is None:
+            misses.append(task)
+        else:
+            cached[task.index] = report
+    sink = StoreBackedSink(store, fingerprints, campaign=campaign)
+    # Drive the backend one outcome at a time: each add() commits before
+    # the next outcome is awaited, which is the kill-resume guarantee.
+    for outcome in backend.run(misses):
+        sink.add(outcome)
+    executed = {o.index: o.report for o in sink.result()}
+    reports = []
+    for task in tasks:
+        report = cached.get(task.index)
+        if report is None:
+            report = executed[task.index]
+        reports.append(report)
+    return reports, len(cached)
+
+
+def run_plan_with_store(
+    plan: ExecutionPlan,
+    store: ResultStore,
+    backend: Optional[Backend] = None,
+    campaign: Optional[str] = None,
+) -> VerificationReport:
+    """Opportunistic store reuse for any checker-carrying plan.
+
+    This is what ``verify_protocol(..., store=...)`` calls: the merged
+    report is field-identical to ``plan.verification_report`` — hits are
+    exact round-trips, misses execute normally — and every executed
+    task becomes a future hit.
+    """
+    reports, _ = _run_tasks_with_store(
+        plan.tasks, store, backend=backend, campaign=campaign
+    )
+    merged = VerificationReport(
+        "+".join(plan.protocol_names), "+".join(plan.model_names)
+    )
+    for report in reports:
+        merged.merge(report)
+    return merged
+
+
+class Campaign:
+    """A runnable campaign: spec + the run/resume/report machinery."""
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+
+    def live_fingerprints(self, store: ResultStore) -> set[str]:
+        """Fingerprints of every task the spec currently enumerates —
+        the liveness set ``campaign gc`` keeps."""
+        return {
+            store.fingerprint(task)
+            for _, plan in self.spec.plans()
+            for task in plan.tasks
+        }
+
+    def run(
+        self,
+        store: ResultStore,
+        backend: Optional[Backend] = None,
+    ) -> CampaignResult:
+        """Run (or resume, or replay from cache) the whole campaign.
+
+        Cells execute in spec order, tasks in plan order; the merged
+        report folds per-task reports in exactly that order, so any
+        backend — and any hit/miss split — produces the identical
+        result.  Completing the run appends one trajectory generation.
+        """
+        spec = self.spec
+        overall = VerificationReport(spec.name, spec.mode)
+        cell_results: list[CellResult] = []
+        for cell, plan in spec.plans():
+            reports, hits = _run_tasks_with_store(
+                plan.tasks, store, backend=backend, campaign=spec.name
+            )
+            merged = VerificationReport(
+                "+".join(plan.protocol_names), "+".join(plan.model_names)
+            )
+            for report in reports:
+                merged.merge(report)
+                overall.merge(report)
+            cell_results.append(
+                CellResult(cell, merged, tasks=len(plan.tasks), hits=hits)
+            )
+        generation = record_generation(
+            store, spec, [(c.cell, c.report) for c in cell_results]
+        )
+        return CampaignResult(
+            name=spec.name,
+            generation=generation,
+            report=overall,
+            cells=cell_results,
+        )
+
+
+def quick_campaign(name: str = "quick") -> CampaignSpec:
+    """The built-in smoke campaign (CLI ``campaign run --quick``, CI,
+    experiment E20): one exhaustive BUILD cell (two seeded instances)
+    plus the Corollary 4 odd-cycle cell whose interesting output is a
+    deadlock witness."""
+    return CampaignSpec(
+        name=name,
+        cells=(
+            CampaignCell(
+                protocol_key="build-degenerate",
+                family="degenerate2",
+                sizes=(4,),
+                seeds=(0, 1),
+            ),
+            CampaignCell(
+                protocol_key="bfs-bipartite-async",
+                family="odd-cycle-probe",
+                sizes=(5,),
+                seeds=(0,),
+                allow_deadlock=True,
+            ),
+        ),
+        mode="stress",
+        exhaustive_threshold=5,
+    )

@@ -13,13 +13,21 @@
   adversaries) through the execution runtime, optionally ``--jobs N``
 * ``stress``  — adversarial stress: exhaustive schedules at small n,
   guided adversary search above, reporting worst witness schedules
-* ``experiment`` / ``reproduce-all`` — the E1–E19 index (``--jobs`` fans
+  (raw and minimised)
+* ``campaign`` — persistent, resumable stress campaigns over a SQLite
+  :class:`~repro.campaigns.store.ResultStore`: ``run`` (store hits are
+  served from cache, misses execute and become durable the moment they
+  finish), ``status``, ``report`` (cross-run witness trajectories),
+  ``gc`` (drop results no longer live under the current spec + code
+  version)
+* ``experiment`` / ``reproduce-all`` — the E1–E20 index (``--jobs`` fans
   experiments across worker processes)
 * ``protocols`` — list every shipped protocol (the census registry)
 
 Protocol names come from one registry — :data:`repro.protocols.census.
 CENSUS_BY_KEY` — so ``demo`` choices, ``sweep`` choices and the
-``protocols`` listing cannot drift apart.
+``protocols`` listing cannot drift apart; output oracles come from
+:func:`repro.analysis.checkers.default_checker` for the same reason.
 """
 
 from __future__ import annotations
@@ -56,6 +64,12 @@ _FAMILIES: dict[str, Callable] = {
     "eob": lambda gen, n, seed: gen.random_even_odd_bipartite(n, 0.4, seed=seed),
     "path": lambda gen, n, seed: gen.path_graph(n),
     "cycle": lambda gen, n, seed: gen.cycle_graph(n),
+    # CLI convenience: clamp to the nearest valid (odd, large-enough) size
+    # so e.g. --sizes 4 8 still sweeps something sensible.
+    "odd-cycle": lambda gen, n, seed: gen.odd_cycle_graph(
+        max(3, n if n % 2 else n - 1)),
+    "odd-cycle-probe": lambda gen, n, seed: gen.odd_cycle_with_probe(
+        max(5, n if n % 2 else n - 1)),
     "two-cliques": lambda gen, n, seed: gen.two_cliques(max(2, n // 2)),
 }
 
@@ -76,31 +90,14 @@ def _build_instances(args) -> list:
 
 
 def _sweep_checker(census_key: str):
-    """Output oracle for a census protocol (vacuous when none is known)."""
-    from .analysis import checkers as ch
+    """Output oracle for a census protocol (vacuous when none is known).
 
-    table = {
-        "build-forest": ch.BuildEqualsInput(),
-        "build-degenerate": ch.BuildEqualsInput(),
-        "build-extended": ch.BuildEqualsInput(),
-        "naive-build": ch.BuildEqualsInput(),
-        "mis-greedy": ch.MisValid(1),
-        "naive-mis": ch.MisValid(1),
-        "two-cliques": ch.TwoCliquesCorrect(),
-        "eob-bfs": ch.EobBfsCorrect(),
-        "naive-eob-bfs": ch.EobBfsCorrect(),
-        "bfs-sync": ch.BfsCanonical(),
-        "connectivity-sync": ch.ConnectivityCorrect(),
-        "sketch-connectivity": ch.ConnectivityCorrect(),
-        # sketch-spanning-forest stays on AcceptAny: its forest is valid
-        # but seed-dependent, never the canonical BFS forest.
-        "spanning-forest-sync": ch.SpanningForestCanonical(),
-        "triangle-degenerate": ch.TriangleCorrect(),
-        "naive-triangle": ch.TriangleCorrect(),
-        "square-degenerate": ch.SquareCorrect(),
-        "naive-square": ch.SquareCorrect(),
-    }
-    return table.get(census_key, ch.AcceptAny())
+    The table itself lives in :func:`repro.analysis.checkers.
+    default_checker`, shared with the campaign subsystem.
+    """
+    from .analysis.checkers import default_checker
+
+    return default_checker(census_key)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,11 +171,77 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--trace", action="store_true",
                     help="narrate the overall worst witness transcript")
 
-    exp = sub.add_parser("experiment", help="regenerate one experiment (E1-E19)")
+    from .graphs.families import FAMILIES as GRAPH_CLASSES
+
+    camp = sub.add_parser(
+        "campaign",
+        help="persistent, resumable stress campaigns over a result store")
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _spec_args(p, required: bool) -> None:
+        p.add_argument("--protocol", dest="protocols", action="append",
+                       required=required, choices=sorted(CENSUS_BY_KEY),
+                       help="census protocol key (repeatable)")
+        p.add_argument("--family", dest="families", action="append",
+                       choices=sorted(GRAPH_CLASSES),
+                       help="instance family from the graph-class registry "
+                            "(repeatable; default: degenerate2)")
+        p.add_argument("--sizes", type=int, nargs="+", default=[4, 6],
+                       help="instance sizes n")
+        p.add_argument("--seeds", type=int, nargs="+", default=[0],
+                       help="instance seeds (one instance per size x seed)")
+        p.add_argument("--mode", default="stress",
+                       choices=["stress", "verify"],
+                       help="plan mode per cell (default: stress)")
+        p.add_argument("--threshold", type=int, default=5,
+                       help="exhaustive-enumeration size threshold")
+        p.add_argument("--allow-deadlock", action="store_true",
+                       help="deadlocks count as executions, not failures "
+                            "(the Corollary 4 off-promise setting)")
+
+    crun = csub.add_parser(
+        "run", help="run (or resume, or replay from cache) a campaign")
+    crun.add_argument("--store", required=True,
+                      help="path to the SQLite result store")
+    crun.add_argument("--name", default="default",
+                      help="campaign name (default: 'default')")
+    _spec_args(crun, required=False)
+    crun.add_argument("--quick", action="store_true",
+                      help="use the built-in smoke campaign spec instead of "
+                           "the --protocol/--family arguments")
+    crun.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: serial)")
+    crun.add_argument("--expect-hit-rate", type=float, default=None,
+                      metavar="P",
+                      help="exit nonzero unless at least this fraction of "
+                           "tasks was served from the store (CI resume smoke)")
+
+    cstatus = csub.add_parser("status", help="store and campaign overview")
+    cstatus.add_argument("--store", required=True)
+
+    creport = csub.add_parser(
+        "report", help="render cross-run witness trajectories")
+    creport.add_argument("--store", required=True)
+    creport.add_argument("--name", default=None,
+                         help="one campaign (default: all)")
+    creport.add_argument("--diff", type=int, nargs=2, default=None,
+                         metavar=("OLD", "NEW"),
+                         help="also diff two generations of --name")
+
+    cgc = csub.add_parser(
+        "gc", help="drop stored results not live under the given spec "
+                   "(and the current code version)")
+    cgc.add_argument("--store", required=True)
+    cgc.add_argument("--name", default="default")
+    _spec_args(cgc, required=False)
+    cgc.add_argument("--quick", action="store_true",
+                     help="liveness from the built-in smoke campaign spec")
+
+    exp = sub.add_parser("experiment", help="regenerate one experiment (E1-E20)")
     exp.add_argument("experiment_id", help="e.g. E5")
     exp.add_argument("--full", action="store_true", help="larger workloads")
 
-    allp = sub.add_parser("reproduce-all", help="regenerate the whole E1-E19 index")
+    allp = sub.add_parser("reproduce-all", help="regenerate the whole E1-E20 index")
     size = allp.add_mutually_exclusive_group()
     size.add_argument("--full", action="store_true", help="larger workloads")
     size.add_argument("--quick", action="store_true",
@@ -351,8 +414,16 @@ def _cmd_stress(args) -> int:
             schedule = ",".join(map(str, witness.schedule))
             if len(schedule) > 48:
                 schedule = schedule[:45] + "..."
+            minimal = ""
+            if witness.minimal_schedule is not None:
+                shrunk = ",".join(map(str, witness.minimal_schedule))
+                if len(shrunk) > 32:
+                    shrunk = shrunk[:29] + "..."
+                minimal = (f"  minimal {shrunk or '()'} "
+                           f"({len(witness.minimal_schedule)}"
+                           f"/{len(witness.schedule)} events)")
             print(f"    n={witness.graph.n:>3} {witness.strategy:<20} "
-                  f"{outcome}  schedule {schedule}")
+                  f"{outcome}  schedule {schedule}{minimal}")
         if args.trace and report.witnesses:
             from .analysis.trace import narrate_witness
 
@@ -363,6 +434,144 @@ def _cmd_stress(args) -> int:
             print()
             print(narrate_witness(worst, entry.instantiate()))
     return 0 if all_ok else 1
+
+
+def _campaign_spec(args):
+    """Build a CampaignSpec from CLI arguments (or the --quick preset).
+
+    Spec mistakes — unknown cells, sizes a family cannot sample —
+    surface here as clean usage errors; anything raised later in the
+    run is a real failure and keeps its traceback.
+    """
+    from .campaigns import CampaignCell, CampaignSpec, quick_campaign
+
+    try:
+        if getattr(args, "quick", False):
+            return quick_campaign(args.name)
+        if not args.protocols:
+            raise SystemExit(
+                "campaign: provide at least one --protocol (or use --quick)"
+            )
+        families = args.families or ["degenerate2"]
+        cells = tuple(
+            CampaignCell(
+                protocol_key=key,
+                family=fam,
+                sizes=tuple(args.sizes),
+                seeds=tuple(args.seeds),
+                allow_deadlock=args.allow_deadlock,
+            )
+            for key in args.protocols
+            for fam in families
+        )
+        spec = CampaignSpec(
+            name=args.name,
+            cells=cells,
+            mode=args.mode,
+            exhaustive_threshold=args.threshold,
+        )
+        for campaign_cell in spec.cells:
+            campaign_cell.instances()  # eager: invalid sizes fail here
+        return spec
+    except ValueError as exc:
+        raise SystemExit(f"campaign: {exc}")
+
+
+def _existing_store(path: str):
+    """Open a store that must already exist (status/report/gc must not
+    conjure an empty database out of a typo'd path)."""
+    from pathlib import Path
+
+    from .campaigns import ResultStore
+
+    if path != ":memory:" and not Path(path).exists():
+        raise SystemExit(
+            f"campaign: store {path!r} does not exist — create one with "
+            f"`campaign run --store {path} ...`"
+        )
+    return ResultStore(path)
+
+
+def _cmd_campaign_run(args) -> int:
+    from .campaigns import Campaign, ResultStore
+    from .runtime import resolve_backend
+
+    spec = _campaign_spec(args)
+    backend = resolve_backend(args.jobs)
+    with ResultStore(args.store) as store:
+        result = Campaign(spec).run(store, backend=backend)
+        print(f"[store {args.store}, backend {backend.name}]")
+        for cell_result in result.cells:
+            cell = cell_result.cell
+            print(f"  {cell.protocol_key} x {cell.family}: "
+                  f"{cell_result.tasks} tasks, {cell_result.hits} hits, "
+                  f"{cell_result.executed} executed — "
+                  f"{cell_result.report.summary()}")
+        print(result.summary())
+        if args.expect_hit_rate is not None and (
+            result.hit_rate < args.expect_hit_rate
+        ):
+            print(f"EXPECTED hit rate >= {args.expect_hit_rate:.0%}, "
+                  f"got {result.hit_rate:.0%}")
+            return 1
+        return 0 if result.ok else 1
+
+
+def _cmd_campaign_status(args) -> int:
+    with _existing_store(args.store) as store:
+        stats = store.stats()
+        print(f"store {stats['path']} (code salt {stats['salt']})")
+        print(f"  cached results: {stats['results']}")
+        names = sorted(
+            set(stats["results_by_campaign"]) | set(stats["generations"])
+        )
+        for campaign in names:
+            count = stats["results_by_campaign"].get(campaign, 0)
+            generations = stats["generations"].get(campaign, 0)
+            print(f"    {campaign}: {count} results, "
+                  f"{generations} trajectory generation(s)")
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    from .campaigns import diff_generations, render_trajectories
+
+    with _existing_store(args.store) as store:
+        print(render_trajectories(store, args.name))
+        if args.diff is not None:
+            if args.name is None:
+                raise SystemExit("campaign report --diff needs --name")
+            old, new = args.diff
+            lines = diff_generations(store, args.name, old, new)
+            print()
+            print(f"diff of {args.name!r} generations {old} -> {new}:")
+            for line in lines or ["  (identical extremal records)"]:
+                print(f"  {line}")
+    return 0
+
+
+def _cmd_campaign_gc(args) -> int:
+    from .campaigns import Campaign
+
+    spec = _campaign_spec(args)
+    with _existing_store(args.store) as store:
+        before = store.result_count()
+        removed = store.gc(
+            Campaign(spec).live_fingerprints(store), campaign=spec.name
+        )
+        print(f"gc[{spec.name}]: removed {removed} stale results, "
+              f"{before - removed} remain in the store")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    handler = {
+        "run": _cmd_campaign_run,
+        "status": _cmd_campaign_status,
+        "report": _cmd_campaign_report,
+        "gc": _cmd_campaign_gc,
+    }[args.campaign_command]
+    return handler(args)
 
 
 def _cmd_experiment(args) -> int:
@@ -410,6 +619,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "stress":
         return _cmd_stress(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "reproduce-all":

@@ -23,6 +23,7 @@ from .degeneracy import is_k_degenerate
 from .labeled_graph import LabeledGraph
 from .properties import (
     is_bipartite,
+    is_connected,
     is_even_odd_bipartite,
     is_two_cliques,
 )
@@ -131,6 +132,36 @@ FAMILIES: dict[str, GraphClass] = {
         contains=is_even_odd_bipartite,
         sample=lambda n, seed: gen.random_even_odd_bipartite(n, 0.4, seed=seed),
         log2_count=lambda n: float(((n + 1) // 2) * (n // 2)),
+    ),
+    "odd-cycles": GraphClass(
+        name="odd-cycles",
+        description="odd cycles C_n (non-bipartite; Corollary 4 open problem)",
+        contains=lambda g: (
+            g.n >= 3 and g.n % 2 == 1 and g.is_regular(2) and is_connected(g)
+        ),
+        # Strict like the two-cliques sampler: the class is empty at
+        # even n, so asking for an even instance is a caller bug.  The
+        # canonical 1-2-...-n-1 cycle is the deterministic pick.
+        sample=lambda n, seed: gen.odd_cycle_graph(n),
+        # (n-1)!/2 labeled cycles for odd n, zero for even n — too lumpy
+        # for a useful log2_count.
+        log2_count=None,
+    ),
+    "odd-cycle-probe": GraphClass(
+        name="odd-cycle-probe",
+        description=(
+            "odd cycle on 1..n-2 plus a disjoint probe edge "
+            "(Corollary 4 deadlock gadget)"
+        ),
+        contains=lambda g: (
+            g.n >= 5 and g.n % 2 == 1
+            and g.degree(g.n - 1) == 1 and g.degree(g.n) == 1
+            and g.has_edge(g.n - 1, g.n)
+            and all(g.degree(v) == 2 for v in range(1, g.n - 1))
+            and is_connected(g.induced_subgraph(range(1, g.n - 1)))
+        ),
+        sample=lambda n, seed: gen.odd_cycle_with_probe(n),
+        log2_count=None,
     ),
     "two-cliques-promise": GraphClass(
         name="two-cliques-promise",

@@ -27,6 +27,8 @@ __all__ = [
     "wheel_graph",
     "path_graph",
     "cycle_graph",
+    "odd_cycle_graph",
+    "odd_cycle_with_probe",
     "star_graph",
     "complete_graph",
     "complete_bipartite",
@@ -63,6 +65,51 @@ def cycle_graph(n: int) -> LabeledGraph:
         raise ValueError(f"a cycle needs at least 3 nodes, got {n}")
     edges = [(i, i + 1) for i in range(1, n)] + [(n, 1)]
     return LabeledGraph(n, edges)
+
+
+def odd_cycle_graph(n: int, chords: int = 0, seed: int = 0) -> LabeledGraph:
+    """The odd cycle ``C_n`` (``n >= 3`` odd), optionally thickened with
+    ``chords`` random chords.
+
+    Odd cycles are the canonical *non-bipartite* inputs of the paper's
+    Corollary 4 open problem: the bipartite-promise BFS protocol
+    deadlocks on them, so they are the instance family on which
+    deadlock-seeking stress campaigns record their witnesses.  Chords
+    never make the graph bipartite (the odd outer cycle survives), so
+    every member of the parameterized family stays off-promise.
+    """
+    if n < 3 or n % 2 == 0:
+        raise ValueError(f"an odd cycle needs an odd n >= 3, got {n}")
+    if chords < 0:
+        raise ValueError(f"chords must be >= 0, got {chords}")
+    g = cycle_graph(n)
+    if chords:
+        rng = random.Random(f"odd-cycle:{n}:{chords}:{seed}")
+        candidates = [
+            (u, v)
+            for u in range(1, n + 1) for v in range(u + 1, n + 1)
+            if not g.has_edge(u, v)
+        ]
+        rng.shuffle(candidates)
+        g = g.with_edges(candidates[:min(chords, len(candidates))])
+    return g
+
+
+def odd_cycle_with_probe(n: int, chords: int = 0, seed: int = 0) -> LabeledGraph:
+    """The Corollary 4 deadlock gadget: an odd cycle on ``1..n-2`` plus a
+    disjoint probe edge ``{n-1, n}`` (``n >= 5`` odd).
+
+    The bipartite-promise BFS protocol chains connected components as
+    epochs, and an epoch only licenses the next root once its layer
+    certificates drain to zero — which the odd cycle's same-layer edge
+    prevents.  The probe component therefore starves under *every*
+    adversary schedule: the family on which deadlock-seeking stress
+    campaigns record their witnesses.
+    """
+    if n < 5 or n % 2 == 0:
+        raise ValueError(f"the probe gadget needs an odd n >= 5, got {n}")
+    cycle = odd_cycle_graph(n - 2, chords=chords, seed=seed)
+    return cycle.disjoint_union(LabeledGraph(2, [(1, 2)]))
 
 
 def star_graph(n: int) -> LabeledGraph:

@@ -26,6 +26,7 @@ from .results import (
     ListSink,
     ReportMergeSink,
     ResultSink,
+    StoreBackedSink,
     TaskOutcome,
     VerificationReport,
     WitnessRecord,
@@ -43,6 +44,7 @@ __all__ = [
     "ListSink",
     "ReportMergeSink",
     "ResultSink",
+    "StoreBackedSink",
     "TaskOutcome",
     "VerificationReport",
     "WitnessRecord",

@@ -82,6 +82,10 @@ class ExecutionTask:
     allow_deadlock: bool = False
     keep_runs: bool = True
     capture_witnesses: bool = False
+    #: Attach a shrunk forcing schedule to every recorded witness.  The
+    #: ddmin pass costs O(len²) schedule replays per witness, so plans
+    #: sweeping very large instances may turn it off.
+    minimize_witnesses: bool = True
 
     @property
     def model(self) -> ModelSpec:
@@ -169,6 +173,15 @@ class ExecutionTask:
 
     def _record_witness(self, report: VerificationReport, strategy: str,
                         result: RunResult) -> None:
+        minimal = None
+        if self.minimize_witnesses:
+            from ..adversaries.base import minimize_schedule
+
+            minimal = minimize_schedule(
+                self.graph, self.protocol, self.model, result.write_order,
+                bits=result.max_message_bits, deadlock=result.corrupted,
+                bit_budget=self.bit_budget,
+            )
         report.witnesses.append(WitnessRecord(
             strategy=strategy,
             graph=self.graph,
@@ -176,6 +189,7 @@ class ExecutionTask:
             schedule=result.write_order,
             bits=result.max_message_bits,
             deadlock=result.corrupted,
+            minimal_schedule=minimal,
         ))
 
 
@@ -215,6 +229,7 @@ class ExecutionPlan:
         bit_budget: Union[None, int, Callable[[int], int]] = None,
         allow_deadlock: bool = False,
         keep_runs: Optional[bool] = None,
+        minimize_witnesses: bool = True,
     ) -> "ExecutionPlan":
         """Enumerate the (protocol × model × instance) product into tasks.
 
@@ -276,6 +291,7 @@ class ExecutionPlan:
                         allow_deadlock=allow_deadlock,
                         keep_runs=keep_runs,
                         capture_witnesses=mode == "stress",
+                        minimize_witnesses=minimize_witnesses,
                     ))
         return cls(
             tasks=tuple(tasks),

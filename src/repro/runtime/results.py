@@ -34,6 +34,7 @@ __all__ = [
     "ResultSink",
     "ListSink",
     "ReportMergeSink",
+    "StoreBackedSink",
 ]
 
 
@@ -64,6 +65,11 @@ class WitnessRecord:
     schedule: tuple[int, ...]
     bits: int
     deadlock: bool
+    #: Shrunk forcing schedule (:func:`repro.adversaries.minimize_schedule`):
+    #: for deadlock witnesses a complete terminal schedule, for bits
+    #: witnesses the minimal forcing prefix.  ``None`` when the recording
+    #: cell skipped minimisation.
+    minimal_schedule: Optional[tuple[int, ...]] = None
 
 
 @dataclass
@@ -164,6 +170,39 @@ class ListSink(ResultSink):
 
     def result(self) -> list[TaskOutcome]:
         return self.outcomes
+
+
+class StoreBackedSink(ResultSink):
+    """Persist every outcome the moment a backend yields it, then
+    delegate to an inner sink.
+
+    ``store`` is duck-typed (``put_outcome(fingerprint, outcome,
+    campaign=...)``) so the runtime layer stays independent of the
+    concrete persistence layer (:class:`repro.campaigns.store.ResultStore`
+    is the shipped implementation); ``fingerprints`` maps task index to
+    the task's fingerprint.  Because the write happens inside ``add`` —
+    i.e. in the driving process, in task order, as outcomes stream out
+    of the backend — a killed sweep leaves every already-yielded outcome
+    durable, which is what makes campaigns resumable.  Backends stay
+    stateless: the store is only ever touched here.
+    """
+
+    def __init__(self, store: Any, fingerprints: "dict[int, str]",
+                 inner: Optional[ResultSink] = None,
+                 campaign: Optional[str] = None) -> None:
+        self.store = store
+        self.fingerprints = dict(fingerprints)
+        self.inner = inner if inner is not None else ListSink()
+        self.campaign = campaign
+
+    def add(self, outcome: TaskOutcome) -> None:
+        self.store.put_outcome(
+            self.fingerprints[outcome.index], outcome, campaign=self.campaign
+        )
+        self.inner.add(outcome)
+
+    def result(self) -> Any:
+        return self.inner.result()
 
 
 class ReportMergeSink(ResultSink):

@@ -1,0 +1,215 @@
+"""Witness minimisation: shrunk schedules still force the badness."""
+
+import pytest
+
+from repro.adversaries import (
+    BranchAndBoundAdversary,
+    DeadlockAdversary,
+    minimize_schedule,
+    minimize_witness,
+    schedule_forces,
+)
+from repro.core import ASYNC, SIMASYNC, all_executions
+from repro.graphs.generators import odd_cycle_with_probe, random_k_degenerate
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.protocols.bfs import BipartiteBfsAsyncProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+
+BUILD = DegenerateBuildProtocol(2)
+DEADLOCK_GRAPH = LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (4, 5)])
+
+
+def worst_build_run(n=5, seed=0):
+    graph = random_k_degenerate(n, 2, seed=seed)
+    worst = max(
+        all_executions(graph, BUILD, SIMASYNC),
+        key=lambda r: r.max_message_bits,
+    )
+    return graph, worst
+
+
+def is_subsequence(short, long):
+    it = iter(long)
+    return all(any(x == y for y in it) for x in short)
+
+
+class TestScheduleForces:
+    def test_full_schedule_forces_its_own_bits(self):
+        graph, worst = worst_build_run()
+        assert schedule_forces(graph, BUILD, SIMASYNC, worst.write_order,
+                               bits=worst.max_message_bits)
+        assert not schedule_forces(graph, BUILD, SIMASYNC, worst.write_order,
+                                   bits=worst.max_message_bits + 1)
+
+    def test_invalid_choice_never_raises(self):
+        graph, worst = worst_build_run()
+        # 99 is never a candidate; an unreachable prefix is simply False.
+        assert not schedule_forces(graph, BUILD, SIMASYNC, (99,), bits=1)
+
+    def test_deadlock_target_needs_terminal_deadlock(self):
+        witness = DeadlockAdversary().search(
+            DEADLOCK_GRAPH, BipartiteBfsAsyncProtocol(), ASYNC
+        )
+        assert witness.deadlock
+        assert schedule_forces(DEADLOCK_GRAPH, BipartiteBfsAsyncProtocol(),
+                               ASYNC, witness.schedule, deadlock=True)
+        # A strict non-terminal prefix does not show the deadlock.
+        assert not schedule_forces(DEADLOCK_GRAPH, BipartiteBfsAsyncProtocol(),
+                                   ASYNC, witness.schedule[:1], deadlock=True)
+
+
+class TestMinimizeSchedule:
+    def test_bits_minimal_is_forcing_subsequence(self):
+        graph, worst = worst_build_run()
+        minimal = minimize_schedule(
+            graph, BUILD, SIMASYNC, worst.write_order,
+            bits=worst.max_message_bits,
+        )
+        assert is_subsequence(minimal, worst.write_order)
+        assert len(minimal) <= len(worst.write_order)
+        assert schedule_forces(graph, BUILD, SIMASYNC, minimal,
+                               bits=worst.max_message_bits)
+
+    def test_bits_minimal_is_one_minimal(self):
+        graph, worst = worst_build_run()
+        target = worst.max_message_bits
+        minimal = minimize_schedule(graph, BUILD, SIMASYNC, worst.write_order,
+                                    bits=target)
+        for drop in range(len(minimal)):
+            mutant = minimal[:drop] + minimal[drop + 1:]
+            assert not schedule_forces(graph, BUILD, SIMASYNC, mutant,
+                                       bits=target)
+
+    def test_bits_minimal_ends_at_the_forcing_event(self):
+        # The last event of a bits-minimal schedule is the big write.
+        from repro.core.execution import ExecutionState
+
+        graph, worst = worst_build_run()
+        target = worst.max_message_bits
+        minimal = minimize_schedule(graph, BUILD, SIMASYNC, worst.write_order,
+                                    bits=target)
+        state = ExecutionState.initial(graph, BUILD, SIMASYNC, None)
+        for choice in minimal:
+            state.advance(choice)
+        assert state.board.entries[-1].bits >= target
+
+    def test_deadlock_minimal_still_deadlocks(self):
+        witness = DeadlockAdversary().search(
+            DEADLOCK_GRAPH, BipartiteBfsAsyncProtocol(), ASYNC
+        )
+        minimal = minimize_schedule(
+            DEADLOCK_GRAPH, BipartiteBfsAsyncProtocol(), ASYNC,
+            witness.schedule, deadlock=True,
+        )
+        assert schedule_forces(DEADLOCK_GRAPH, BipartiteBfsAsyncProtocol(),
+                               ASYNC, minimal, deadlock=True)
+        for drop in range(len(minimal)):
+            mutant = minimal[:drop] + minimal[drop + 1:]
+            assert not schedule_forces(
+                DEADLOCK_GRAPH, BipartiteBfsAsyncProtocol(), ASYNC, mutant,
+                deadlock=True,
+            )
+
+    def test_probe_gadget_deadlock_minimises(self):
+        graph = odd_cycle_with_probe(5)
+        witness = DeadlockAdversary().search(
+            graph, BipartiteBfsAsyncProtocol(), ASYNC
+        )
+        assert witness.deadlock
+        minimal = minimize_schedule(
+            graph, BipartiteBfsAsyncProtocol(), ASYNC, witness.schedule,
+            deadlock=True,
+        )
+        assert schedule_forces(graph, BipartiteBfsAsyncProtocol(), ASYNC,
+                               minimal, deadlock=True)
+
+    def test_non_forcing_schedule_rejected(self):
+        graph, worst = worst_build_run()
+        with pytest.raises(ValueError):
+            minimize_schedule(graph, BUILD, SIMASYNC, worst.write_order,
+                              bits=worst.max_message_bits + 1)
+
+
+class TestMinimizeWitness:
+    def test_attaches_minimal_keeps_raw(self):
+        graph = random_k_degenerate(6, 2, seed=0)
+        witness = BranchAndBoundAdversary().search(graph, BUILD, SIMASYNC)
+        assert witness.minimal_schedule is None
+        minimised = minimize_witness(graph, BUILD, SIMASYNC, witness)
+        assert minimised.schedule == witness.schedule
+        assert minimised.bits == witness.bits
+        assert minimised.minimal_schedule is not None
+        assert len(minimised.minimal_schedule) <= len(witness.schedule)
+        assert schedule_forces(graph, BUILD, SIMASYNC,
+                               minimised.minimal_schedule,
+                               bits=witness.bits,
+                               deadlock=witness.deadlock)
+
+
+class TestPlumbing:
+    def test_stress_plan_records_both_forms(self):
+        from repro.analysis.checkers import BuildEqualsInput
+        from repro.runtime import ExecutionPlan
+
+        plan = ExecutionPlan.build(
+            BUILD, SIMASYNC, [random_k_degenerate(4, 2, seed=0)],
+            mode="stress", checker=BuildEqualsInput(),
+        )
+        report = plan.verification_report()
+        assert report.witnesses
+        for witness in report.witnesses:
+            assert witness.minimal_schedule is not None
+            assert is_subsequence(witness.minimal_schedule, witness.schedule)
+
+    def test_narrate_witness_shows_minimal(self):
+        from repro.analysis.checkers import BuildEqualsInput
+        from repro.analysis.trace import narrate_witness
+        from repro.runtime import ExecutionPlan
+
+        plan = ExecutionPlan.build(
+            BUILD, SIMASYNC, [random_k_degenerate(5, 2, seed=0)],
+            mode="stress", checker=BuildEqualsInput(),
+        )
+        report = plan.verification_report()
+        witness = report.witnesses[0]
+        assert witness.minimal_schedule != witness.schedule
+        text = narrate_witness(witness, BUILD)
+        assert "minimal forcing prefix" in text
+        assert str(witness.minimal_schedule) in text
+
+    def test_narrate_witness_rejects_bad_minimal(self):
+        import dataclasses
+
+        from repro.analysis.checkers import BuildEqualsInput
+        from repro.analysis.trace import narrate_witness
+        from repro.runtime import ExecutionPlan
+
+        plan = ExecutionPlan.build(
+            BUILD, SIMASYNC, [random_k_degenerate(4, 2, seed=0)],
+            mode="stress", checker=BuildEqualsInput(),
+        )
+        witness = plan.verification_report().witnesses[0]
+        broken = dataclasses.replace(witness, minimal_schedule=(99,))
+        with pytest.raises(ValueError):
+            narrate_witness(broken, BUILD)
+
+    def test_minimisation_can_be_skipped(self):
+        from repro.analysis.checkers import BuildEqualsInput
+        from repro.runtime import ExecutionPlan
+
+        plan = ExecutionPlan.build(
+            BUILD, SIMASYNC, [random_k_degenerate(4, 2, seed=0)],
+            mode="stress", checker=BuildEqualsInput(),
+            minimize_witnesses=False,
+        )
+        report = plan.verification_report()
+        assert report.witnesses
+        assert all(w.minimal_schedule is None for w in report.witnesses)
+
+
+def test_zero_bits_target_minimises_to_empty():
+    from repro.graphs.generators import path_graph
+
+    graph = path_graph(3)
+    # any valid schedule forces >= 0 bits; the minimal evidence is empty
+    assert minimize_schedule(graph, BUILD, SIMASYNC, (1, 2, 3), bits=0) == ()

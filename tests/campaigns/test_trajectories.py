@@ -1,0 +1,102 @@
+"""Trajectory extremal selection, diffing and rendering."""
+
+from repro.campaigns import (
+    Campaign,
+    CampaignCell,
+    ResultStore,
+    diff_generations,
+    quick_campaign,
+    render_trajectories,
+    trajectory_points,
+)
+from repro.campaigns.trajectories import extremal_points
+from repro.graphs.generators import odd_cycle_with_probe, random_k_degenerate
+from repro.runtime.results import VerificationReport, WitnessRecord
+
+
+def cell(family="degenerate2"):
+    return CampaignCell("build-degenerate", family, (4,), (0,))
+
+
+def witness(graph, bits, deadlock, strategy="s"):
+    return WitnessRecord(
+        strategy=strategy, graph=graph, model_name="SIMASYNC",
+        schedule=tuple(graph.nodes()), bits=bits, deadlock=deadlock,
+        minimal_schedule=None,
+    )
+
+
+class TestExtremalPoints:
+    def test_deadlock_outranks_bits(self):
+        g = odd_cycle_with_probe(5)
+        report = VerificationReport("p", "ASYNC")
+        report.witnesses = [
+            witness(g, 99, deadlock=False, strategy="bits"),
+            witness(g, 0, deadlock=True, strategy="dead"),
+        ]
+        points = extremal_points("c", 1, [(cell("odd-cycle-probe"), report)])
+        assert len(points) == 1
+        assert points[0].deadlock and points[0].strategy == "dead"
+
+    def test_bits_maximum_wins_without_deadlock(self):
+        g = random_k_degenerate(4, 2, seed=0)
+        report = VerificationReport("p", "SIMASYNC")
+        report.witnesses = [
+            witness(g, 10, False, "low"),
+            witness(g, 45, False, "high"),
+        ]
+        points = extremal_points("c", 1, [(cell(), report)])
+        assert points[0].bits == 45 and points[0].strategy == "high"
+
+    def test_witness_free_reports_fall_back_to_bits_by_n(self):
+        report = VerificationReport("p", "SIMASYNC")
+        report.max_bits_by_n = {4: 30, 6: 41}
+        points = extremal_points("c", 1, [(cell(), report)])
+        assert {(p.n, p.bits) for p in points} == {(4, 30), (6, 41)}
+        assert all(p.strategy == "report" and p.schedule == () for p in points)
+
+    def test_per_size_keys_are_separate(self):
+        g4 = random_k_degenerate(4, 2, seed=0)
+        g5 = random_k_degenerate(5, 2, seed=0)
+        report = VerificationReport("p", "SIMASYNC")
+        report.witnesses = [witness(g4, 10, False), witness(g5, 20, False)]
+        points = extremal_points("c", 1, [(cell(), report)])
+        assert [(p.n, p.bits) for p in points] == [(4, 10), (5, 20)]
+
+
+class TestAcrossGenerations:
+    def test_identical_generations_diff_empty(self, tmp_path):
+        with ResultStore(tmp_path / "s.db", salt="s") as store:
+            Campaign(quick_campaign("q")).run(store)
+            Campaign(quick_campaign("q")).run(store)
+            assert store.latest_generation("q") == 2
+            assert diff_generations(store, "q", 1, 2) == []
+
+    def test_changed_generation_diffs(self, tmp_path):
+        import dataclasses
+
+        from repro.campaigns.trajectories import _point_to_row
+
+        with ResultStore(tmp_path / "s.db", salt="s") as store:
+            Campaign(quick_campaign("q")).run(store)
+            points = trajectory_points(store, "q", 1)
+            bumped = [
+                dataclasses.replace(p, generation=2, bits=p.bits + 1)
+                for p in points
+            ]
+            store.add_trajectory_rows(_point_to_row(p) for p in bumped)
+            lines = diff_generations(store, "q", 1, 2)
+            assert len(lines) == len(points)
+            assert all(line.startswith("~") for line in lines)
+
+    def test_render_lists_every_generation(self, tmp_path):
+        with ResultStore(tmp_path / "s.db", salt="s") as store:
+            Campaign(quick_campaign("q")).run(store)
+            Campaign(quick_campaign("q")).run(store)
+            text = render_trajectories(store)
+            assert "campaign 'q': 2 generation(s)" in text
+            assert "DEADLOCK" in text
+            assert "bfs-bipartite-async" in text
+        empty = ResultStore(tmp_path / "empty.db")
+        assert "no campaigns" in render_trajectories(empty)
+        empty.close()

@@ -27,7 +27,11 @@ class TestSamplersStayInClass:
     @pytest.mark.parametrize("name", sorted(FAMILIES))
     def test_sample_in_class(self, name):
         cls = family(name)
-        sizes = (6, 10, 14) if name != "two-cliques-promise" else (8, 12)
+        sizes = {
+            "two-cliques-promise": (8, 12),        # needs even n
+            "odd-cycles": (5, 9, 13),              # class empty at even n
+            "odd-cycle-probe": (5, 9, 13),
+        }.get(name, (6, 10, 14))
         for n in sizes:
             for seed in range(3):
                 g = cls.sample_in_class(n, seed)
@@ -93,3 +97,32 @@ def test_samplers_in_class_property(name, seed):
     cls = family(name)
     n = 8 if name == "two-cliques-promise" else 9
     assert cls.contains(cls.sample(n, seed))
+
+
+class TestOddCycleClasses:
+    def test_registered(self):
+        assert family("odd-cycles").name == "odd-cycles"
+        assert family("odd-cycle-probe").name == "odd-cycle-probe"
+
+    def test_membership(self):
+        odd = family("odd-cycles")
+        assert odd.contains(cycle_graph(5))
+        assert not odd.contains(cycle_graph(4))      # even cycle
+        assert not odd.contains(complete_graph(5))   # not 2-regular
+
+    def test_probe_membership(self):
+        from repro.graphs.generators import odd_cycle_with_probe, path_graph
+
+        probe = family("odd-cycle-probe")
+        assert probe.contains(odd_cycle_with_probe(5))
+        assert probe.contains(odd_cycle_with_probe(9))
+        assert not probe.contains(cycle_graph(5))    # no probe edge
+        assert not probe.contains(path_graph(7))
+
+    def test_sampling_is_strict_about_parity(self):
+        assert family("odd-cycles").sample(7, 3).n == 7
+        assert family("odd-cycle-probe").sample(7, 0).n == 7
+        with pytest.raises(ValueError):
+            family("odd-cycles").sample(6, 0)
+        with pytest.raises(ValueError):
+            family("odd-cycle-probe").sample(6, 0)

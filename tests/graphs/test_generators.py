@@ -166,3 +166,55 @@ class TestEnumeration:
 def test_random_tree_is_tree_property(n, seed):
     t = gen.random_tree(n, seed=seed)
     assert t.m == n - 1 and is_connected(t)
+
+
+class TestOddCycles:
+    def test_bare_odd_cycle(self):
+        for n in (3, 5, 9):
+            g = gen.odd_cycle_graph(n)
+            assert g.n == n and g.m == n
+            assert g.is_regular(2) and is_connected(g)
+
+    def test_even_or_tiny_rejected(self):
+        for bad in (2, 4, 8, 1):
+            with pytest.raises(ValueError):
+                gen.odd_cycle_graph(bad)
+        with pytest.raises(ValueError):
+            gen.odd_cycle_graph(5, chords=-1)
+
+    def test_chords_parameterization(self):
+        base = gen.odd_cycle_graph(9)
+        chorded = gen.odd_cycle_graph(9, chords=3, seed=1)
+        assert chorded.n == 9 and chorded.m == base.m + 3
+        # the outer cycle survives, so the graph stays non-bipartite
+        assert base.edge_set() <= chorded.edge_set()
+        # deterministic in (n, chords, seed)
+        assert chorded == gen.odd_cycle_graph(9, chords=3, seed=1)
+        assert chorded != gen.odd_cycle_graph(9, chords=3, seed=2)
+
+    def test_chords_capped_at_complement(self):
+        g = gen.odd_cycle_graph(5, chords=100)
+        assert g == gen.complete_graph(5)
+
+    def test_probe_gadget_shape(self):
+        g = gen.odd_cycle_with_probe(7)
+        assert g.n == 7
+        cycle = g.induced_subgraph(range(1, 6))
+        assert cycle.is_regular(2) and is_connected(cycle)
+        assert g.degree(6) == 1 and g.degree(7) == 1 and g.has_edge(6, 7)
+
+    def test_probe_gadget_rejects_bad_n(self):
+        for bad in (3, 4, 6):
+            with pytest.raises(ValueError):
+                gen.odd_cycle_with_probe(bad)
+
+    def test_probe_gadget_starves_bipartite_bfs(self):
+        """The Corollary 4 measurement: every adversary schedule starves
+        the probe component."""
+        from repro.core import ASYNC, all_executions
+        from repro.protocols.bfs import BipartiteBfsAsyncProtocol
+
+        g = gen.odd_cycle_with_probe(5)
+        results = list(all_executions(g, BipartiteBfsAsyncProtocol(), ASYNC))
+        assert results and all(r.corrupted for r in results)
+        assert all({4, 5} <= r.deadlocked_nodes for r in results)

@@ -1,0 +1,64 @@
+"""StoreBackedSink: streaming persistence in task order."""
+
+import pytest
+
+from repro.runtime.results import (
+    ListSink,
+    StoreBackedSink,
+    TaskOutcome,
+    VerificationReport,
+)
+
+
+class RecordingStore:
+    """Duck-typed store that logs every put (and can die mid-stream)."""
+
+    def __init__(self, die_after=None):
+        self.puts = []
+        self.die_after = die_after
+
+    def put_outcome(self, fingerprint, outcome, campaign=None):
+        if self.die_after is not None and len(self.puts) >= self.die_after:
+            raise RuntimeError("store full")
+        self.puts.append((fingerprint, outcome.index, campaign))
+
+
+def outcome(index):
+    return TaskOutcome(index, VerificationReport("p", "m"), None)
+
+
+class TestStoreBackedSink:
+    def test_persists_before_delegating_in_order(self):
+        store = RecordingStore()
+        sink = StoreBackedSink(store, {0: "fp0", 1: "fp1"}, campaign="c")
+        sink.add(outcome(0))
+        sink.add(outcome(1))
+        assert store.puts == [("fp0", 0, "c"), ("fp1", 1, "c")]
+        assert [o.index for o in sink.result()] == [0, 1]
+
+    def test_default_inner_sink_is_list(self):
+        sink = StoreBackedSink(RecordingStore(), {3: "fp"})
+        sink.add(outcome(3))
+        assert isinstance(sink.inner, ListSink)
+        assert sink.result()[0].index == 3
+
+    def test_sparse_indices_resolve_through_mapping(self):
+        store = RecordingStore()
+        sink = StoreBackedSink(store, {7: "fp7", 42: "fp42"})
+        sink.add(outcome(42))
+        assert store.puts == [("fp42", 42, None)]
+
+    def test_unknown_index_is_loud(self):
+        sink = StoreBackedSink(RecordingStore(), {0: "fp0"})
+        with pytest.raises(KeyError):
+            sink.add(outcome(9))
+
+    def test_store_failure_propagates_and_nothing_is_delegated(self):
+        store = RecordingStore(die_after=1)
+        sink = StoreBackedSink(store, {0: "a", 1: "b"})
+        sink.add(outcome(0))
+        with pytest.raises(RuntimeError):
+            sink.add(outcome(1))
+        # the failed outcome reached neither the store nor the inner sink
+        assert len(store.puts) == 1
+        assert [o.index for o in sink.result()] == [0]

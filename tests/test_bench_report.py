@@ -1,0 +1,128 @@
+"""tools/bench_report.py: rendering, the drift gate, campaign mode."""
+
+import importlib.util
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def bench_report():
+    spec = importlib.util.spec_from_file_location(
+        "bench_report", REPO_ROOT / "tools" / "bench_report.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def trajectory(names=("a", "b")):
+    result = {n: {"seconds": 0.5, "speedup_vs_seed": 2.0} for n in names}
+    return {
+        "seed_baseline_seconds": {n: 1.0 for n in names},
+        "runs": [{"timestamp": "t0", "results": dict(result)}],
+    }
+
+
+class TestLatestRunGate:
+    def test_complete_latest_run_passes(self, bench_report):
+        assert bench_report.check_latest_run(trajectory()) == []
+
+    def test_dropped_benchmark_is_loud(self, bench_report):
+        data = trajectory()
+        data["runs"].append({"timestamp": "t1", "results": {
+            "a": {"seconds": 0.4, "speedup_vs_seed": 2.5}
+        }})
+        problems = bench_report.check_latest_run(data)
+        assert len(problems) == 1 and "'b'" in problems[0]
+
+    def test_benchmark_in_previous_run_counts(self, bench_report):
+        data = trajectory(names=("a",))
+        data["runs"][0]["results"]["extra"] = {
+            "seconds": 1.0, "speedup_vs_seed": 1.0,
+        }
+        data["runs"].append({"timestamp": "t1", "results": {
+            "a": {"seconds": 0.4, "speedup_vs_seed": 2.5}
+        }})
+        assert any("extra" in p for p in bench_report.check_latest_run(data))
+
+    def test_deliberate_removal_heals_after_one_fresh_run(self, bench_report):
+        # 'extra' lived only in ancient history (not the seed baseline,
+        # not the previous run): the gate must not pin it forever.
+        data = trajectory(names=("a",))
+        data["runs"][0]["results"]["extra"] = {
+            "seconds": 1.0, "speedup_vs_seed": 1.0,
+        }
+        fresh = {"a": {"seconds": 0.4, "speedup_vs_seed": 2.5}}
+        data["runs"].append({"timestamp": "t1", "results": dict(fresh)})
+        data["runs"].append({"timestamp": "t2", "results": dict(fresh)})
+        assert bench_report.check_latest_run(data) == []
+
+    def test_empty_trajectory_has_no_latest_to_check(self, bench_report):
+        assert bench_report.check_latest_run({"runs": []}) == []
+
+
+class TestSectionGate:
+    def test_committed_sections_are_fresh(self, bench_report):
+        # The repository's own reports must pass their own gate.
+        assert bench_report.check_sections() == []
+
+    def test_missing_and_stale_sections_fail(self, bench_report, tmp_path,
+                                             monkeypatch):
+        reports = tmp_path / "reports"
+        reports.mkdir()
+        monkeypatch.setattr(bench_report, "REPORTS_DIR", reports)
+        problems = bench_report.check_sections()
+        assert len(problems) == 2
+        assert all("missing" in p for p in problems)
+
+        shutil.copy(REPO_ROOT / "reports" / "adversary_search.txt",
+                    reports / "adversary_search.txt")
+        (reports / "parallel_sweep.txt").write_text("out of date\n")
+        problems = bench_report.check_sections()
+        assert len(problems) == 1 and "stale" in problems[0]
+
+        # dropping a strategy name makes the adversary report stale too
+        text = (reports / "adversary_search.txt").read_text()
+        (reports / "adversary_search.txt").write_text(
+            text.replace("branch-and-bound", "x")
+        )
+        problems = bench_report.check_sections()
+        assert any("branch-and-bound" in p for p in problems)
+
+
+class TestMain:
+    def test_fails_on_stale_unless_allowed(self, bench_report, tmp_path,
+                                           monkeypatch, capsys):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(trajectory()))
+        monkeypatch.setattr(bench_report, "REPORTS_DIR",
+                            tmp_path / "no-reports")
+        assert bench_report.main([str(path)]) == 1
+        assert "DRIFT" in capsys.readouterr().err
+        assert bench_report.main([str(path), "--allow-stale"]) == 0
+
+    def test_passes_on_fresh_repo_state(self, bench_report, capsys):
+        assert bench_report.main([]) == 0
+        out = capsys.readouterr().out
+        assert "Performance trajectory" in out
+
+    def test_campaign_mode(self, bench_report, tmp_path, capsys):
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.campaigns import Campaign, ResultStore, quick_campaign
+
+        store_path = tmp_path / "c.db"
+        with ResultStore(store_path, salt="s") as store:
+            Campaign(quick_campaign("ci")).run(store)
+        assert bench_report.main(["--campaign", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'ci'" in out and "DEADLOCK" in out
+
+    def test_campaign_mode_missing_store(self, bench_report, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_report.main(["--campaign", str(tmp_path / "absent.db")])

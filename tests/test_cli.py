@@ -121,3 +121,118 @@ class TestCommands:
                      "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "via process-pool" in out and "eob-bfs" in out
+
+
+class TestCampaignParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_run_flags(self):
+        p = build_parser()
+        args = p.parse_args([
+            "campaign", "run", "--store", "x.db", "--name", "nightly",
+            "--protocol", "build-degenerate", "--family", "odd-cycle-probe",
+            "--sizes", "5", "7", "--seeds", "0", "1", "--jobs", "2",
+            "--allow-deadlock", "--expect-hit-rate", "0.9",
+        ])
+        assert args.campaign_command == "run"
+        assert args.store == "x.db" and args.name == "nightly"
+        assert args.protocols == ["build-degenerate"]
+        assert args.families == ["odd-cycle-probe"]
+        assert args.sizes == [5, 7] and args.seeds == [0, 1]
+        assert args.jobs == 2 and args.allow_deadlock
+        assert args.expect_hit_rate == pytest.approx(0.9)
+
+    def test_store_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "--quick"])
+
+    def test_family_choices_come_from_graph_class_registry(self):
+        from repro.graphs.families import FAMILIES
+
+        p = build_parser()
+        for name in FAMILIES:
+            args = p.parse_args(["campaign", "run", "--store", "x",
+                                 "--family", name, "--quick"])
+            assert args.families == [name]
+        with pytest.raises(SystemExit):
+            p.parse_args(["campaign", "run", "--store", "x",
+                          "--family", "not-a-family"])
+
+
+class TestCampaignCommands:
+    def test_run_status_report_gc_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "c.db")
+        assert main(["campaign", "run", "--quick", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 hits" in out and "generation 1" in out
+
+        # warm re-run: pure cache read, gate on the hit rate
+        assert main(["campaign", "run", "--quick", "--store", store,
+                     "--expect-hit-rate", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "(100% cached)" in out
+
+        assert main(["campaign", "status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "cached results: 3" in out and "2 trajectory generation" in out
+
+        assert main(["campaign", "report", "--store", store,
+                     "--name", "default", "--diff", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DEADLOCK" in out and "identical extremal records" in out
+
+        assert main(["campaign", "gc", "--quick", "--store", store]) == 0
+        assert "removed 0 stale results, 3 remain" in capsys.readouterr().out
+
+    def test_expect_hit_rate_fails_cold(self, tmp_path, capsys):
+        store = str(tmp_path / "cold.db")
+        assert main(["campaign", "run", "--quick", "--store", store,
+                     "--expect-hit-rate", "0.9"]) == 1
+        assert "EXPECTED hit rate" in capsys.readouterr().out
+
+    def test_gc_drops_results_of_abandoned_spec(self, tmp_path, capsys):
+        store = str(tmp_path / "gc.db")
+        assert main(["campaign", "run", "--quick", "--store", store]) == 0
+        # a different spec under the same name: nothing stays live
+        assert main(["campaign", "gc", "--store", store,
+                     "--protocol", "build-degenerate",
+                     "--family", "degenerate2", "--sizes", "6",
+                     "--seeds", "0"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "cached results: 0" in out
+        # trajectory-only campaigns stay visible in status
+        assert "default: 0 results, 1 trajectory generation(s)" in out
+
+    def test_gc_is_scoped_to_the_named_campaign(self, tmp_path, capsys):
+        store = str(tmp_path / "scoped.db")
+        assert main(["campaign", "run", "--quick", "--store", store,
+                     "--name", "a"]) == 0
+        assert main(["campaign", "run", "--store", store, "--name", "b",
+                     "--protocol", "bfs-sync", "--family", "all",
+                     "--sizes", "6", "--seeds", "0"]) == 0
+        capsys.readouterr()
+        # gc of campaign 'a' under an abandoned spec: only a's rows die
+        assert main(["campaign", "gc", "--store", store, "--name", "a",
+                     "--protocol", "build-degenerate",
+                     "--family", "degenerate2", "--sizes", "6",
+                     "--seeds", "0"]) == 0
+        assert "removed 3 stale results" in capsys.readouterr().out
+        assert main(["campaign", "status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "a: 0 results, 1 trajectory generation(s)" in out
+        assert "b: 1 results, 1 trajectory generation(s)" in out
+
+    def test_run_without_protocol_or_quick_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--store", str(tmp_path / "x.db")])
+
+    def test_stress_listing_shows_minimal_schedule(self, capsys):
+        assert main(["stress", "--protocol", "build-degenerate",
+                     "--family", "k-degenerate", "--sizes", "4",
+                     "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal" in out and "events)" in out

@@ -1,4 +1,4 @@
-"""Tests for the executable experiment index (E1-E19)."""
+"""Tests for the executable experiment index (E1-E20)."""
 
 import pytest
 
@@ -13,8 +13,8 @@ from repro.experiments import (
 
 class TestCatalog:
     def test_catalog_complete(self):
-        assert len(CATALOG) == 19
-        assert [e.experiment_id for e in CATALOG] == [f"E{i}" for i in range(1, 20)]
+        assert len(CATALOG) == 20
+        assert [e.experiment_id for e in CATALOG] == [f"E{i}" for i in range(1, 21)]
 
     def test_lookup(self):
         assert get_experiment("E5").experiment_id == "E5"
@@ -30,7 +30,7 @@ class TestCatalog:
 
 
 class TestRegeneration:
-    @pytest.mark.parametrize("exp_id", [f"E{i}" for i in range(1, 20)])
+    @pytest.mark.parametrize("exp_id", [f"E{i}" for i in range(1, 21)])
     def test_each_experiment_ok(self, exp_id):
         result = run_experiment(exp_id, quick=True)
         assert isinstance(result, ExperimentResult)
@@ -40,7 +40,7 @@ class TestRegeneration:
 
     def test_run_all(self):
         results = run_all(quick=True)
-        assert len(results) == 19
+        assert len(results) == 20
         assert all(r.ok for r in results)
 
     def test_run_all_parallel_subset_keeps_order(self):
@@ -66,4 +66,4 @@ class TestCli:
         from repro.cli import main
 
         assert main(["reproduce-all"]) == 0
-        assert "19/19" in capsys.readouterr().out
+        assert "20/20" in capsys.readouterr().out

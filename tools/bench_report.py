@@ -7,19 +7,35 @@ prints the full trajectory and per-benchmark trend so a reviewer can see
 at a glance whether a PR moved the hot paths, without re-running the
 benchmarks.
 
+The report is also a *drift gate*: it exits nonzero when the latest
+recorded run is missing a benchmark that earlier runs (or the seed
+baseline) cover, or when one of the committed ``reports/`` sections is
+missing, empty, or visibly stale (it no longer names every fixture or
+strategy the current code ships).  Use ``--allow-stale`` to render
+anyway while investigating.
+
+With ``--campaign STORE.db`` it instead renders the cross-run witness
+trajectories a campaign store has accumulated
+(:mod:`repro.campaigns.trajectories`).
+
 Usage::
 
-    python tools/bench_report.py [path/to/BENCH_perf.json]
+    python tools/bench_report.py [path/to/BENCH_perf.json] [--allow-stale]
+    python tools/bench_report.py --campaign path/to/store.db [--name X]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_PATH = REPO_ROOT / "BENCH_perf.json"
+REPORTS_DIR = REPO_ROOT / "reports"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def load_trajectory(path: Path) -> dict:
@@ -29,6 +45,74 @@ def load_trajectory(path: Path) -> dict:
             "`PYTHONPATH=src python benchmarks/bench_regression.py` first"
         )
     return json.loads(path.read_text())
+
+
+def _adversary_report_markers() -> list[str]:
+    """Names the committed adversary report must mention to be fresh:
+    every strategy in the shipped default portfolio."""
+    from repro.adversaries import default_search_portfolio
+
+    return sorted({s.name for s in default_search_portfolio()})
+
+
+#: Committed report sections and the markers that prove freshness.  A
+#: section whose file is missing/empty, or lacks a marker, fails the
+#: gate — regenerating the report in the same PR as the code change is
+#: the fix, not skipping the check.
+def expected_sections() -> dict[str, tuple[Path, list[str]]]:
+    return {
+        "adversary_search": (
+            REPORTS_DIR / "adversary_search.txt",
+            _adversary_report_markers(),
+        ),
+        "parallel_sweep": (
+            REPORTS_DIR / "parallel_sweep.txt",
+            ["ExecutionPlan"],
+        ),
+    }
+
+
+def check_sections() -> list[str]:
+    """Problems with the committed ``reports/`` sections ([] = fresh)."""
+    problems = []
+    for name, (path, markers) in expected_sections().items():
+        if not path.exists():
+            problems.append(f"section {name!r}: {path} is missing")
+            continue
+        text = path.read_text()
+        if not text.strip():
+            problems.append(f"section {name!r}: {path} is empty")
+            continue
+        for marker in markers:
+            if marker not in text:
+                problems.append(
+                    f"section {name!r}: {path} is stale — it does not "
+                    f"mention {marker!r} (regenerate it from benchmarks/)"
+                )
+    return problems
+
+
+def check_latest_run(trajectory: dict) -> list[str]:
+    """Benchmarks the latest recorded run silently dropped ([] = none).
+
+    Mandatory coverage is the seed baseline plus whatever the *previous*
+    run recorded — a silent drop fails immediately, while a deliberate
+    rename/removal heals after one fresh full run (plus a seed-baseline
+    edit if the name was baselined); ancient history never pins the
+    gate forever.
+    """
+    runs = trajectory.get("runs", [])
+    if not runs:
+        return []
+    known: set[str] = set(trajectory.get("seed_baseline_seconds", {}))
+    if len(runs) >= 2:
+        known |= set(runs[-2].get("results", {}))
+    latest = set(runs[-1].get("results", {}))
+    return [
+        f"latest run is missing benchmark {name!r} (recorded before, "
+        "absent now — rerun benchmarks/bench_regression.py)"
+        for name in sorted(known - latest)
+    ]
 
 
 def render(trajectory: dict) -> str:
@@ -67,10 +151,46 @@ def render(trajectory: dict) -> str:
     return "\n".join(lines)
 
 
+def render_campaign(store_path: Path, name: str | None) -> str:
+    from repro.campaigns import ResultStore, render_trajectories
+
+    if not store_path.exists():
+        raise SystemExit(
+            f"{store_path} not found — run `python -m repro campaign run "
+            f"--store {store_path} ...` first"
+        )
+    with ResultStore(store_path) as store:
+        return render_trajectories(store, name)
+
+
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    path = Path(argv[0]) if argv else DEFAULT_PATH
-    print(render(load_trajectory(path)))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=None,
+                        help="BENCH_perf.json location (default: repo root)")
+    parser.add_argument("--allow-stale", action="store_true",
+                        help="render even when sections are stale/missing")
+    parser.add_argument("--campaign", metavar="STORE",
+                        help="render witness trajectories from a campaign "
+                             "store instead of the perf trajectory")
+    parser.add_argument("--name", default=None,
+                        help="campaign name filter (with --campaign)")
+    args = parser.parse_args(argv)
+
+    if args.campaign:
+        print(render_campaign(Path(args.campaign), args.name))
+        return 0
+
+    path = Path(args.path) if args.path else DEFAULT_PATH
+    trajectory = load_trajectory(path)
+    print(render(trajectory))
+
+    problems = check_latest_run(trajectory) + check_sections()
+    if problems:
+        print()
+        for problem in problems:
+            print(f"DRIFT: {problem}", file=sys.stderr)
+        if not args.allow_stale:
+            return 1
     return 0
 
 
