@@ -8,11 +8,18 @@ For every fixture small enough to enumerate exhaustively, measures
   deadlock exactly when one exists?
 * **time** — wall clock of the search vs. the exhaustive sweep it
   replaces, plus the number of write events each explored.
+* **transposition sharing** — the same strategies run as one portfolio
+  through a shared :class:`~repro.adversaries.TranspositionTable`
+  (branch-and-bound first, so its exact completion frontiers are there
+  for the others to consume), timed against the table-off portfolio,
+  with the table's hit rate; the table-on witnesses must agree with the
+  table-off ones strategy for strategy.
 
 The summary lands in ``reports/adversary_search.txt``;
 ``benchmarks/bench_regression.py`` records the headline
-``adversary_search_n6`` number into ``BENCH_perf.json`` so the
-search-vs-enumeration trajectory is tracked across PRs.
+``adversary_search_n6`` / ``adversary_table_n6`` numbers into
+``BENCH_perf.json`` so the search-vs-enumeration and table-on
+trajectories are tracked across PRs.
 
 Usage::
 
@@ -35,6 +42,9 @@ from repro.adversaries import (  # noqa: E402
     BranchAndBoundAdversary,
     DeadlockAdversary,
     GreedyBitsAdversary,
+    SearchContext,
+    TranspositionTable,
+    witness_rank,
 )
 from repro.core import ASYNC, SIMASYNC, SIMSYNC, all_executions  # noqa: E402
 from repro.graphs import generators as gen  # noqa: E402
@@ -65,6 +75,68 @@ STRATEGIES = [
     lambda: BranchAndBoundAdversary(),
     lambda: DeadlockAdversary(),
 ]
+
+#: Sharing order for the transposition section: branch-and-bound first,
+#: so its exact completion frontiers are in the table before the
+#: strategies that can consume them run.
+SHARED_ORDER = [
+    lambda: BranchAndBoundAdversary(),
+    lambda: DeadlockAdversary(),
+    lambda: GreedyBitsAdversary(restarts=2),
+    lambda: BeamSearchAdversary(width=8),
+]
+
+
+def _run_portfolio(graph, make_proto, model, shared: bool):
+    """One portfolio pass; returns (witnesses by strategy, context)."""
+    context = SearchContext(table=TranspositionTable()) if shared else None
+    witnesses = {}
+    for make_strategy in SHARED_ORDER:
+        strategy = make_strategy()
+        witnesses[strategy.name] = strategy.search(
+            graph, make_proto(), model, context=context)
+    return witnesses, context
+
+
+def transposition_section(fixtures, reps: int) -> tuple[list[str], bool]:
+    """Table-on vs table-off portfolio timings + hit rate + agreement."""
+    lines = ["shared transposition table: portfolio off vs on "
+             "(branch-and-bound seeds, the rest consume)", ""]
+    header = (f"{'fixture':<24} {'off sec':>9} {'on sec':>9} {'ratio':>6} "
+              f"{'hit rate':>9} {'entries':>8} agree")
+    lines.append(header)
+    print(header)
+    all_agree = True
+    for tag, graph, make_proto, model in fixtures:
+        t_off, (off, _) = _median_time(
+            lambda: _run_portfolio(graph, make_proto, model, shared=False),
+            reps)
+        t_on, (on, context) = _median_time(
+            lambda: _run_portfolio(graph, make_proto, model, shared=True),
+            reps)
+        table = context.table
+        # Branch-and-bound is exact, so sharing must reproduce its
+        # witness field for field and the deadlock verdict; the
+        # heuristics may only *improve* (consuming exact completions
+        # can lift a descent to the true optimum), never degrade.
+        agree = (
+            on["branch-and-bound"].schedule == off["branch-and-bound"].schedule
+            and on["deadlock-dfs"].deadlock == off["deadlock-dfs"].deadlock
+            and all(witness_rank(on[name]) >= witness_rank(off[name])
+                    for name in off)
+        )
+        all_agree &= agree
+        row = (f"{tag:<24} {t_off:>9.4f} {t_on:>9.4f} "
+               f"{t_off / t_on:>5.1f}x {table.hit_rate:>9.2f} "
+               f"{len(table):>8} {'yes' if agree else 'NO'}")
+        print(row)
+        lines.append(row)
+    lines.append("")
+    lines.append(
+        "(ratios > 1 are the completion-value reuse win; hit-poor cells "
+        "pay the bookkeeping, which is why sharing is an opt-in knob)"
+    )
+    return lines, all_agree
 
 
 def _median_time(fn, reps: int):
@@ -116,6 +188,12 @@ def main(argv=None) -> int:
             print(row)
             lines.append(row)
         lines.append(f"{'':<24} (exhaustive: {schedules} schedules)")
+
+    lines.append("")
+    print()
+    table_lines, table_agree = transposition_section(FIXTURES, args.reps)
+    lines.extend(table_lines)
+    all_agree &= table_agree
 
     lines.append("")
     lines.append(f"agreement on every fixture: {all_agree}")

@@ -28,6 +28,15 @@ a trajectory in ``BENCH_perf.json`` at the repo root so later PRs can see
   force?" — and the bench asserts every bit-maximising strategy matches
   the exhaustive maximum before timing counts
   (``benchmarks/bench_adversary.py`` has the full agreement matrix).
+* ``adversary_table_n6`` — the same portfolio run through one shared
+  :class:`~repro.adversaries.TranspositionTable` (branch-and-bound
+  first, so its exact completion frontiers are in the table before the
+  consumers run) on an n=6 asynchronous EOB-BFS instance.  Its "seed"
+  baseline is the table-off portfolio — the pre-kernel strategies had
+  no way to share pruning knowledge — and the recorded entry carries
+  the measured ``table_hit_rate`` alongside the timing.  The witnesses
+  must agree with the table-off run strategy for strategy before the
+  timing counts.
 
 ``--smoke`` runs a trimmed version (< 30 s) and exits nonzero when the
 hot paths regress, so CI fails loudly.  The gate never compares CI
@@ -88,6 +97,10 @@ SEED_BASELINE = {
     # the recording machine — the seed had no guided search, so
     # enumeration is its only route to a worst-case answer.
     "adversary_search_n6": 0.0686,
+    # Table-off portfolio on the adversary_table instance on the
+    # recording machine — pre-kernel strategies could not share a
+    # transposition table, so the unshared run is their baseline.
+    "adversary_table_n6": 0.0116,
 }
 
 #: CI gate: minimum acceptable *same-machine* ratio of the seed-style
@@ -101,6 +114,10 @@ SMOKE_FLOORS = {
     # Full search portfolio vs exhaustive enumeration of the same n=6
     # instance (measured ~13x; the SIMASYNC collapse alone is ~600x).
     "adversary_search_ratio": 2.0,
+    # Shared-table portfolio vs the identical table-off portfolio on
+    # the asynchronous EOB instance (measured ~2.5x; the floor leaves
+    # room for runner noise while catching a broken table).
+    "adversary_table_ratio": 1.3,
 }
 
 
@@ -181,11 +198,63 @@ def bench_adversary_search_n6(reps: int) -> float:
     return _median_time(one_run, reps)
 
 
+def _table_portfolio_fixture():
+    from repro.protocols.bfs import EobBfsProtocol
+
+    return gen.random_even_odd_bipartite(6, 0.5, seed=1), EobBfsProtocol
+
+
+def _run_table_portfolio(graph, make_proto, shared: bool):
+    """One bnb-first portfolio pass; returns (witnesses, context)."""
+    from repro.adversaries import (
+        SearchContext,
+        TranspositionTable,
+        default_search_portfolio,
+    )
+    from repro.core import ASYNC
+
+    context = SearchContext(table=TranspositionTable()) if shared else None
+    strategies = sorted(
+        default_search_portfolio(),
+        key=lambda s: s.name != "branch-and-bound",  # bnb seeds the table
+    )
+    witnesses = {}
+    for strategy in strategies:
+        witnesses[strategy.name] = strategy.search(graph, make_proto(),
+                                                   ASYNC, context=context)
+    return witnesses, context
+
+
+def bench_adversary_table_n6(reps: int) -> tuple[float, dict]:
+    from repro.adversaries import witness_rank
+
+    graph, make_proto = _table_portfolio_fixture()
+    off, _ = _run_table_portfolio(graph, make_proto, shared=False)
+    on, context = _run_table_portfolio(graph, make_proto, shared=True)
+    # Exact strategies must agree field for field; the heuristics may
+    # only *improve* when they consume exact completions from the table.
+    assert on["branch-and-bound"].schedule == off["branch-and-bound"].schedule
+    assert on["deadlock-dfs"].deadlock == off["deadlock-dfs"].deadlock
+    for name, witness in off.items():
+        assert witness_rank(on[name]) >= witness_rank(witness), name
+
+    seconds = _median_time(
+        lambda: _run_table_portfolio(graph, make_proto, shared=True), reps)
+    return seconds, {"table_hit_rate": round(context.table.hit_rate, 3)}
+
+
+def _time_table_off_portfolio(reps: int) -> float:
+    graph, make_proto = _table_portfolio_fixture()
+    return _median_time(
+        lambda: _run_table_portfolio(graph, make_proto, shared=False), reps)
+
+
 BENCHES = {
     "sketch_n96": bench_sketch_n96,
     "all_executions_n6": bench_all_executions_n6,
     "parallel_verify_n120x4": bench_parallel_verify_n120x4,
     "adversary_search_n6": bench_adversary_search_n6,
+    "adversary_table_n6": bench_adversary_table_n6,
 }
 
 #: Benches timed in ``--smoke`` runs.  The parallel-verify bench is
@@ -194,8 +263,10 @@ BENCHES = {
 #: burning ~9s of CI on an ungated cross-machine number buys nothing —
 #: CI exercises the process backend via ``reproduce-all --jobs 2``
 #: instead, and full runs still record the crossover trajectory.  The
-#: adversary bench is cheap (~5 ms) and same-machine gated, so it stays.
-SMOKE_BENCHES = ("sketch_n96", "all_executions_n6", "adversary_search_n6")
+#: adversary benches are cheap (~5-15 ms) and same-machine gated, so
+#: they stay.
+SMOKE_BENCHES = ("sketch_n96", "all_executions_n6", "adversary_search_n6",
+                 "adversary_table_n6")
 
 
 # ----------------------------------------------------------------------
@@ -288,6 +359,10 @@ def run_smoke_gate(reps: int) -> tuple[dict, list[str]]:
     t_now = bench_adversary_search_n6(reps)
     ratios["adversary_search_ratio"] = round(t_ref / t_now, 2)
 
+    t_ref = _time_table_off_portfolio(max(1, reps // 2))
+    t_now, _extras = bench_adversary_table_n6(reps)
+    ratios["adversary_table_ratio"] = round(t_ref / t_now, 2)
+
     for name, ratio in ratios.items():
         if ratio < SMOKE_FLOORS[name]:
             failures.append(
@@ -301,12 +376,16 @@ def run_benchmarks(reps: int, names=None) -> dict:
     for name, bench in BENCHES.items():
         if names is not None and name not in names:
             continue
-        seconds = bench(reps)
+        timed = bench(reps)
+        # A bench may return bare seconds, or (seconds, extra-metrics)
+        # — e.g. the transposition bench records its table hit rate.
+        seconds, extras = timed if isinstance(timed, tuple) else (timed, {})
         speedup = SEED_BASELINE[name] / seconds
         results[name] = {
             "seconds": round(seconds, 6),
             "seed_seconds": SEED_BASELINE[name],
             "speedup_vs_seed": round(speedup, 2),
+            **extras,
         }
     return results
 

@@ -16,10 +16,22 @@ replayable worst :class:`~repro.adversaries.base.Witness` schedule:
 * :class:`DeadlockAdversary` — complete deadlock-reachability DFS with
   starvation-first child ordering and configuration memoisation.
 
+Since the search-kernel refactor the strategies are thin policies over
+one shared kernel (:mod:`repro.adversaries.kernel`): a
+:class:`SearchContext` carries budgets, seeded RNG streams, stats and —
+when sharing is on — one :class:`TranspositionTable`
+(:mod:`repro.adversaries.transposition`) of per-configuration completion
+values keyed by the engine's canonical
+:meth:`~repro.core.execution.ExecutionState.config_key`, so pruning
+knowledge transfers between strategies inside a stress cell.  What the
+greedy and beam policies *optimise* is pluggable too: a
+:class:`~repro.adversaries.scoring.ScoreHook` (``bits-greedy`` by
+default) swaps the badness measure without touching search mechanics.
+
 The ``stress`` plan mode (:mod:`repro.runtime.plan`) runs
 :func:`default_search_portfolio` on every instance too large for
 exhaustive enumeration; tests pin each strategy against the exhaustive
-ground truth on small fixtures.
+ground truth on small fixtures, table on and off.
 """
 
 from .base import (
@@ -35,6 +47,16 @@ from .beam import BeamSearchAdversary
 from .bnb import BranchAndBoundAdversary
 from .deadlock import DeadlockAdversary
 from .greedy import GreedyBitsAdversary
+from .kernel import BudgetMeter, OutOfBudget, SearchContext, SearchStats
+from .scoring import (
+    SCORE_HOOKS,
+    BitsGreedyScore,
+    DeadlockFirstScore,
+    DecodeFailureScore,
+    ScoreHook,
+    resolve_score,
+)
+from .transposition import Completion, TableEntry, TranspositionTable
 
 __all__ = [
     "AdversarySearch",
@@ -49,18 +71,35 @@ __all__ = [
     "DeadlockAdversary",
     "GreedyBitsAdversary",
     "default_search_portfolio",
+    "SearchContext",
+    "SearchStats",
+    "BudgetMeter",
+    "OutOfBudget",
+    "TranspositionTable",
+    "TableEntry",
+    "Completion",
+    "ScoreHook",
+    "BitsGreedyScore",
+    "DeadlockFirstScore",
+    "DecodeFailureScore",
+    "SCORE_HOOKS",
+    "resolve_score",
 ]
 
 
-def default_search_portfolio(seed: int = 0) -> list[AdversarySearch]:
+def default_search_portfolio(seed: int = 0,
+                             score=None) -> list[AdversarySearch]:
     """The standard strategy portfolio used by ``stress`` plans.
 
     Budgets keep every strategy polynomial-ish at large ``n`` while the
-    branch-and-bound pass stays exact on small instances.
+    branch-and-bound pass stays exact on small instances.  ``score``
+    (a :class:`~repro.adversaries.scoring.ScoreHook`, a registry name,
+    or ``None`` for the default bits-greedy measure) is threaded into
+    the greedy and beam policies.
     """
     return [
-        GreedyBitsAdversary(restarts=4, seed=seed),
-        BeamSearchAdversary(width=8, restarts=1, seed=seed),
+        GreedyBitsAdversary(restarts=4, seed=seed, score=score),
+        BeamSearchAdversary(width=8, restarts=1, seed=seed, score=score),
         BranchAndBoundAdversary(max_steps=5000, restarts=2, seed=seed),
         DeadlockAdversary(max_steps=5000),
     ]

@@ -230,7 +230,13 @@ class AdversarySearch(ABC):
 
     Implementations must be deterministic for fixed construction
     parameters (seeds are explicit) and picklable, so stress plans can
-    fan searches across worker processes.
+    fan searches across worker processes.  Since the search-kernel
+    refactor every strategy is a thin *policy* over the shared kernel
+    (:mod:`repro.adversaries.kernel`): budgets, seeded RNG streams,
+    stats and the optional shared transposition table all come from the
+    :class:`~repro.adversaries.kernel.SearchContext` threaded through
+    ``search`` — one context per stress cell is what lets strategies
+    reuse each other's pruning knowledge.
     """
 
     name: str = "adversary-search"
@@ -242,6 +248,8 @@ class AdversarySearch(ABC):
         protocol: Protocol,
         model: ModelSpec,
         bit_budget: Optional[int] = None,
+        *,
+        context=None,
     ) -> Witness:
         """Return the worst witness schedule this strategy can find.
 
@@ -249,6 +257,12 @@ class AdversarySearch(ABC):
         normal execution: a message over budget raises
         :class:`~repro.core.errors.MessageTooLarge` (which *is* a worst
         case — the caller sees the violating schedule in the exception).
+
+        ``context`` is an optional
+        :class:`~repro.adversaries.kernel.SearchContext`; strategies
+        sharing one reuse its transposition table and accumulate into
+        its stats.  ``None`` gives the search a fresh private context —
+        behaviour is then identical to the pre-kernel strategies.
         """
 
     def _initial(

@@ -10,13 +10,11 @@ from ..core.execution import ExecutionState
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
 from ..graphs.labeled_graph import LabeledGraph
-from .base import AdversarySearch, Witness, worst_witness
+from .base import AdversarySearch, worst_witness
+from .kernel import OutOfBudget, SearchContext, complete_ascending
+from .transposition import Completion, dominance_frontier, iter_composed
 
 __all__ = ["BranchAndBoundAdversary"]
-
-
-class _OutOfBudget(Exception):
-    """Internal: the step budget ran out mid-search."""
 
 
 class BranchAndBoundAdversary(AdversarySearch):
@@ -38,6 +36,17 @@ class BranchAndBoundAdversary(AdversarySearch):
       writes the same multiset, and no deadlock can appear.  The subtree
       (up to ``k!`` schedules) is replaced by a single ascending
       completion.
+    * **Transposition collapse** (shared-table contexts only).  The
+      sweep maintains the exact **completion frontier** of every subtree
+      it finishes — the dominance-filtered set of suffix outcomes, in
+      discovery order — and stores it in the context's
+      :class:`~repro.adversaries.transposition.TranspositionTable`.  A
+      configuration whose frontier is already known (from an earlier
+      subtree, an earlier restart pass, or another strategy in the same
+      stress cell) is *composed* instead of re-expanded.  Because ties
+      keep the first-discovered completion — the same rule the incumbent
+      update uses — a table-backed sweep returns the field-identical
+      witness of the plain sweep, just cheaper.
 
     Within ``max_steps`` the sweep is complete, so the witness is the
     exact worst case (ties broken towards the DFS-first schedule).  When
@@ -69,49 +78,67 @@ class BranchAndBoundAdversary(AdversarySearch):
         protocol: Protocol,
         model: ModelSpec,
         bit_budget: Optional[int] = None,
+        *,
+        context: Optional[SearchContext] = None,
     ) -> Witness:
-        self._explored = 0
+        ctx = SearchContext.ensure(context)
+        table = ctx.table
+        if table is not None:
+            table.bind(graph, protocol, model, bit_budget)
+        ctx.stats.searches += 1
+        self._meter = ctx.meter(None)
+        self._table = table
         self._best: Optional[Witness] = None
         state = ExecutionState.initial(graph, protocol, model, bit_budget)
         if model.simultaneous and model.asynchronous:
-            self._complete_ascending(state)
+            try:
+                self._complete_ascending(state)
+            except OutOfBudget:
+                pass  # context budget exhausted mid-collapse
+            self._force_completion(graph, protocol, model, bit_budget)
             return self._best
         truncated = self._sweep(state, rng=None)
         if truncated:
             for attempt in range(self.restarts):
-                rng = random.Random(f"{self.seed}:{attempt}")
+                ctx.stats.restarts += 1
+                rng = ctx.rng(self.seed, attempt)
                 fresh = ExecutionState.initial(graph, protocol, model,
                                                bit_budget)
                 self._sweep(fresh, rng=rng)
-        if self._best is None:
-            # Budget exhausted before any completion: force one descent.
-            fresh = ExecutionState.initial(graph, protocol, model, bit_budget)
-            self._complete_ascending(fresh)
-        return replace(self._best, explored=self._explored)
+        self._force_completion(graph, protocol, model, bit_budget)
+        return replace(self._best, explored=self._meter.spent)
+
+    def _force_completion(self, graph, protocol, model, bit_budget) -> None:
+        """Budget exhausted before any completion: force one descent
+        (charged but never aborted, so a witness always exists)."""
+        if self._best is not None:
+            return
+        fresh = ExecutionState.initial(graph, protocol, model, bit_budget)
+        complete_ascending(fresh, self._meter)
+        self._record(fresh)
 
     def _sweep(self, state: ExecutionState,
                rng: Optional[random.Random]) -> bool:
         """One budgeted DFS pass; returns whether it was truncated."""
-        budget_before = self._explored
         limit = (None if self.max_steps is None
-                 else budget_before + self.max_steps)
+                 else self._meter.spent + self.max_steps)
         try:
             self._dfs(state, rng, limit)
-        except _OutOfBudget:
+        except OutOfBudget:
             return True
         return False
 
     def _record(self, state: ExecutionState) -> None:
-        witness = self._witness(state, self._explored)
+        witness = self._witness(state, self._meter.spent)
         self._best = (witness if self._best is None
                       else worst_witness(self._best, witness))
 
     def _advance(self, state: ExecutionState, choice: int,
                  limit: Optional[int]) -> None:
-        if limit is not None and self._explored >= limit:
-            raise _OutOfBudget
+        if limit is not None and self._meter.spent >= limit:
+            raise OutOfBudget
         state.advance(choice)
-        self._explored += 1
+        self._meter.spend()
 
     def _complete_ascending(self, state: ExecutionState,
                             limit: Optional[int] = None) -> None:
@@ -119,24 +146,110 @@ class BranchAndBoundAdversary(AdversarySearch):
             self._advance(state, state.candidates[0], limit)
         self._record(state)
 
+    def _compose_hit(self, state: ExecutionState,
+                     completions: tuple[Completion, ...]) -> None:
+        """Fold a known frontier into the incumbent, in discovery order
+        (exactly the updates the expanded subtree would have made)."""
+        for witness in iter_composed(self.name, state, completions,
+                                     self._meter.spent):
+            self._best = (witness if self._best is None
+                          else worst_witness(self._best, witness))
+
+    #: Subtrees with fewer remaining write events than this are cheaper
+    #: to re-expand than to digest, store and compose: a table hit on a
+    #: 1-step subtree saves one ``advance``.  Keeping them out of the
+    #: table cuts the bookkeeping in hit-poor cells roughly in half
+    #: without touching the hits that matter (near the root).
+    MIN_TABLE_SUBTREE = 2
+
     def _dfs(self, state: ExecutionState, rng: Optional[random.Random],
-             limit: Optional[int]) -> None:
+             limit: Optional[int]) -> Optional[tuple[Completion, ...]]:
+        """Sweep the subtree under ``state``; with a table attached,
+        returns its exact completion frontier (suffixes relative to
+        ``state``) so parents can compose and store it.  Without a
+        table the frontier is dead weight, so none is built — the
+        table-off sweep stays exactly the pre-kernel loop."""
+        table = self._table
+        if table is None:
+            return self._dfs_plain(state, rng, limit)
+        key = (
+            table.key_for(state)
+            if state.n - state.depth >= self.MIN_TABLE_SUBTREE
+            else None
+        )
+        if key is not None:
+            entry = table.lookup(key)
+            if entry is not None and entry.exact:
+                self._compose_hit(state, entry.completions)
+                return entry.completions
         if state.terminal:
             self._record(state)
-            return
-        if (state.model.asynchronous
-                and len(state.active) + len(state.written) == state.n):
+            frontier = (Completion(state.deadlocked, 0, 0, ()),)
+            table.record_exact(key, frontier)
+            return frontier
+        if self._frozen_tail(state):
             # Frozen tail: every completion writes the same multiset and
             # none deadlocks — one ascending completion is exact.
+            depth = state.depth
+            base_total = state.board.total_bits()
+            checkpoint = state.snapshot()
+            self._complete_ascending(state, limit)
+            suffix = state.schedule[depth:]
+            suffix_entries = state.board.entries[depth:]
+            frontier = (Completion(
+                deadlock=False,
+                max_bits=max((e.bits for e in suffix_entries), default=0),
+                total_bits=state.board.total_bits() - base_total,
+                suffix=suffix,
+            ),)
+            state.restore(checkpoint)
+            table.record_exact(key, frontier)
+            return frontier
+        candidates = list(state.candidates)
+        if rng is not None:
+            rng.shuffle(candidates)
+        completions: list[Completion] = []
+        for choice in candidates:
+            checkpoint = state.snapshot()
+            self._advance(state, choice, limit)
+            edge_bits = state.board.entries[-1].bits
+            child_frontier = self._dfs(state, rng, limit)
+            state.restore(checkpoint)
+            for c in child_frontier:
+                completions.append(Completion(
+                    deadlock=c.deadlock,
+                    max_bits=max(edge_bits, c.max_bits),
+                    total_bits=edge_bits + c.total_bits,
+                    suffix=(choice,) + c.suffix,
+                ))
+        frontier = dominance_frontier(completions)
+        table.record_exact(key, frontier)
+        return frontier
+
+    @staticmethod
+    def _frozen_tail(state: ExecutionState) -> bool:
+        return (state.model.asynchronous
+                and len(state.active) + len(state.written) == state.n)
+
+    def _dfs_plain(self, state: ExecutionState,
+                   rng: Optional[random.Random],
+                   limit: Optional[int]) -> None:
+        """The table-free sweep: identical expansion order and incumbent
+        updates, no frontier bookkeeping."""
+        if state.terminal:
+            self._record(state)
+            return None
+        if self._frozen_tail(state):
             checkpoint = state.snapshot()
             self._complete_ascending(state, limit)
             state.restore(checkpoint)
-            return
+            return None
         candidates = list(state.candidates)
         if rng is not None:
             rng.shuffle(candidates)
         for choice in candidates:
             checkpoint = state.snapshot()
             self._advance(state, choice, limit)
-            self._dfs(state, rng, limit)
+            self._dfs_plain(state, rng, limit)
             state.restore(checkpoint)
+        return None

@@ -10,12 +10,10 @@ from ..core.models import ModelSpec
 from ..core.protocol import Protocol
 from ..graphs.labeled_graph import LabeledGraph
 from .base import AdversarySearch, Witness, worst_witness
+from .kernel import OutOfBudget, SearchContext, complete_ascending
+from .transposition import TableEntry, iter_composed
 
 __all__ = ["DeadlockAdversary"]
-
-
-class _OutOfBudget(Exception):
-    """Internal: the step budget ran out mid-search."""
 
 
 class DeadlockAdversary(AdversarySearch):
@@ -33,10 +31,25 @@ class DeadlockAdversary(AdversarySearch):
       activations are tried early, which is what finds deadlocks fast;
     * a probe that lands directly in a corrupted configuration returns
       its witness without recursing;
-    * for stateless protocols, revisited configurations — same board
-      view, same active set with the same frozen messages, same written
-      set — are pruned, since deadlock reachability is a function of the
-      configuration alone.
+    * for stateless protocols, revisited configurations are pruned via
+      the canonical :meth:`~repro.core.execution.ExecutionState.
+      config_key` digest — deadlock reachability is a function of the
+      configuration alone.  (The digest goes through the payload codec,
+      so dict/list payloads memoise exactly like any other; the old
+      ad-hoc key silently disabled the memo on unhashable payloads.)
+
+    With a shared-table :class:`~repro.adversaries.kernel.SearchContext`
+    the search additionally *exchanges deadlock-reachability facts*:
+    subtrees whose **exact** completion frontier is recorded as
+    deadlock-free (e.g. by a branch-and-bound sweep in the same cell)
+    are pruned without descent, their worst completion folded into the
+    fallback witness instead; and every subtree this DFS exhausts
+    without a deadlock is recorded as a deadlock-free fact for later
+    consumers.  Sharing never changes the *deadlock verdict* or a found
+    deadlock's schedule (only deadlock-free subtrees are skipped, and
+    the rest is explored in the identical order); for deadlock-free
+    instances the fallback completion witness keeps the identical
+    (bits, total) rank, though possibly via a different schedule.
 
     Within ``max_steps`` the search is complete: it finds a deadlock iff
     one is reachable.  If the budget runs out first, the worst completed
@@ -57,9 +70,17 @@ class DeadlockAdversary(AdversarySearch):
         protocol: Protocol,
         model: ModelSpec,
         bit_budget: Optional[int] = None,
+        *,
+        context: Optional[SearchContext] = None,
     ) -> Witness:
+        ctx = SearchContext.ensure(context)
+        table = ctx.table
+        if table is not None:
+            table.bind(graph, protocol, model, bit_budget)
+        ctx.stats.searches += 1
+        self._meter = ctx.meter(self.max_steps)
+        self._table = table
         state = ExecutionState.initial(graph, protocol, model, bit_budget)
-        self._explored = 0
         self._best_complete: Optional[Witness] = None
         self._seen: set = set()
         if model.simultaneous:
@@ -68,48 +89,41 @@ class DeadlockAdversary(AdversarySearch):
             return self._complete(state)
         try:
             found = self._dfs(state)
-        except _OutOfBudget:
+        except OutOfBudget:
             found = None
         if found is not None:
             return found
         if self._best_complete is None:
             # Budget too small to finish any probe: force one completion.
             return self._complete(state)
-        return replace(self._best_complete, explored=self._explored)
+        return replace(self._best_complete, explored=self._meter.spent)
 
     def _complete(self, state: ExecutionState) -> Witness:
-        while not state.terminal:
-            state.advance(state.candidates[0])
-            self._explored += 1
-        return self._witness(state, self._explored)
-
-    def _spend(self) -> None:
-        self._explored += 1
-        if self.max_steps is not None and self._explored > self.max_steps:
-            raise _OutOfBudget
+        complete_ascending(state, self._meter)
+        return self._witness(state, self._meter.spent)
 
     def _key(self, state: ExecutionState):
-        """Memo key: everything future dynamics depend on (stateless
-        protocols only).  ``activation_round`` is deliberately absent —
-        it is transcript metadata, not dynamics."""
-        if not state.stateless:
-            return None
-        key = (
-            tuple(state.board.view()),
-            frozenset(state.written),
-            frozenset(state.active),
-            tuple(sorted((v, state.frozen[v]) for v in state.active))
-            if state.model.asynchronous else None,
-        )
-        try:
-            hash(key)
-        except TypeError:  # unhashable payload: skip memoisation
-            return None
-        return key
+        """Memo key: the canonical configuration digest (stateless
+        protocols only — a stateful protocol's future depends on hidden
+        state the digest cannot see)."""
+        return state.config_key() if state.stateless else None
+
+    def _fold_pruned(self, state: ExecutionState, choice: int,
+                     edge_bits: int, entry: TableEntry) -> None:
+        """A pruned deadlock-free subtree with a known exact frontier
+        still contributes its worst completion to the fallback witness,
+        so pruning never *loses* badness the plain DFS would have seen."""
+        for witness in iter_composed(self.name, state, entry.completions,
+                                     self._meter.spent, choice=choice,
+                                     edge_bits=edge_bits):
+            self._best_complete = (
+                witness if self._best_complete is None
+                else worst_witness(self._best_complete, witness)
+            )
 
     def _dfs(self, state: ExecutionState) -> Optional[Witness]:
         if state.terminal:
-            witness = self._witness(state, self._explored)
+            witness = self._witness(state, self._meter.spent)
             if state.deadlocked:
                 return witness
             self._best_complete = (
@@ -117,28 +131,46 @@ class DeadlockAdversary(AdversarySearch):
                 else worst_witness(self._best_complete, witness)
             )
             return None
+        table = self._table
         children = []
         for choice in state.candidates:
             checkpoint = state.snapshot()
-            self._spend()
+            self._meter.spend()
             state.advance(choice)
             if state.deadlocked:
-                witness = self._witness(state, self._explored)
+                witness = self._witness(state, self._meter.spent)
                 state.restore(checkpoint)
                 return witness
             key = self._key(state)
-            children.append((len(state.candidates), choice, key))
+            edge_bits = state.board.entries[-1].bits
+            children.append((len(state.candidates), choice, key, edge_bits))
             state.restore(checkpoint)
-        for _, choice, key in sorted(children, key=lambda c: c[:2]):
+        for _, choice, key, edge_bits in sorted(children,
+                                                key=lambda c: c[:2]):
             if key is not None:
                 if key in self._seen:
                     continue
+                if table is not None:
+                    entry = table.lookup(key)
+                    # Prune only subtrees whose exact frontier is known:
+                    # folding it keeps the fallback witness at the same
+                    # badness rank the full DFS would have reached.  A
+                    # bare deadlock-free fact (no completions) is not
+                    # enough — skipping on it could lose the worst
+                    # completion.
+                    if (entry is not None and entry.deadlock_free
+                            and entry.exact):
+                        self._fold_pruned(state, choice, edge_bits, entry)
+                        continue
                 self._seen.add(key)
             checkpoint = state.snapshot()
-            self._spend()
+            self._meter.spend()
             state.advance(choice)
             found = self._dfs(state)
             state.restore(checkpoint)
             if found is not None:
                 return found
+            if table is not None:
+                # The whole subtree under ``choice`` is deadlock-free.
+                table.record_deadlock_free(key)
         return None

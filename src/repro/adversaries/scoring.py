@@ -1,0 +1,142 @@
+"""Pluggable scoring: what "bad for the protocol" means to a search.
+
+Greedy and beam searches used to hard-code one badness measure (bits
+just written / board maxima).  A :class:`ScoreHook` makes the measure a
+policy object a protocol author can swap — the ROADMAP's "plug
+domain-specific badness into the same search harness" item — without
+touching the search mechanics:
+
+* :meth:`ScoreHook.step_score` rates one freshly applied write event
+  (greedy's one-step lookahead; higher = more adversarial);
+* :meth:`ScoreHook.prefix_score` rates a whole schedule prefix (beam's
+  frontier ranking; lexicographic tuple, higher = more adversarial).
+
+Hooks are identified by a primitive ``name`` and must carry only
+primitive construction attributes, so a strategy configured with a hook
+still fingerprints deterministically in campaign stores (the PR-4
+invariant: compound attributes contribute their class name; the
+behavioural knob rides along as the strategy's primitive ``score_name``
+attribute).  The builtin hooks live in :data:`SCORE_HOOKS` and are
+addressable from the CLI (``stress --score``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from ..core.execution import ExecutionState
+
+__all__ = [
+    "ScoreHook",
+    "BitsGreedyScore",
+    "DeadlockFirstScore",
+    "DecodeFailureScore",
+    "SCORE_HOOKS",
+    "resolve_score",
+]
+
+
+class ScoreHook:
+    """Strategy-independent badness measure over execution states.
+
+    Subclasses override one or both methods; the defaults reproduce the
+    historical hard-coded behaviour (bits-greedy).  Implementations
+    must be deterministic, side-effect free on the state, and picklable
+    (stress plans cross process boundaries).
+    """
+
+    name: str = "score"
+
+    def step_score(self, state: ExecutionState) -> float:
+        """Badness of the *last applied write event* (the state is the
+        child configuration just after it).  Higher is worse for the
+        protocol; greedy descents may negate it for their deferring
+        polarity."""
+        return state.board.entries[-1].bits
+
+    def prefix_score(self, state: ExecutionState) -> tuple:
+        """Badness of the whole prefix, as a lexicographic tuple;
+        beam keeps the ``width`` highest."""
+        board = state.board
+        return (board.max_bits(), board.total_bits())
+
+
+class BitsGreedyScore(ScoreHook):
+    """The default: maximise message bits (exactly the pre-hook
+    behaviour of greedy and beam, pinned by the witness-identity
+    tests)."""
+
+    name = "bits-greedy"
+
+
+class DeadlockFirstScore(ScoreHook):
+    """Starvation first: prefer children that leave the fewest
+    schedulable candidates (the deadlock seeker's child ordering as a
+    score), with bits as the tiebreak."""
+
+    name = "deadlock-first"
+
+    def step_score(self, state: ExecutionState) -> float:
+        # A candidate-free non-terminal child is a deadlock — the
+        # searches already short-circuit on state.deadlocked, so the
+        # score only has to steer towards starvation.
+        n = state.n
+        return (n - len(state.candidates)) * (n + 1) + min(
+            state.board.entries[-1].bits, n
+        )
+
+    def prefix_score(self, state: ExecutionState) -> tuple:
+        board = state.board
+        return (-len(state.candidates), board.max_bits(),
+                board.total_bits())
+
+
+class DecodeFailureScore(ScoreHook):
+    """Hunt configurations whose board the protocol cannot decode.
+
+    Probes ``protocol.output`` on the current (possibly partial) board;
+    an exception — e.g. a sketch whose ℓ₀-samplers all fail — is the
+    jackpot and dominates any bit count.  Decode attempts cost real
+    time, so this hook is opt-in (``stress --score decode-failure``).
+    """
+
+    name = "decode-failure"
+
+    def _decodes(self, state: ExecutionState) -> bool:
+        try:
+            state.proto.output(state.board.view(), state.n)
+        except Exception:
+            return False
+        return True
+
+    def step_score(self, state: ExecutionState) -> float:
+        fails = not self._decodes(state)
+        return (1 << 20 if fails else 0) + state.board.entries[-1].bits
+
+    def prefix_score(self, state: ExecutionState) -> tuple:
+        board = state.board
+        return (0 if self._decodes(state) else 1, board.max_bits(),
+                board.total_bits())
+
+
+SCORE_HOOKS: dict[str, Callable[[], ScoreHook]] = {
+    BitsGreedyScore.name: BitsGreedyScore,
+    DeadlockFirstScore.name: DeadlockFirstScore,
+    DecodeFailureScore.name: DecodeFailureScore,
+}
+
+
+def resolve_score(score: Union[None, str, ScoreHook]) -> ScoreHook:
+    """A hook instance from a name, an instance, or ``None`` (default
+    bits-greedy); unknown names raise with the known ones listed."""
+    if score is None:
+        return BitsGreedyScore()
+    if isinstance(score, ScoreHook):
+        return score
+    try:
+        return SCORE_HOOKS[score]()
+    except KeyError:
+        known = ", ".join(sorted(SCORE_HOOKS))
+        raise ValueError(
+            f"unknown score hook {score!r}; known hooks: {known}"
+        ) from None

@@ -65,6 +65,8 @@ def verify_protocol(
     mode: str = "verify",
     adversaries: Optional[Sequence[AdversarySearch]] = None,
     store=None,
+    score: Optional[str] = None,
+    share_table: bool = False,
 ) -> VerificationReport:
     """Sweep ``protocol`` under ``model`` over ``instances``.
 
@@ -90,6 +92,14 @@ def verify_protocol(
     adversaries:
         Search strategies for stress mode; defaults to
         :func:`repro.adversaries.default_search_portfolio`.
+    score:
+        Stress mode only: name of a
+        :data:`repro.adversaries.SCORE_HOOKS` badness hook baked into
+        the default portfolio's greedy/beam policies.
+    share_table:
+        Stress mode only: run each search cell's strategies through one
+        shared :class:`~repro.adversaries.SearchContext`, so they reuse
+        one transposition table of completion values.
     store:
         Optional :class:`repro.campaigns.store.ResultStore` for
         opportunistic reuse: cells whose fingerprint is already stored
@@ -113,6 +123,8 @@ def verify_protocol(
         exhaustive_limit=exhaustive_limit,
         bit_budget=bit_budget,
         allow_deadlock=allow_deadlock,
+        score=score,
+        share_table=share_table,
     )
     if store is not None:
         from ..campaigns.runner import run_plan_with_store

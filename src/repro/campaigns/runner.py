@@ -97,7 +97,9 @@ class CampaignCell:
                     ) from exc
         return [g for i, g in enumerate(built) if g not in built[:i]]
 
-    def build_plan(self, mode: str, exhaustive_threshold: int) -> ExecutionPlan:
+    def build_plan(self, mode: str, exhaustive_threshold: int,
+                   score: Optional[str] = None,
+                   share_table: bool = False) -> ExecutionPlan:
         entry = CENSUS_BY_KEY[self.protocol_key]
         return ExecutionPlan.build(
             entry.instantiate(),
@@ -108,17 +110,27 @@ class CampaignCell:
             exhaustive_threshold=exhaustive_threshold,
             allow_deadlock=self.allow_deadlock,
             keep_runs=False,
+            score=score if mode == "stress" else None,
+            share_table=share_table if mode == "stress" else False,
         )
 
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """The durable identity of a campaign: name + cells + policy."""
+    """The durable identity of a campaign: name + cells + policy.
+
+    ``score`` and ``share_table`` are the search-kernel knobs
+    (primitive, so they participate in every search cell's fingerprint):
+    a campaign run with a different badness hook, or with transposition
+    sharing toggled, is different durable work.
+    """
 
     name: str
     cells: tuple[CampaignCell, ...]
     mode: str = "stress"
     exhaustive_threshold: int = 5
+    score: Optional[str] = None
+    share_table: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("verify", "stress"):
@@ -127,11 +139,19 @@ class CampaignSpec:
             )
         if not self.cells:
             raise ValueError("a campaign needs at least one cell")
+        if (self.score is not None or self.share_table) and self.mode != "stress":
+            raise ValueError(
+                "score/share_table are search-kernel knobs; they only "
+                "apply to stress campaigns"
+            )
 
     def plans(self) -> Iterator[tuple[CampaignCell, ExecutionPlan]]:
         """Each cell lowered to its execution plan, in spec order."""
         for cell in self.cells:
-            yield cell, cell.build_plan(self.mode, self.exhaustive_threshold)
+            yield cell, cell.build_plan(
+                self.mode, self.exhaustive_threshold,
+                score=self.score, share_table=self.share_table,
+            )
 
 
 @dataclass

@@ -229,6 +229,10 @@ def task_fingerprint(task: Any, salt: Optional[str] = None) -> str:
         "keep_runs": task.keep_runs,
         "capture_witnesses": task.capture_witnesses,
         "minimize_witnesses": getattr(task, "minimize_witnesses", True),
+        # Search-kernel knobs (None/False on non-search cells, so the
+        # fingerprints of exhaustive cells do not churn with them).
+        "score": getattr(task, "score", None),
+        "share_table": getattr(task, "share_table", False),
     }
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()

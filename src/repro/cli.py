@@ -10,10 +10,13 @@
 * ``lemma3``  — print the counting-bound table for the paper's classes
 * ``demo``    — run one protocol on one graph and dump the whiteboard
 * ``sweep``   — verification sweep over (protocol × instances ×
-  adversaries) through the execution runtime, optionally ``--jobs N``
+  adversaries) through the execution runtime, optionally ``--jobs N``;
+  ``--store PATH`` serves unchanged cells from a SQLite result store
 * ``stress``  — adversarial stress: exhaustive schedules at small n,
   guided adversary search above, reporting worst witness schedules
-  (raw and minimised)
+  (raw and minimised); ``--share-table`` shares one transposition
+  table across each cell's strategies, ``--score`` swaps the badness
+  hook, ``--store PATH`` serves unchanged cells from a result store
 * ``campaign`` — persistent, resumable stress campaigns over a SQLite
   :class:`~repro.campaigns.store.ResultStore`: ``run`` (store hits are
   served from cache, misses execute and become durable the moment they
@@ -150,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exhaustive-enumeration size threshold")
     sw.add_argument("--jobs", type=int, default=None,
                     help="worker processes (default: serial)")
+    sw.add_argument("--store", default=None, metavar="PATH",
+                    help="SQLite result store for opportunistic reuse: "
+                         "cells already stored are served from it, "
+                         "everything executed becomes a future hit")
 
     st = sub.add_parser(
         "stress",
@@ -170,6 +177,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes (default: serial)")
     st.add_argument("--trace", action="store_true",
                     help="narrate the overall worst witness transcript")
+    from .adversaries import SCORE_HOOKS
+
+    st.add_argument("--score", default=None, choices=sorted(SCORE_HOOKS),
+                    help="badness hook for the greedy/beam searches "
+                         "(default: bits-greedy)")
+    st.add_argument("--share-table", action="store_true",
+                    help="share one transposition table across the "
+                         "strategies of each search cell")
+    st.add_argument("--store", default=None, metavar="PATH",
+                    help="SQLite result store for opportunistic reuse: "
+                         "cells already stored are served from it, "
+                         "everything executed becomes a future hit")
 
     from .graphs.families import FAMILIES as GRAPH_CLASSES
 
@@ -198,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--allow-deadlock", action="store_true",
                        help="deadlocks count as executions, not failures "
                             "(the Corollary 4 off-promise setting)")
+        p.add_argument("--score", default=None, choices=sorted(SCORE_HOOKS),
+                       help="badness hook for the stress searches "
+                            "(participates in task fingerprints)")
+        p.add_argument("--share-table", action="store_true",
+                       help="share one transposition table per search cell "
+                            "(participates in task fingerprints)")
 
     crun = csub.add_parser(
         "run", help="run (or resume, or replay from cache) a campaign")
@@ -350,6 +375,30 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _open_store(path):
+    """A ResultStore for ``--store`` sweeps (created when missing — an
+    opportunistic cache starts empty), or ``None`` without the flag."""
+    if path is None:
+        return None
+    from .campaigns import ResultStore
+
+    return ResultStore(path)
+
+
+def _run_plan(plan, backend, store):
+    """Run ``plan``, through ``store`` when one is given; returns the
+    merged report plus a cache-accounting suffix for the listing line."""
+    if store is None:
+        return plan.verification_report(backend=backend), ""
+    from .campaigns.runner import run_plan_with_store
+
+    hits_before, writes_before = store.hits, store.writes
+    report = run_plan_with_store(plan, store, backend=backend)
+    hits = store.hits - hits_before
+    executed = store.writes - writes_before
+    return report, f" [store: {hits} hits, {executed} executed]"
+
+
 def _cmd_sweep(args) -> int:
     from .core.models import MODELS_BY_NAME
     from .protocols.census import CENSUS_BY_KEY
@@ -360,38 +409,54 @@ def _cmd_sweep(args) -> int:
     from .analysis.checkers import AcceptAny
 
     all_ok = True
-    for key in args.protocols:
-        entry = CENSUS_BY_KEY[key]
-        checker = _sweep_checker(key)
-        plan = ExecutionPlan.build(
-            entry.instantiate(),
-            MODELS_BY_NAME[entry.model],
-            instances,
-            mode=args.mode,
-            checker=checker,
-            exhaustive_threshold=args.threshold,
-            keep_runs=False,
-        )
-        report = plan.verification_report(backend=backend)
-        all_ok &= report.ok
-        vacuous = (
-            "  (no oracle registered: success/size only)"
-            if isinstance(checker, AcceptAny) else ""
-        )
-        print(f"[{len(plan):>3} tasks via {backend.name}] "
-              f"{report.summary()}{vacuous}")
-        for n, bits in sorted(report.max_bits_by_n.items()):
-            print(f"    n={n}: max message {bits} bits")
+    store = _open_store(args.store)
+    try:
+        for key in args.protocols:
+            entry = CENSUS_BY_KEY[key]
+            checker = _sweep_checker(key)
+            plan = ExecutionPlan.build(
+                entry.instantiate(),
+                MODELS_BY_NAME[entry.model],
+                instances,
+                mode=args.mode,
+                checker=checker,
+                exhaustive_threshold=args.threshold,
+                keep_runs=False,
+            )
+            report, cached = _run_plan(plan, backend, store)
+            all_ok &= report.ok
+            vacuous = (
+                "  (no oracle registered: success/size only)"
+                if isinstance(checker, AcceptAny) else ""
+            )
+            print(f"[{len(plan):>3} tasks via {backend.name}]{cached} "
+                  f"{report.summary()}{vacuous}")
+            for n, bits in sorted(report.max_bits_by_n.items()):
+                print(f"    n={n}: max message {bits} bits")
+    finally:
+        if store is not None:
+            store.close()
     return 0 if all_ok else 1
 
 
 def _cmd_stress(args) -> int:
-    from .core.models import MODELS_BY_NAME
-    from .protocols.census import CENSUS_BY_KEY
-    from .runtime import ExecutionPlan, resolve_backend
+    from .runtime import resolve_backend
 
     backend = resolve_backend(args.jobs)
     instances = _build_instances(args)
+    store = _open_store(args.store)
+    try:
+        all_ok = _stress_protocols(args, backend, instances, store)
+    finally:
+        if store is not None:
+            store.close()
+    return 0 if all_ok else 1
+
+
+def _stress_protocols(args, backend, instances, store) -> bool:
+    from .core.models import MODELS_BY_NAME
+    from .protocols.census import CENSUS_BY_KEY
+    from .runtime import ExecutionPlan
 
     all_ok = True
     for key in args.protocols:
@@ -404,10 +469,13 @@ def _cmd_stress(args) -> int:
             mode="stress",
             checker=_sweep_checker(key),
             exhaustive_threshold=args.threshold,
+            score=args.score,
+            share_table=args.share_table,
         )
-        report = plan.verification_report(backend=backend)
+        report, cached = _run_plan(plan, backend, store)
         all_ok &= report.ok
-        print(f"[{len(plan):>3} tasks via {backend.name}] {report.summary()}")
+        print(f"[{len(plan):>3} tasks via {backend.name}]{cached} "
+              f"{report.summary()}")
         for witness in report.witnesses:
             outcome = ("DEADLOCK" if witness.deadlock
                        else f"{witness.bits:>3} bits")
@@ -433,7 +501,7 @@ def _cmd_stress(args) -> int:
             )
             print()
             print(narrate_witness(worst, entry.instantiate()))
-    return 0 if all_ok else 1
+    return all_ok
 
 
 def _campaign_spec(args):
@@ -469,6 +537,8 @@ def _campaign_spec(args):
             cells=cells,
             mode=args.mode,
             exhaustive_threshold=args.threshold,
+            score=args.score,
+            share_table=args.share_table,
         )
         for campaign_cell in spec.cells:
             campaign_cell.instances()  # eager: invalid sizes fail here

@@ -39,10 +39,11 @@ golden fixtures.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from copy import deepcopy
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..encoding.bits import payload_bits
+from ..encoding.bits import payload_bits, payload_key
 from ..graphs.labeled_graph import LabeledGraph
 from .errors import MessageTooLarge, ProtocolViolation, SchedulerError
 from .models import ModelSpec
@@ -117,6 +118,7 @@ class ExecutionState:
         "graph", "protocol", "proto", "model", "bit_budget", "stateless",
         "board", "written", "active", "frozen", "frozen_bits",
         "activation_round", "choices", "_journal", "_candidates",
+        "_entry_keys", "_frozen_keys",
     )
 
     def __init__(self) -> None:  # use ExecutionState.initial(...)
@@ -153,6 +155,8 @@ class ExecutionState:
         self.choices = []
         self._journal = []
         self._candidates = None
+        self._entry_keys = []
+        self._frozen_keys = {}
         self._activation_pass(0)
 
     # -- inspection ----------------------------------------------------
@@ -194,7 +198,83 @@ class ExecutionState:
     def terminal(self) -> bool:
         return self.done or not self.candidates
 
+    def config_key(self) -> tuple:
+        """Canonical, always-hashable digest of this configuration.
+
+        Covers everything the paper's configuration is made of: the
+        board contents (each payload via the codec's
+        :func:`~repro.encoding.bits.payload_key`, which carries the
+        exact bit size), the written and active sets, the frozen
+        messages of active nodes in asynchronous models, and the
+        activation rounds.  Unlike hashing raw payloads, the codec
+        digest is defined for *every* payload the engine can write —
+        dict/list payloads included — so memoisation never silently
+        switches off (the hole the old ``deadlock.py`` ad-hoc key had).
+
+        Two *stateless*-protocol states with equal keys have identical
+        futures under identical adversary choices; for stateful
+        protocols the key digests the observable configuration only
+        (hidden per-run protocol state is not captured), which is why
+        the search kernel's transposition table ignores non-stateless
+        states.  Payload digests are cached per write event, so
+        repeated calls along a search path stay cheap.
+
+        Raises :class:`ProtocolViolation` if a frozen message is not a
+        payload the codec can encode (the same messages would be
+        rejected by :meth:`advance` when written).
+        """
+        keys = self._entry_keys
+        entries = self.board.entries
+        while len(keys) < len(entries):
+            keys.append(payload_key(entries[len(keys)].payload))
+        frozen_part = None
+        if self.model.asynchronous:
+            frozen_keys = self._frozen_keys
+            part = []
+            for v in self.active:
+                key = frozen_keys.get(v)
+                if key is None:
+                    try:
+                        key = payload_key(self.frozen[v])
+                    except TypeError as exc:
+                        raise ProtocolViolation(
+                            f"{self.proto.name}: node {v} froze a "
+                            f"non-payload message: {exc}"
+                        ) from exc
+                    frozen_keys[v] = key
+                part.append((v, key))
+            part.sort()
+            frozen_part = tuple(part)
+        return (
+            tuple(keys),
+            frozenset(self.written),
+            frozenset(self.active),
+            frozen_part,
+            tuple(sorted(self.activation_round.items())),
+        )
+
     # -- the step relation --------------------------------------------
+
+    @staticmethod
+    def _own_payload(payload: Any) -> Any:
+        """Take ownership of a freshly produced message.
+
+        The engine stores payloads by reference and caches their bit
+        sizes and codec digests at write/freeze time, so payloads must
+        never change afterwards.  A list- or dict-rooted payload
+        (supported since the codec's escape tag) is deep-copied here so
+        the common accumulator-reuse mistake cannot silently corrupt
+        the accounting or the transposition table.  The copy is
+        deliberately top-level-typed — walking every tuple to hunt for
+        nested mutables would tax the write hot path for the all-
+        immutable payloads every shipped protocol produces — so the
+        remaining contract is the protocol's: never mutate a container
+        nested inside a returned tuple, and never mutate payloads read
+        from the board.
+        """
+        if type(payload) is list or type(payload) is dict:
+            return deepcopy(payload)
+        return payload
 
     def _view_of(self, v: int) -> NodeView:
         g = self.graph
@@ -225,7 +305,9 @@ class ExecutionState:
                 if model.asynchronous:
                     # "Once a node raises its hand it cannot change its
                     # mind": compute and freeze the message now.
-                    self.frozen[v] = proto.message(self._view_of(v))
+                    self.frozen[v] = self._own_payload(
+                        proto.message(self._view_of(v))
+                    )
         return added
 
     def _message_bits(self, writer: int, payload: Any) -> int:
@@ -260,7 +342,7 @@ class ExecutionState:
         if self.model.asynchronous:
             payload = self.frozen[choice]
         else:
-            payload = self.proto.message(self._view_of(choice))
+            payload = self._own_payload(self.proto.message(self._view_of(choice)))
         bits = self._message_bits(choice, payload)
         if self.bit_budget is not None and bits > self.bit_budget:
             raise MessageTooLarge(choice, bits, self.bit_budget)
@@ -317,7 +399,10 @@ class ExecutionState:
             if asynchronous:
                 self.frozen.pop(v, None)
                 self.frozen_bits.pop(v, None)
+                self._frozen_keys.pop(v, None)
         self.board.entries.pop()
+        if len(self._entry_keys) > len(self.board.entries):
+            del self._entry_keys[len(self.board.entries):]
         self.written.discard(writer)
         self.active.add(writer)
 
@@ -350,6 +435,8 @@ class ExecutionState:
         clone.choices = list(self.choices)
         clone._journal = list(self._journal)
         clone._candidates = self._candidates
+        clone._entry_keys = list(self._entry_keys)
+        clone._frozen_keys = dict(self._frozen_keys)
         return clone
 
     # -- results -------------------------------------------------------

@@ -10,6 +10,7 @@ from .bits import (
     gamma_bits,
     int_bits,
     payload_bits,
+    payload_key,
 )
 from .power_sums import (
     DecodeError,
@@ -33,6 +34,7 @@ __all__ = [
     "gamma_bits",
     "int_bits",
     "payload_bits",
+    "payload_key",
     "DecodeError",
     "SubsetLookupTable",
     "decode_power_sums",

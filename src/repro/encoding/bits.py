@@ -11,12 +11,28 @@ accounting cannot drift from reality.
 
 Encoding scheme (self-delimiting, decodable without out-of-band length):
 
-* every value starts with a 2-bit type tag (int / symbol / tuple);
+* every value starts with a 2-bit type tag (int / symbol / tuple, with
+  tag ``3`` escaping to one extra bit selecting list or dict);
 * non-negative integers use Elias gamma on ``value + 1``; signed values
   are zigzag-mapped first;
 * symbols (short ASCII strings such as ``"ROOT"`` or ``"no"``) use a
   gamma length followed by 7 bits per character;
-* tuples use a gamma length followed by the encoded elements.
+* tuples use a gamma length followed by the encoded elements;
+* lists encode like tuples under the escape tag (they decode back to
+  lists — the container kind is part of the payload);
+* dicts encode their pairs under the escape tag with the pairs sorted
+  by the canonical encoding of the key, so two dicts that are equal as
+  mappings encode identically regardless of insertion order.
+
+The pre-escape encodings are bit-identical to the original three-tag
+scheme (tag ``3`` was unused), so historic sizes and the sketch golden
+fixtures are unaffected.
+
+:func:`payload_key` packs the canonical encoding into a small hashable
+``(nbits, value)`` pair — the currency of
+:meth:`repro.core.execution.ExecutionState.config_key`, which is how
+unhashable payloads (dicts, lists) still get exact, hashable
+configuration digests.
 
 Performance notes: :class:`BitWriter` accumulates into one Python int
 (appending ``w`` bits is a shift-or, not ``w`` list appends), and
@@ -37,15 +53,20 @@ __all__ = [
     "encode_payload",
     "decode_payload",
     "payload_bits",
+    "payload_key",
     "gamma_bits",
     "int_bits",
 ]
 
-Payload = Union[int, str, tuple]
+Payload = Union[int, str, tuple, list, dict]
 
 _TAG_INT = 0
 _TAG_SYM = 1
 _TAG_TUPLE = 2
+#: Escape tag: one more bit selects the container kind (0 list, 1 dict).
+_TAG_EXT = 3
+_EXT_LIST = 0
+_EXT_DICT = 1
 
 
 class BitWriter:
@@ -89,6 +110,15 @@ class BitWriter:
     def bits(self) -> tuple[int, ...]:
         acc, n = self._acc, self._len
         return tuple(acc >> i & 1 for i in range(n - 1, -1, -1))
+
+    def as_key(self) -> tuple[int, int]:
+        """The buffer as a compact hashable ``(nbits, value)`` pair.
+
+        Because the encoding is canonical and self-delimiting, two
+        payloads share a key iff they share an encoding; ``nbits`` is
+        exactly :func:`payload_bits` of the encoded payload.
+        """
+        return (self._len, self._acc)
 
 
 class BitReader:
@@ -173,8 +203,30 @@ def _write(writer: BitWriter, payload: Payload) -> None:
         writer.write_gamma(len(payload) + 1)
         for item in payload:
             _write(writer, item)
+    elif isinstance(payload, list):
+        writer.write_uint(_TAG_EXT, 2)
+        writer.write_bit(_EXT_LIST)
+        writer.write_gamma(len(payload) + 1)
+        for item in payload:
+            _write(writer, item)
+    elif isinstance(payload, dict):
+        writer.write_uint(_TAG_EXT, 2)
+        writer.write_bit(_EXT_DICT)
+        writer.write_gamma(len(payload) + 1)
+        for _, key, value in sorted(
+            (_encode_key(k), k, v) for k, v in payload.items()
+        ):
+            _write(writer, key)
+            _write(writer, value)
     else:
         raise TypeError(f"unsupported payload element of type {type(payload).__name__}")
+
+
+def _encode_key(key: Payload) -> tuple[int, int]:
+    """Canonical sort token for a dict key (its own encoding)."""
+    w = BitWriter()
+    _write(w, key)
+    return w.as_key()
 
 
 def _read(reader: BitReader) -> Payload:
@@ -187,7 +239,15 @@ def _read(reader: BitReader) -> Payload:
     if tag == _TAG_TUPLE:
         length = reader.read_gamma() - 1
         return tuple(_read(reader) for _ in range(length))
-    raise ValueError(f"invalid payload tag {tag}")
+    kind = reader.read_bit()
+    length = reader.read_gamma() - 1
+    if kind == _EXT_LIST:
+        return [_read(reader) for _ in range(length)]
+    out: dict = {}
+    for _ in range(length):
+        key = _read(reader)
+        out[key] = _read(reader)
+    return out
 
 
 def encode_payload(payload: Payload) -> tuple[int, ...]:
@@ -233,6 +293,14 @@ def payload_bits(payload: Payload) -> int:
                 append(p)
             elif t is str:
                 total += 1 + 2 * (len(p) + 1).bit_length() + 7 * len(p)
+            elif t is list:
+                # 2 (tag) + 1 (kind) + gamma; size is order-independent,
+                # so the elements just join the stack as a tuple.
+                total += 2 + 2 * (len(p) + 1).bit_length()
+                append(tuple(p))
+            elif t is dict:
+                total += 2 + 2 * (len(p) + 1).bit_length()
+                append(tuple(x for kv in p.items() for x in kv))
             else:
                 total += _atom_bits_slow(p)
     return total
@@ -251,4 +319,29 @@ def _atom_bits_slow(p: Payload) -> int:
         return 1 + 2 * (len(p) + 1).bit_length() + sum(
             payload_bits(item) for item in p
         )
+    if isinstance(p, list):
+        return 2 + 2 * (len(p) + 1).bit_length() + sum(
+            payload_bits(item) for item in p
+        )
+    if isinstance(p, dict):
+        return 2 + 2 * (len(p) + 1).bit_length() + sum(
+            payload_bits(k) + payload_bits(v) for k, v in p.items()
+        )
     raise TypeError(f"unsupported payload element of type {type(p).__name__}")
+
+
+def payload_key(payload: Payload) -> tuple[int, int]:
+    """Hashable canonical digest of ``payload``: its exact encoding.
+
+    Returns ``(nbits, value)`` — the canonical bit sequence packed into
+    one int, plus its length.  Defined for *every* payload the codec can
+    encode, including unhashable containers (lists, dicts): this is what
+    lets :meth:`repro.core.execution.ExecutionState.config_key` digest
+    any board the engine can produce, where a raw ``hash(payload)``
+    would raise.  ``payload_key(a) == payload_key(b)`` iff the codec
+    encodes ``a`` and ``b`` identically (dicts equal as mappings share a
+    key regardless of insertion order).
+    """
+    w = BitWriter()
+    _write(w, payload)
+    return w.as_key()

@@ -33,7 +33,13 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
-from ..adversaries import AdversarySearch, default_search_portfolio
+from ..adversaries import (
+    AdversarySearch,
+    SearchContext,
+    TranspositionTable,
+    default_search_portfolio,
+    resolve_score,
+)
 from ..core.execution import replay_schedule
 from ..core.models import MODELS_BY_NAME, ModelSpec
 from ..core.protocol import Protocol
@@ -86,6 +92,15 @@ class ExecutionTask:
     #: ddmin pass costs O(len²) schedule replays per witness, so plans
     #: sweeping very large instances may turn it off.
     minimize_witnesses: bool = True
+    #: Search-kernel knobs, lowered from the plan build and carried as
+    #: primitive attrs so campaign fingerprints see them.  ``score`` is
+    #: the :data:`repro.adversaries.SCORE_HOOKS` name baked into the
+    #: cell's strategies (``None`` = default bits-greedy);
+    #: ``share_table`` makes the cell run its strategies through one
+    #: shared :class:`~repro.adversaries.SearchContext`, so they reuse
+    #: one transposition table.
+    score: Optional[str] = None
+    share_table: bool = False
 
     @property
     def model(self) -> ModelSpec:
@@ -109,11 +124,17 @@ class ExecutionTask:
                 bit_budget=self.bit_budget, limit=self.exhaustive_limit,
             )
         elif self.mode == "search":
+            context = (
+                SearchContext(table=TranspositionTable())
+                if self.share_table else None
+            )
+
             def searched() -> Iterable[RunResult]:
                 for strategy in self.adversaries:
                     witness = strategy.search(
                         self.graph, self.protocol, model,
                         bit_budget=self.bit_budget,
+                        context=context,
                     )
                     result = replay_schedule(
                         self.graph, self.protocol, model,
@@ -230,6 +251,8 @@ class ExecutionPlan:
         allow_deadlock: bool = False,
         keep_runs: Optional[bool] = None,
         minimize_witnesses: bool = True,
+        score: Optional[str] = None,
+        share_table: bool = False,
     ) -> "ExecutionPlan":
         """Enumerate the (protocol × model × instance) product into tasks.
 
@@ -237,7 +260,11 @@ class ExecutionPlan:
         stable for any input ordering, so a plan built twice from the
         same arguments is identical task for task.  ``adversaries``
         (stress mode only) defaults to
-        :func:`repro.adversaries.default_search_portfolio`.
+        :func:`repro.adversaries.default_search_portfolio`, built with
+        the ``score`` hook when one is named; ``share_table`` runs each
+        search cell's strategies through one shared
+        :class:`~repro.adversaries.SearchContext` (one transposition
+        table per cell).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown plan mode {mode!r}; expected one of {_MODES}")
@@ -245,6 +272,18 @@ class ExecutionPlan:
             raise ValueError(
                 f"adversaries are only used by stress plans; mode is {mode!r}"
             )
+        if (score is not None or share_table) and mode != "stress":
+            raise ValueError(
+                "score/share_table are search-kernel knobs; they only "
+                f"apply to stress plans, and mode is {mode!r}"
+            )
+        if score is not None and adversaries is not None:
+            raise ValueError(
+                "pass either a score hook name (baked into the default "
+                "portfolio) or explicit adversaries, not both"
+            )
+        if score is not None:
+            resolve_score(score)  # fail fast on unknown hook names
         protos = _as_tuple(protocols, Protocol)
         model_specs = _as_tuple(models, ModelSpec)
         graphs = list(instances)
@@ -254,7 +293,8 @@ class ExecutionPlan:
         )
         searches = (
             tuple(adversaries) if adversaries is not None
-            else tuple(default_search_portfolio()) if mode == "stress"
+            else tuple(default_search_portfolio(score=score))
+            if mode == "stress"
             else ()
         )
         if keep_runs is None:
@@ -292,6 +332,9 @@ class ExecutionPlan:
                         keep_runs=keep_runs,
                         capture_witnesses=mode == "stress",
                         minimize_witnesses=minimize_witnesses,
+                        score=score if task_mode == "search" else None,
+                        share_table=(share_table
+                                     if task_mode == "search" else False),
                     ))
         return cls(
             tasks=tuple(tasks),

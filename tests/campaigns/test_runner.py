@@ -113,6 +113,37 @@ class TestCampaignRun:
         keys = {c.protocol_key for c in quick.cells}
         assert "bfs-bipartite-async" in keys  # the Corollary 4 cell
 
+    def test_kernel_knobs_are_durable_identity(self, tmp_path):
+        """score/share_table participate in the campaign's fingerprints:
+        toggling them is different durable work for search cells, while
+        share_table alone keeps reports field-identical."""
+        from dataclasses import replace
+
+        base = CampaignSpec(
+            name="t",
+            cells=(CampaignCell("eob-bfs", "even-odd-bipartite", (6,), (1,)),),
+            mode="stress",
+            exhaustive_threshold=4,
+        )
+        with ResultStore(tmp_path / "s.db", salt="s") as store:
+            plain = Campaign(base).run(store)
+            scored = Campaign(replace(base, score="deadlock-first")).run(store)
+            assert scored.hits == 0  # different fingerprint, not served
+            shared = Campaign(replace(base, share_table=True)).run(store)
+            assert shared.hits == 0
+            assert shared.report.witnesses == plain.report.witnesses
+            again = Campaign(replace(base, share_table=True)).run(store)
+            assert again.hits == again.tasks  # knobs round-trip
+
+    def test_kernel_knobs_require_stress_mode(self):
+        with pytest.raises(ValueError, match="search-kernel knobs"):
+            CampaignSpec(
+                name="x",
+                cells=(CampaignCell("eob-bfs", "even-odd-bipartite", (6,), (1,)),),
+                mode="verify",
+                score="bits-greedy",
+            )
+
     def test_unknown_cell_arguments_rejected(self):
         with pytest.raises(ValueError):
             CampaignCell("no-such-protocol", "degenerate2", (4,), (0,))

@@ -84,7 +84,7 @@ class TestMisuseGuards:
             name = "bad"
 
             def message(self, view):
-                return {"not": "a payload"}  # dicts are not payloads
+                return {1, 2}  # sets are not payloads
 
             def output(self, board, n):
                 return None

@@ -161,7 +161,7 @@ class TestBudgetsAndErrors:
             name = "bad"
 
             def message(self, view):
-                return [1, 2]  # lists are not payloads
+                return {1, 2}  # sets are not payloads
 
             def output(self, board, n):
                 return None

@@ -124,15 +124,57 @@ class TestPayloadCodec:
 
     def test_unsupported_type_rejected(self):
         with pytest.raises(TypeError):
-            payload_bits([1, 2])  # type: ignore[arg-type]
+            payload_bits({1, 2})  # type: ignore[arg-type]
         with pytest.raises(TypeError):
             encode_payload(1.5)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            payload_bits((1, b"raw"))  # type: ignore[arg-type]
 
     def test_id_sized_ints_are_logarithmic(self):
         # An identifier in 1..n costs O(log n) bits: the concrete codec
         # must respect the paper's accounting.
         assert payload_bits(10 ** 6) <= 2 * 21 + 3
         assert payload_bits(7) < payload_bits(7000)
+
+    def test_legacy_encodings_unchanged_by_escape_tag(self):
+        # Tag 3 was unused before the list/dict extension; every
+        # pre-extension payload must keep its exact bit sequence (the
+        # sketch golden fixtures depend on it).
+        assert encode_payload(5) == (0, 0, 0, 0, 0, 1, 0, 1, 1)
+        assert encode_payload(()) == (1, 0, 1)
+        assert encode_payload("A")[:2] == (0, 1)
+
+    def test_list_and_tuple_encodings_differ(self):
+        # The container kind is part of the payload: a list is not a
+        # tuple after a round trip.
+        assert encode_payload([1, 2]) != encode_payload((1, 2))
+        assert decode_payload(encode_payload([1, 2])) == [1, 2]
+
+    def test_dict_encoding_is_insertion_order_invariant(self):
+        a = {"x": 1, "y": [2, 3]}
+        b = {"y": [2, 3], "x": 1}
+        assert encode_payload(a) == encode_payload(b)
+        assert decode_payload(encode_payload(a)) == a
+
+    def test_nested_container_roundtrip(self):
+        payload = {"k": [1, {"inner": (2, [3])}], ("t", 1): []}
+        assert decode_payload(encode_payload(payload)) == payload
+        assert payload_bits(payload) == len(encode_payload(payload))
+
+    def test_payload_key_matches_encoding(self):
+        from repro.encoding.bits import payload_key
+
+        for payload in CASES + [[1, 2], {"a": [1]}, {}, []]:
+            nbits, value = payload_key(payload)
+            bits = encode_payload(payload)
+            assert nbits == len(bits) == payload_bits(payload)
+            assert value == int("".join(map(str, bits)), 2)
+
+    def test_payload_key_distinguishes_kinds(self):
+        from repro.encoding.bits import payload_key
+
+        keys = {payload_key(p) for p in ([1], (1,), {0: 1}, 1, "1")}
+        assert len(keys) == 5
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +189,17 @@ atoms = st.one_of(
     ),
 )
 payloads = st.recursive(atoms, lambda inner: st.tuples(inner, inner), max_leaves=12)
+#: Extended payloads exercise the escape-tag containers too; dict keys
+#: stay atomic (Python dict keys must be hashable).
+payloads_extended = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        st.tuples(inner, inner),
+        st.lists(inner, max_size=3),
+        st.dictionaries(atoms, inner, max_size=3),
+    ),
+    max_leaves=12,
+)
 
 
 @given(payloads)
@@ -157,6 +210,26 @@ def test_roundtrip_property(payload):
 @given(payloads)
 def test_size_property(payload):
     assert payload_bits(payload) == len(encode_payload(payload))
+
+
+@given(payloads_extended)
+def test_roundtrip_property_extended(payload):
+    assert decode_payload(encode_payload(payload)) == payload
+
+
+@given(payloads_extended)
+def test_size_property_extended(payload):
+    assert payload_bits(payload) == len(encode_payload(payload))
+
+
+@given(payloads_extended)
+def test_payload_key_is_canonical(payload):
+    from repro.encoding.bits import payload_key
+
+    key = payload_key(payload)
+    hash(key)  # always hashable, whatever the payload
+    assert key[0] == payload_bits(payload)
+    assert payload_key(decode_payload(encode_payload(payload))) == key
 
 
 @given(st.integers(min_value=1, max_value=10 ** 12))

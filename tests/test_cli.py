@@ -46,8 +46,22 @@ class TestParser:
         assert args.protocols == ["build-degenerate"]
         assert args.sizes == [4, 9] and args.threshold == 4
         assert args.jobs == 2 and args.trace
+        assert args.score is None and not args.share_table
+        assert args.store is None
         with pytest.raises(SystemExit):
             p.parse_args(["stress"])  # protocol is required
+
+    def test_stress_score_choices_come_from_registry(self):
+        from repro.adversaries import SCORE_HOOKS
+
+        p = build_parser()
+        for name in SCORE_HOOKS:
+            args = p.parse_args(["stress", "--protocol", "eob-bfs",
+                                 "--score", name, "--share-table"])
+            assert args.score == name and args.share_table
+        with pytest.raises(SystemExit):
+            p.parse_args(["stress", "--protocol", "eob-bfs",
+                          "--score", "not-a-hook"])
 
 
 class TestCommands:
@@ -121,6 +135,59 @@ class TestCommands:
                      "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "via process-pool" in out and "eob-bfs" in out
+
+    def test_stress_share_table_and_score_field_identical_default(self, capsys):
+        base = ["stress", "--protocol", "eob-bfs", "--family", "eob",
+                "--sizes", "4", "6", "--seeds", "0", "--threshold", "4"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--share-table"]) == 0
+        shared = capsys.readouterr().out
+        # One shared transposition table per cell must not change any
+        # reported witness or maximum — only the search cost.
+        assert shared == plain
+
+    def test_stress_store_round_trip_executes_zero_tasks(self, tmp_path,
+                                                         capsys):
+        store_path = str(tmp_path / "stress.db")
+        base = ["stress", "--protocol", "eob-bfs", "--family", "eob",
+                "--sizes", "4", "6", "--seeds", "0", "--threshold", "4",
+                "--store", store_path]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "[store: 0 hits, 2 executed]" in cold
+        assert main(base) == 0
+        warm = capsys.readouterr().out
+        # The unchanged re-run is a pure cache read...
+        assert "[store: 2 hits, 0 executed]" in warm
+        # ...and field-identical: the listings only differ in the
+        # store-accounting prefix.
+        assert (cold.replace("0 hits, 2 executed", "X")
+                == warm.replace("2 hits, 0 executed", "X"))
+
+    def test_sweep_store_round_trip_executes_zero_tasks(self, tmp_path,
+                                                        capsys):
+        store_path = str(tmp_path / "sweep.db")
+        base = ["sweep", "--protocol", "build-degenerate",
+                "--family", "k-degenerate", "--sizes", "4", "--seeds", "0",
+                "--store", store_path]
+        assert main(base) == 0
+        assert "[store: 0 hits, 1 executed]" in capsys.readouterr().out
+        assert main(base) == 0
+        assert "[store: 1 hits, 0 executed]" in capsys.readouterr().out
+
+    def test_stress_score_knob_runs_and_fingerprints_separately(
+            self, tmp_path, capsys):
+        store_path = str(tmp_path / "scored.db")
+        base = ["stress", "--protocol", "eob-bfs", "--family", "eob",
+                "--sizes", "6", "--seeds", "0", "--threshold", "4",
+                "--store", store_path]
+        assert main(base) == 0
+        capsys.readouterr()
+        # A different badness hook is different durable work: the search
+        # cell misses, it is not served the bits-greedy result.
+        assert main(base + ["--score", "deadlock-first"]) == 0
+        assert "[store: 0 hits, 1 executed]" in capsys.readouterr().out
 
 
 class TestCampaignParser:

@@ -49,10 +49,13 @@ def load_trajectory(path: Path) -> dict:
 
 def _adversary_report_markers() -> list[str]:
     """Names the committed adversary report must mention to be fresh:
-    every strategy in the shipped default portfolio."""
+    every strategy in the shipped default portfolio, plus the shared
+    transposition-table section the search-kernel PR added."""
     from repro.adversaries import default_search_portfolio
 
-    return sorted({s.name for s in default_search_portfolio()})
+    return sorted({s.name for s in default_search_portfolio()}) + [
+        "transposition"
+    ]
 
 
 #: Committed report sections and the markers that prove freshness.  A
