@@ -14,6 +14,11 @@ For every fixture small enough to enumerate exhaustively, measures
   for the others to consume), timed against the table-off portfolio,
   with the table's hit rate; the table-on witnesses must agree with the
   table-off ones strategy for strategy.
+* **fault matrix** — the same search-vs-enumeration agreement over the
+  joint fault × schedule space: each fault budget multiplies the
+  exhaustive space (the ``schedules`` column shows by how much), and
+  every strategy is gated against the faulted ground truth exactly like
+  the reliable rows above.
 
 The summary lands in ``reports/adversary_search.txt``;
 ``benchmarks/bench_regression.py`` records the headline
@@ -139,6 +144,67 @@ def transposition_section(fixtures, reps: int) -> tuple[list[str], bool]:
     return lines, all_agree
 
 
+#: Fault-matrix fixtures stay at n <= 5: each budget multiplies the
+#: exhaustive space, and the gate needs the full enumeration as truth.
+FAULT_FIXTURES = [
+    ("build-simasync-n5", gen.random_k_degenerate(5, 2, seed=0),
+     lambda: DegenerateBuildProtocol(2), SIMASYNC),
+    ("eob-bfs-async-n4", gen.random_even_odd_bipartite(4, 0.5, seed=1),
+     lambda: EobBfsProtocol(), ASYNC),
+]
+
+FAULT_BUDGETS = ["crash:1", "loss:1", "dup:1", "crash:1,loss:1"]
+
+
+def fault_matrix_section(reps: int) -> tuple[list[str], bool]:
+    """Search vs exhaustive agreement over the fault × schedule space."""
+    lines = ["fault matrix: search vs exhaustive over the joint "
+             "fault x schedule space", ""]
+    header = (f"{'fixture':<20} {'faults':<14} {'strategy':<18} {'bits':>5} "
+              f"{'truth':>5} {'dead':>5} {'seconds':>9} {'exh sec':>9} agree")
+    lines.append(header)
+    print(header)
+    all_agree = True
+    for tag, graph, make_proto, model in FAULT_FIXTURES:
+        for faults in FAULT_BUDGETS:
+            def enumerate_all():
+                bits, dead, count = 0, False, 0
+                for r in all_executions(graph, make_proto(), model,
+                                        faults=faults):
+                    bits = max(bits, r.max_message_bits)
+                    dead |= r.corrupted
+                    count += 1
+                return bits, dead, count
+
+            t_exh, (truth_bits, truth_dead, schedules) = _median_time(
+                enumerate_all, reps)
+            for make_strategy in STRATEGIES:
+                strategy = make_strategy()
+                t_search, witness = _median_time(
+                    lambda s=strategy: s.search(graph, make_proto(), model,
+                                                faults=faults),
+                    reps)
+                if strategy.name == "deadlock-dfs":
+                    agree = witness.deadlock == truth_dead
+                else:
+                    agree = witness.deadlock or witness.bits == truth_bits
+                all_agree &= agree
+                row = (f"{tag:<20} {faults:<14} {strategy.name:<18} "
+                       f"{witness.bits:>5} {truth_bits:>5} "
+                       f"{str(witness.deadlock):>5} {t_search:>9.4f} "
+                       f"{t_exh:>9.4f} {'yes' if agree else 'NO'}")
+                print(row)
+                lines.append(row)
+            lines.append(f"{'':<20} (exhaustive: {schedules} faulted "
+                         "schedules)")
+    lines.append("")
+    lines.append(
+        "(deadlock-dfs is gated on the exact reachability verdict; the "
+        "bit seekers must reach the faulted maximum or find a deadlock)"
+    )
+    return lines, all_agree
+
+
 def _median_time(fn, reps: int):
     times = []
     out = None
@@ -194,6 +260,12 @@ def main(argv=None) -> int:
     table_lines, table_agree = transposition_section(FIXTURES, args.reps)
     lines.extend(table_lines)
     all_agree &= table_agree
+
+    lines.append("")
+    print()
+    fault_lines, fault_agree = fault_matrix_section(args.reps)
+    lines.extend(fault_lines)
+    all_agree &= fault_agree
 
     lines.append("")
     lines.append(f"agreement on every fixture: {all_agree}")

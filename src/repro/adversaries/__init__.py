@@ -54,6 +54,7 @@ from .scoring import (
     DeadlockFirstScore,
     DecodeFailureScore,
     ScoreHook,
+    register_score_hook,
     resolve_score,
 )
 from .transposition import Completion, TableEntry, TranspositionTable
@@ -83,6 +84,7 @@ __all__ = [
     "DeadlockFirstScore",
     "DecodeFailureScore",
     "SCORE_HOOKS",
+    "register_score_hook",
     "resolve_score",
 ]
 

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.errors import MessageTooLarge, ProtocolViolation, SchedulerError
 from ..core.execution import ExecutionState
+from ..faults.spec import FaultSpec
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
 from ..graphs.labeled_graph import LabeledGraph
@@ -101,6 +102,7 @@ def schedule_forces(
     bits: int = 0,
     deadlock: bool = False,
     bit_budget: Optional[int] = None,
+    faults: Union[None, str, FaultSpec] = None,
 ) -> bool:
     """Whether ``schedule`` (replayed from the initial configuration)
     still establishes the witnessed badness.
@@ -116,8 +118,12 @@ def schedule_forces(
     An inapplicable choice, a budget violation, or a protocol violation
     along the way makes the schedule not-forcing (``False``), never an
     exception: minimisation probes many invalid mutants by design.
+
+    Faulted schedules carry their fault events inline; replay them under
+    the same ``faults`` budget or the fault events are invalid choices.
     """
-    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                   faults=faults)
     try:
         for choice in schedule:
             state.advance(choice)
@@ -135,15 +141,19 @@ def _forcing_prefix(
     schedule: tuple[int, ...],
     bits: int,
     bit_budget: Optional[int],
+    faults: Union[None, str, FaultSpec] = None,
 ) -> tuple[int, ...]:
     """Truncate a (known-forcing) bits schedule at the first event that
     reaches the target."""
     if bits <= 0:
         return ()  # vacuous target: the empty prefix already forces it
-    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                   faults=faults)
     for depth, choice in enumerate(schedule, start=1):
         state.advance(choice)
-        if state.board.entries[-1].bits >= bits:
+        # last_event_bits, not board.entries[-1]: after a crash or loss
+        # event the board may be empty or stale.
+        if state.last_event_bits >= bits:
             return schedule[:depth]
     raise AssertionError("schedule was checked to force the bits target")
 
@@ -157,6 +167,7 @@ def minimize_schedule(
     bits: int = 0,
     deadlock: bool = False,
     bit_budget: Optional[int] = None,
+    faults: Union[None, str, FaultSpec] = None,
 ) -> tuple[int, ...]:
     """Greedy prefix/segment shrink of a witness schedule.
 
@@ -176,14 +187,14 @@ def minimize_schedule(
     current = tuple(schedule)
     if not schedule_forces(graph, protocol, model, current,
                            bits=bits, deadlock=deadlock,
-                           bit_budget=bit_budget):
+                           bit_budget=bit_budget, faults=faults):
         raise ValueError(
             f"schedule {current} does not force the target "
             f"({'deadlock' if deadlock else f'{bits} bits'})"
         )
     if not deadlock:
         current = _forcing_prefix(graph, protocol, model, current, bits,
-                                  bit_budget)
+                                  bit_budget, faults=faults)
     size = max(1, len(current) // 2)
     while size >= 1:
         index = 0
@@ -191,11 +202,12 @@ def minimize_schedule(
             candidate = current[:index] + current[index + size:]
             if schedule_forces(graph, protocol, model, candidate,
                                bits=bits, deadlock=deadlock,
-                               bit_budget=bit_budget):
+                               bit_budget=bit_budget, faults=faults):
                 current = candidate
                 if not deadlock:
                     current = _forcing_prefix(
-                        graph, protocol, model, current, bits, bit_budget
+                        graph, protocol, model, current, bits, bit_budget,
+                        faults=faults,
                     )
             else:
                 index += size
@@ -209,6 +221,7 @@ def minimize_witness(
     model: ModelSpec,
     witness: Witness,
     bit_budget: Optional[int] = None,
+    faults: Union[None, str, FaultSpec] = None,
 ) -> Witness:
     """Attach a minimal forcing schedule to ``witness``.
 
@@ -220,7 +233,7 @@ def minimize_witness(
     minimal = minimize_schedule(
         graph, protocol, model, witness.schedule,
         bits=witness.bits, deadlock=witness.deadlock,
-        bit_budget=bit_budget,
+        bit_budget=bit_budget, faults=faults,
     )
     return replace(witness, minimal_schedule=minimal)
 
@@ -250,6 +263,7 @@ class AdversarySearch(ABC):
         bit_budget: Optional[int] = None,
         *,
         context=None,
+        faults: Union[None, str, FaultSpec] = None,
     ) -> Witness:
         """Return the worst witness schedule this strategy can find.
 
@@ -271,8 +285,10 @@ class AdversarySearch(ABC):
         protocol: Protocol,
         model: ModelSpec,
         bit_budget: Optional[int],
+        faults: Union[None, str, FaultSpec] = None,
     ) -> ExecutionState:
-        return ExecutionState.initial(graph, protocol, model, bit_budget)
+        return ExecutionState.initial(graph, protocol, model, bit_budget,
+                                      faults=faults)
 
     def _witness(self, state: ExecutionState, explored: int) -> Witness:
         """Freeze a terminal state into a witness (no output computation —

@@ -10,6 +10,7 @@ from ..core.execution import ExecutionState
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
 from ..graphs.labeled_graph import LabeledGraph
+from ..faults.spec import FaultSpec, resolve_faults
 from .base import AdversarySearch, Witness, worst_witness
 from .kernel import OutOfBudget, SearchContext, complete_ascending
 from .scoring import ScoreHook, resolve_score
@@ -69,10 +70,12 @@ class BeamSearchAdversary(AdversarySearch):
         bit_budget: Optional[int] = None,
         *,
         context: Optional[SearchContext] = None,
+        faults: Union[None, str, FaultSpec] = None,
     ) -> Witness:
+        spec = resolve_faults(faults)
         ctx = SearchContext.ensure(context)
         if ctx.table is not None:
-            ctx.table.bind(graph, protocol, model, bit_budget)
+            ctx.table.bind(graph, protocol, model, bit_budget, faults=spec)
         ctx.stats.searches += 1
         meter = ctx.meter(None)
         best: Optional[Witness] = None
@@ -82,12 +85,13 @@ class BeamSearchAdversary(AdversarySearch):
                 if attempt:
                     ctx.stats.restarts += 1
                 witness = self._pass(graph, protocol, model, bit_budget,
-                                     rng, ctx, meter)
+                                     rng, ctx, meter, spec)
                 best = witness if best is None else worst_witness(best, witness)
         except OutOfBudget:
             pass  # context budget exhausted: return the incumbent
         if best is None:
-            state = ExecutionState.initial(graph, protocol, model, bit_budget)
+            state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                           faults=spec)
             complete_ascending(state, meter)
             best = self._witness(state, meter.spent)
         return replace(best, explored=meter.spent)
@@ -101,11 +105,13 @@ class BeamSearchAdversary(AdversarySearch):
         rng: Optional[random.Random],
         ctx: SearchContext,
         meter,
+        faults: FaultSpec = None,
     ) -> Witness:
         best: Optional[Witness] = None
         hook = self.score
         table = ctx.table
-        initial = ExecutionState.initial(graph, protocol, model, bit_budget)
+        initial = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                         faults=faults)
         if initial.terminal:  # 0 writes: deadlock at round 0, or n == 0
             return self._witness(initial, meter.spent)
         dedupe = initial.stateless

@@ -4,13 +4,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.execution import ExecutionState
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
+from ..faults.spec import FaultSpec, resolve_faults
 from ..graphs.labeled_graph import LabeledGraph
-from .base import AdversarySearch, worst_witness
+from .base import AdversarySearch, Witness, worst_witness
 from .kernel import OutOfBudget, SearchContext, complete_ascending
 from .transposition import Completion, dominance_frontier, iter_composed
 
@@ -80,17 +81,24 @@ class BranchAndBoundAdversary(AdversarySearch):
         bit_budget: Optional[int] = None,
         *,
         context: Optional[SearchContext] = None,
+        faults: Union[None, str, FaultSpec] = None,
     ) -> Witness:
+        spec = resolve_faults(faults)
         ctx = SearchContext.ensure(context)
         table = ctx.table
         if table is not None:
-            table.bind(graph, protocol, model, bit_budget)
+            table.bind(graph, protocol, model, bit_budget, faults=spec)
         ctx.stats.searches += 1
         self._meter = ctx.meter(None)
         self._table = table
         self._best: Optional[Witness] = None
-        state = ExecutionState.initial(graph, protocol, model, bit_budget)
-        if model.simultaneous and model.asynchronous:
+        self._faults = spec
+        state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                       faults=spec)
+        if model.simultaneous and model.asynchronous and not spec.enabled:
+            # The collapse is only sound for reliable executions: a
+            # crash or loss changes the board multiset, so a faulted
+            # SIMASYNC tree genuinely branches.
             try:
                 self._complete_ascending(state)
             except OutOfBudget:
@@ -103,7 +111,7 @@ class BranchAndBoundAdversary(AdversarySearch):
                 ctx.stats.restarts += 1
                 rng = ctx.rng(self.seed, attempt)
                 fresh = ExecutionState.initial(graph, protocol, model,
-                                               bit_budget)
+                                               bit_budget, faults=spec)
                 self._sweep(fresh, rng=rng)
         self._force_completion(graph, protocol, model, bit_budget)
         return replace(self._best, explored=self._meter.spent)
@@ -113,7 +121,8 @@ class BranchAndBoundAdversary(AdversarySearch):
         (charged but never aborted, so a witness always exists)."""
         if self._best is not None:
             return
-        fresh = ExecutionState.initial(graph, protocol, model, bit_budget)
+        fresh = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                       faults=self._faults)
         complete_ascending(fresh, self._meter)
         self._record(fresh)
 
@@ -172,9 +181,10 @@ class BranchAndBoundAdversary(AdversarySearch):
         table = self._table
         if table is None:
             return self._dfs_plain(state, rng, limit)
+        remaining = state.n - len(state.written) - len(state.crashed)
         key = (
             table.key_for(state)
-            if state.n - state.depth >= self.MIN_TABLE_SUBTREE
+            if remaining >= self.MIN_TABLE_SUBTREE
             else None
         )
         if key is not None:
@@ -212,14 +222,18 @@ class BranchAndBoundAdversary(AdversarySearch):
         for choice in candidates:
             checkpoint = state.snapshot()
             self._advance(state, choice, limit)
-            edge_bits = state.board.entries[-1].bits
+            # last_event accounting, not the board tail: a crash or loss
+            # edge costs 0 bits and a duplicated write doubles the total
+            # while counting once for the maximum.
+            edge_bits = state.last_event_bits
+            edge_total = state.last_event_total
             child_frontier = self._dfs(state, rng, limit)
             state.restore(checkpoint)
             for c in child_frontier:
                 completions.append(Completion(
                     deadlock=c.deadlock,
                     max_bits=max(edge_bits, c.max_bits),
-                    total_bits=edge_bits + c.total_bits,
+                    total_bits=edge_total + c.total_bits,
                     suffix=(choice,) + c.suffix,
                 ))
         frontier = dominance_frontier(completions)
@@ -228,8 +242,13 @@ class BranchAndBoundAdversary(AdversarySearch):
 
     @staticmethod
     def _frozen_tail(state: ExecutionState) -> bool:
+        # Unspent fault budget invalidates the collapse: a crash can
+        # still discard a frozen message, a loss or duplication can
+        # still change the board multiset.
         return (state.model.asynchronous
-                and len(state.active) + len(state.written) == state.n)
+                and not state.faults_remaining
+                and (len(state.active) + len(state.written)
+                     + len(state.crashed)) == state.n)
 
     def _dfs_plain(self, state: ExecutionState,
                    rng: Optional[random.Random],

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.execution import ExecutionState
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
+from ..faults.spec import FaultSpec, resolve_faults
 from ..graphs.labeled_graph import LabeledGraph
 from .base import AdversarySearch, Witness, worst_witness
 from .kernel import OutOfBudget, SearchContext, complete_ascending
@@ -72,20 +73,24 @@ class DeadlockAdversary(AdversarySearch):
         bit_budget: Optional[int] = None,
         *,
         context: Optional[SearchContext] = None,
+        faults: Union[None, str, FaultSpec] = None,
     ) -> Witness:
+        spec = resolve_faults(faults)
         ctx = SearchContext.ensure(context)
         table = ctx.table
         if table is not None:
-            table.bind(graph, protocol, model, bit_budget)
+            table.bind(graph, protocol, model, bit_budget, faults=spec)
         ctx.stats.searches += 1
         self._meter = ctx.meter(self.max_steps)
         self._table = table
-        state = ExecutionState.initial(graph, protocol, model, bit_budget)
+        state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                       faults=spec)
         self._best_complete: Optional[Witness] = None
         self._seen: set = set()
         if model.simultaneous:
-            # Every unwritten node is active: no deadlock exists.  One
-            # completion supplies the (vacuous) witness.
+            # Every unwritten, uncrashed node is active — under faults
+            # too (crashed nodes are terminated, not starved): no
+            # deadlock exists.  One completion supplies the witness.
             return self._complete(state)
         try:
             found = self._dfs(state)
@@ -109,13 +114,15 @@ class DeadlockAdversary(AdversarySearch):
         return state.config_key() if state.stateless else None
 
     def _fold_pruned(self, state: ExecutionState, choice: int,
-                     edge_bits: int, entry: TableEntry) -> None:
+                     edge_bits: int, edge_total: int,
+                     entry: TableEntry) -> None:
         """A pruned deadlock-free subtree with a known exact frontier
         still contributes its worst completion to the fallback witness,
         so pruning never *loses* badness the plain DFS would have seen."""
         for witness in iter_composed(self.name, state, entry.completions,
                                      self._meter.spent, choice=choice,
-                                     edge_bits=edge_bits):
+                                     edge_bits=edge_bits,
+                                     edge_total=edge_total):
             self._best_complete = (
                 witness if self._best_complete is None
                 else worst_witness(self._best_complete, witness)
@@ -142,11 +149,16 @@ class DeadlockAdversary(AdversarySearch):
                 state.restore(checkpoint)
                 return witness
             key = self._key(state)
-            edge_bits = state.board.entries[-1].bits
-            children.append((len(state.candidates), choice, key, edge_bits))
+            # last_event accounting: a crash or loss probe leaves the
+            # board untouched (possibly empty), so the board tail is not
+            # the probed edge.
+            edge_bits = state.last_event_bits
+            edge_total = state.last_event_total
+            children.append((len(state.candidates), choice, key, edge_bits,
+                             edge_total))
             state.restore(checkpoint)
-        for _, choice, key, edge_bits in sorted(children,
-                                                key=lambda c: c[:2]):
+        for _, choice, key, edge_bits, edge_total in sorted(
+                children, key=lambda c: c[:2]):
             if key is not None:
                 if key in self._seen:
                     continue
@@ -160,7 +172,8 @@ class DeadlockAdversary(AdversarySearch):
                     # completion.
                     if (entry is not None and entry.deadlock_free
                             and entry.exact):
-                        self._fold_pruned(state, choice, edge_bits, entry)
+                        self._fold_pruned(state, choice, edge_bits,
+                                          edge_total, entry)
                         continue
                 self._seen.add(key)
             checkpoint = state.snapshot()

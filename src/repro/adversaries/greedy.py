@@ -10,6 +10,7 @@ from ..core.execution import ExecutionState
 from ..core.models import ModelSpec
 from ..core.protocol import Protocol
 from ..graphs.labeled_graph import LabeledGraph
+from ..faults.spec import FaultSpec, resolve_faults
 from .base import AdversarySearch, Witness, worst_witness
 from .kernel import BudgetMeter, OutOfBudget, SearchContext, complete_ascending
 from .scoring import ScoreHook, resolve_score
@@ -68,10 +69,12 @@ class GreedyBitsAdversary(AdversarySearch):
         bit_budget: Optional[int] = None,
         *,
         context: Optional[SearchContext] = None,
+        faults: Union[None, str, FaultSpec] = None,
     ) -> Witness:
+        spec = resolve_faults(faults)
         ctx = SearchContext.ensure(context)
         if ctx.table is not None:
-            ctx.table.bind(graph, protocol, model, bit_budget)
+            ctx.table.bind(graph, protocol, model, bit_budget, faults=spec)
         ctx.stats.searches += 1
         meter = ctx.meter(None)
         best: Optional[Witness] = None
@@ -83,13 +86,14 @@ class GreedyBitsAdversary(AdversarySearch):
                 for defer in (False, True):
                     witness = self._descend(graph, protocol, model,
                                             bit_budget, rng, defer, ctx,
-                                            meter)
+                                            meter, spec)
                     best = (witness if best is None
                             else worst_witness(best, witness))
         except OutOfBudget:
             pass  # context budget exhausted: return the incumbent
         if best is None:
-            state = ExecutionState.initial(graph, protocol, model, bit_budget)
+            state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                           faults=spec)
             complete_ascending(state, meter)
             best = self._witness(state, meter.spent)
         return replace(best, explored=meter.spent)
@@ -104,8 +108,10 @@ class GreedyBitsAdversary(AdversarySearch):
         defer: bool,
         ctx: SearchContext,
         meter: BudgetMeter,
+        faults: FaultSpec,
     ) -> Witness:
-        state = ExecutionState.initial(graph, protocol, model, bit_budget)
+        state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                       faults=faults)
         sign = -1 if defer else 1
         hook = self.score
         table = ctx.table

@@ -32,6 +32,7 @@ __all__ = [
     "DeadlockFirstScore",
     "DecodeFailureScore",
     "SCORE_HOOKS",
+    "register_score_hook",
     "resolve_score",
 ]
 
@@ -48,11 +49,12 @@ class ScoreHook:
     name: str = "score"
 
     def step_score(self, state: ExecutionState) -> float:
-        """Badness of the *last applied write event* (the state is the
-        child configuration just after it).  Higher is worse for the
-        protocol; greedy descents may negate it for their deferring
-        polarity."""
-        return state.board.entries[-1].bits
+        """Badness of the *last applied event* (the state is the child
+        configuration just after it).  Higher is worse for the protocol;
+        greedy descents may negate it for their deferring polarity.
+        Reads ``last_event_bits`` rather than the board tail because a
+        crash or loss fault event leaves the board untouched."""
+        return state.last_event_bits
 
     def prefix_score(self, state: ExecutionState) -> tuple:
         """Badness of the whole prefix, as a lexicographic tuple;
@@ -81,13 +83,13 @@ class DeadlockFirstScore(ScoreHook):
         # searches already short-circuit on state.deadlocked, so the
         # score only has to steer towards starvation.
         n = state.n
-        return (n - len(state.candidates)) * (n + 1) + min(
-            state.board.entries[-1].bits, n
+        return (n - len(state.write_candidates)) * (n + 1) + min(
+            state.last_event_bits, n
         )
 
     def prefix_score(self, state: ExecutionState) -> tuple:
         board = state.board
-        return (-len(state.candidates), board.max_bits(),
+        return (-len(state.write_candidates), board.max_bits(),
                 board.total_bits())
 
 
@@ -111,7 +113,7 @@ class DecodeFailureScore(ScoreHook):
 
     def step_score(self, state: ExecutionState) -> float:
         fails = not self._decodes(state)
-        return (1 << 20 if fails else 0) + state.board.entries[-1].bits
+        return (1 << 20 if fails else 0) + state.last_event_bits
 
     def prefix_score(self, state: ExecutionState) -> tuple:
         board = state.board
@@ -124,6 +126,28 @@ SCORE_HOOKS: dict[str, Callable[[], ScoreHook]] = {
     DeadlockFirstScore.name: DeadlockFirstScore,
     DecodeFailureScore.name: DecodeFailureScore,
 }
+
+
+def register_score_hook(factory: Callable[[], ScoreHook],
+                        name: Union[None, str] = None) -> str:
+    """Register a protocol-supplied hook under a primitive name.
+
+    ``name`` defaults to ``factory().name`` (probing one instance).  The
+    registration is idempotent for the same factory; a *different*
+    factory under an existing name raises — names are fingerprinted into
+    campaign stores, so silently rebinding one would alias distinct
+    behaviours.  Returns the registered name so census wiring can thread
+    it straight into ``score_name`` knobs.
+    """
+    hook_name = name if name is not None else factory().name
+    existing = SCORE_HOOKS.get(hook_name)
+    if existing is not None and existing is not factory:
+        raise ValueError(
+            f"score hook name {hook_name!r} is already registered to "
+            f"{existing!r}"
+        )
+    SCORE_HOOKS[hook_name] = factory
+    return hook_name
 
 
 def resolve_score(score: Union[None, str, ScoreHook]) -> ScoreHook:

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from ..core.execution import ExecutionState
+from ..faults.spec import resolve_faults
 from .base import Witness
 
 __all__ = ["Completion", "TableEntry", "TranspositionTable",
@@ -112,7 +113,8 @@ def dominance_frontier(
 def iter_composed(strategy: str, state: ExecutionState,
                   completions: Iterable[Completion], explored: int,
                   choice: Optional[int] = None,
-                  edge_bits: int = 0) -> "Iterable[Witness]":
+                  edge_bits: int = 0,
+                  edge_total: Optional[int] = None) -> "Iterable[Witness]":
     """Full witnesses from composing ``completions`` onto the prefix
     held by ``state`` (optionally extended by one probed-but-rolled-back
     ``choice`` whose message cost ``edge_bits``), **in completion
@@ -124,10 +126,18 @@ def iter_composed(strategy: str, state: ExecutionState,
     witness_rank` max — both keep the first on ties) reproduces exactly
     the incumbent updates the expanded subtree would have made, which
     is the field-identity guarantee of table-on sweeps.
+
+    ``edge_total`` is the probed edge's contribution to the board total
+    when it differs from ``edge_bits`` — a duplicated write costs
+    ``2 × bits`` on the total while counting once for the maximum, and a
+    crash or loss costs 0 — and defaults to ``edge_bits`` (the reliable
+    write case).
     """
     board = state.board
     base_bits = max(board.max_bits(), edge_bits)
-    base_total = board.total_bits() + edge_bits
+    base_total = board.total_bits() + (
+        edge_total if edge_total is not None else edge_bits
+    )
     prefix = state.schedule if choice is None else state.schedule + (choice,)
     for completion in completions:
         yield Witness(
@@ -199,22 +209,23 @@ class TranspositionTable:
         ))
         return (type(obj).__module__, type(obj).__qualname__, primitives)
 
-    def bind(self, graph, protocol, model, bit_budget) -> None:
+    def bind(self, graph, protocol, model, bit_budget, faults=None) -> None:
         """Pin (or re-check) the cell this table serves.
 
         Completion values are only valid for the exact (graph, protocol,
-        model, budget) they were computed under; reusing a table across
-        cells would serve wrong answers, so it raises instead.
+        model, budget, fault budget) they were computed under; reusing a
+        table across cells would serve wrong answers, so it raises
+        instead.
         """
         scope = (graph, self._component_token(protocol), model.name,
-                 bit_budget)
+                 bit_budget, resolve_faults(faults).canonical())
         if self._scope is None:
             self._scope = scope
         elif self._scope != scope:
             raise ValueError(
                 "TranspositionTable is scoped to one (graph, protocol, "
-                "model, bit budget) cell; create a fresh table (or a fresh "
-                "SearchContext) per cell"
+                "model, bit budget, fault budget) cell; create a fresh "
+                "table (or a fresh SearchContext) per cell"
             )
 
     # -- lookups -------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core.execution import replay_schedule
 from ..core.models import MODELS_BY_NAME
+from ..faults.spec import decode_choice
 from ..core.protocol import Protocol
 from ..core.simulator import RunResult
 
@@ -51,19 +52,18 @@ def narrate(result: RunResult, max_payload_chars: int = 60) -> str:
         mode = "all nodes" if result.model.simultaneous else "nodes"
         lines.append(f"round 0: {mode} {timeline[0]} become active"
                      + (" (messages frozen)" if result.model.asynchronous else ""))
-    for entry in result.board.entries:
-        payload = repr(entry.payload)
-        if len(payload) > max_payload_chars:
-            payload = payload[: max_payload_chars - 3] + "..."
-        lines.append(
-            f"round {entry.round_written}: adversary picks node "
-            f"{entry.author}; it writes {payload} [{entry.bits} bits]"
-        )
-        woken = timeline.get(entry.round_written, [])
-        woken = [w for w in woken if w != entry.author]
-        if woken:
-            frozen = " (messages frozen)" if result.model.asynchronous else ""
-            lines.append(f"         -> nodes {woken} become active{frozen}")
+    if any(choice < 0 for choice in result.schedule):
+        lines.extend(_faulted_event_lines(result, timeline,
+                                          max_payload_chars))
+    else:
+        for entry in result.board.entries:
+            payload = _format_payload(entry.payload, max_payload_chars)
+            lines.append(
+                f"round {entry.round_written}: adversary picks node "
+                f"{entry.author}; it writes {payload} [{entry.bits} bits]"
+            )
+            lines.extend(_woken_lines(result, timeline, entry.round_written,
+                                      entry.author))
     lines.append("")
     if result.success:
         lines.append(
@@ -71,14 +71,91 @@ def narrate(result: RunResult, max_payload_chars: int = 60) -> str:
             f"board holds {result.total_bits} bits "
             f"(max message {result.max_message_bits})"
         )
-        lines.append(f"output: {result.output!r}")
+        if result.crashed:
+            lines.append(
+                f"crashed nodes (adversary fault events): "
+                f"{sorted(result.crashed)}"
+            )
+        if result.output_error is not None:
+            lines.append(f"output: DECODE FAILURE ({result.output_error})")
+        else:
+            lines.append(f"output: {result.output!r}")
     else:
         starved = sorted(result.deadlocked_nodes)
         lines.append(
             f"CORRUPTED configuration: nodes {starved} never became "
             f"active-and-written (deadlock); no output"
         )
+        if result.crashed:
+            lines.append(
+                f"crashed nodes (adversary fault events): "
+                f"{sorted(result.crashed)}"
+            )
     return "\n".join(lines)
+
+
+def _format_payload(payload, max_payload_chars: int) -> str:
+    text = repr(payload)
+    if len(text) > max_payload_chars:
+        text = text[: max_payload_chars - 3] + "..."
+    return text
+
+
+def _woken_lines(result: RunResult, timeline: dict[int, list[int]],
+                 event: int, author: Optional[int]) -> list[str]:
+    woken = timeline.get(event, [])
+    woken = [w for w in woken if w != author]
+    if not woken:
+        return []
+    frozen = " (messages frozen)" if result.model.asynchronous else ""
+    return [f"         -> nodes {woken} become active{frozen}"]
+
+
+def _faulted_event_lines(result: RunResult, timeline: dict[int, list[int]],
+                         max_payload_chars: int) -> list[str]:
+    """Event lines for a schedule that contains fault events.
+
+    The board alone no longer tells the whole story (crashes and losses
+    leave no entry; a duplication leaves two), so this walks the
+    schedule with a board-entry cursor, keeping the 1-based event
+    counter aligned with ``entry.round_written``.
+    """
+    lines: list[str] = []
+    entries = result.board.entries
+    cursor = 0
+    for event, choice in enumerate(result.schedule, start=1):
+        kind, node = decode_choice(choice, result.n)
+        if kind == "write":
+            entry = entries[cursor]
+            cursor += 1
+            payload = _format_payload(entry.payload, max_payload_chars)
+            lines.append(
+                f"round {event}: adversary picks node "
+                f"{entry.author}; it writes {payload} [{entry.bits} bits]"
+            )
+            lines.extend(_woken_lines(result, timeline, event, entry.author))
+        elif kind == "dup":
+            entry = entries[cursor]
+            cursor += 2
+            payload = _format_payload(entry.payload, max_payload_chars)
+            lines.append(
+                f"round {event}: FAULT -- node {node}'s write is applied "
+                f"twice; it writes {payload} [{entry.bits} bits x2]"
+            )
+            lines.extend(_woken_lines(result, timeline, event, node))
+        elif kind == "crash":
+            discarded = (" and its frozen message is discarded"
+                         if result.model.asynchronous else "")
+            lines.append(
+                f"round {event}: FAULT -- node {node} crashes "
+                f"(crash-stop); it never writes{discarded}"
+            )
+        else:  # loss
+            lines.append(
+                f"round {event}: FAULT -- node {node} writes, but the "
+                f"message is lost; the board is unchanged"
+            )
+    return lines
 
 
 def narrate_witness(
@@ -97,8 +174,10 @@ def narrate_witness(
     bug, not a rendering concern.
     """
     model = MODELS_BY_NAME[witness.model_name]
+    faults = getattr(witness, "faults", None)
     result = replay_schedule(
-        witness.graph, protocol, model, witness.schedule, bit_budget
+        witness.graph, protocol, model, witness.schedule, bit_budget,
+        faults=faults,
     )
     if (result.max_message_bits, result.corrupted) != (
             witness.bits, witness.deadlock):
@@ -114,13 +193,15 @@ def narrate_witness(
         f"under {witness.model_name}: {outcome}\n"
         f"schedule: {witness.schedule}\n"
     )
+    if faults is not None:
+        header += f"fault budget: {faults}\n"
     minimal = witness.minimal_schedule
     if minimal is not None:
         from ..adversaries.base import schedule_forces
 
         if not schedule_forces(witness.graph, protocol, model, minimal,
                                bits=witness.bits, deadlock=witness.deadlock,
-                               bit_budget=bit_budget):
+                               bit_budget=bit_budget, faults=faults):
             raise ValueError(
                 f"minimal schedule {minimal} does not force the recorded "
                 f"badness ({witness.bits} bits, deadlock={witness.deadlock})"

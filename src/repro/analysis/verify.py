@@ -67,6 +67,7 @@ def verify_protocol(
     store=None,
     score: Optional[str] = None,
     share_table: bool = False,
+    faults: Optional[str] = None,
 ) -> VerificationReport:
     """Sweep ``protocol`` under ``model`` over ``instances``.
 
@@ -100,6 +101,11 @@ def verify_protocol(
         Stress mode only: run each search cell's strategies through one
         shared :class:`~repro.adversaries.SearchContext`, so they reuse
         one transposition table of completion values.
+    faults:
+        Optional fault-budget spec (``"crash:2,loss:1"``); stress mode
+        only — exhaustive cells then enumerate the joint fault ×
+        schedule space and search cells hunt it with fault-choosing
+        adversaries.  Witnesses record their fault events inline.
     store:
         Optional :class:`repro.campaigns.store.ResultStore` for
         opportunistic reuse: cells whose fingerprint is already stored
@@ -125,6 +131,7 @@ def verify_protocol(
         allow_deadlock=allow_deadlock,
         score=score,
         share_table=share_table,
+        faults=faults,
     )
     if store is not None:
         from ..campaigns.runner import run_plan_with_store

@@ -31,6 +31,7 @@ from typing import Iterator, Optional, Sequence
 
 from ..analysis.checkers import default_checker
 from ..core.models import MODELS_BY_NAME
+from ..faults.spec import resolve_faults
 from ..graphs.families import FAMILIES, family
 from ..protocols.census import CENSUS_BY_KEY
 from ..runtime.backends import Backend, SerialBackend
@@ -61,6 +62,9 @@ class CampaignCell:
     #: Deadlocks count as executions, not failures — the Corollary 4
     #: setting, where deadlock witnesses *are* the measurement.
     allow_deadlock: bool = False
+    #: Canonical fault-budget string (``"crash:1,loss:1"``); ``None``
+    #: falls back to the spec-level default.  Requires stress mode.
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.protocol_key not in CENSUS_BY_KEY:
@@ -72,6 +76,12 @@ class CampaignCell:
             known = ", ".join(sorted(FAMILIES))
             raise ValueError(
                 f"unknown instance family {self.family!r}; known: {known}"
+            )
+        if self.faults is not None:
+            # Normalise eagerly so equal budgets always fingerprint
+            # identically, and typos fail at spec construction.
+            object.__setattr__(
+                self, "faults", resolve_faults(self.faults).canonical()
             )
 
     def instances(self):
@@ -99,7 +109,8 @@ class CampaignCell:
 
     def build_plan(self, mode: str, exhaustive_threshold: int,
                    score: Optional[str] = None,
-                   share_table: bool = False) -> ExecutionPlan:
+                   share_table: bool = False,
+                   faults: Optional[str] = None) -> ExecutionPlan:
         entry = CENSUS_BY_KEY[self.protocol_key]
         return ExecutionPlan.build(
             entry.instantiate(),
@@ -112,6 +123,7 @@ class CampaignCell:
             keep_runs=False,
             score=score if mode == "stress" else None,
             share_table=share_table if mode == "stress" else False,
+            faults=faults,
         )
 
 
@@ -131,6 +143,9 @@ class CampaignSpec:
     exhaustive_threshold: int = 5
     score: Optional[str] = None
     share_table: bool = False
+    #: Spec-level default fault budget; cells override with their own
+    #: ``faults`` (``None`` on a cell means "inherit this").
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("verify", "stress"):
@@ -144,6 +159,21 @@ class CampaignSpec:
                 "score/share_table are search-kernel knobs; they only "
                 "apply to stress campaigns"
             )
+        if self.faults is not None:
+            object.__setattr__(
+                self, "faults", resolve_faults(self.faults).canonical()
+            )
+        if self.mode != "stress" and (
+            self.faults is not None
+            or any(cell.faults is not None for cell in self.cells)
+        ):
+            raise ValueError(
+                "fault budgets only apply to stress campaigns"
+            )
+
+    def cell_faults(self, cell: CampaignCell) -> Optional[str]:
+        """The effective fault budget for ``cell`` (cell overrides spec)."""
+        return cell.faults if cell.faults is not None else self.faults
 
     def plans(self) -> Iterator[tuple[CampaignCell, ExecutionPlan]]:
         """Each cell lowered to its execution plan, in spec order."""
@@ -151,6 +181,7 @@ class CampaignSpec:
             yield cell, cell.build_plan(
                 self.mode, self.exhaustive_threshold,
                 score=self.score, share_table=self.share_table,
+                faults=self.cell_faults(cell),
             )
 
 

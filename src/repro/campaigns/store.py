@@ -33,7 +33,9 @@ stateless; worker processes never see the SQLite handle.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import importlib
 import json
 import os
 import sqlite3
@@ -74,6 +76,7 @@ SALT_ENV_VAR = "REPRO_CAMPAIGN_SALT"
 _SALT_SOURCES = (
     "core",
     "encoding",
+    "faults",
     "graphs",
     "protocols",
     "adversaries",
@@ -233,6 +236,9 @@ def task_fingerprint(task: Any, salt: Optional[str] = None) -> str:
         # fingerprints of exhaustive cells do not churn with them).
         "score": getattr(task, "score", None),
         "share_table": getattr(task, "share_table", False),
+        # Canonical fault-budget string (None on reliable cells, so
+        # pre-fault fingerprints are unchanged modulo the salt).
+        "faults": getattr(task, "faults", None),
     }
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
@@ -269,6 +275,21 @@ def payload_to_jsonable(value: Any) -> Any:
             [payload_to_jsonable(k), payload_to_jsonable(v)]
             for k, v in value.items()
         ]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Structured protocol outputs (BFS forests, MIS certificates…)
+        # become routine Failure payloads under fault budgets; encode
+        # them field-by-field so the round trip stays exact.
+        cls = type(value)
+        fields = dataclasses.fields(value)
+        if any(not f.init for f in fields):
+            raise TypeError(
+                f"cannot store dataclass {cls.__qualname__!r}: it has "
+                "non-init fields"
+            )
+        return ["dataclass", f"{cls.__module__}.{cls.__qualname__}", [
+            [f.name, payload_to_jsonable(getattr(value, f.name))]
+            for f in fields
+        ]]
     raise TypeError(
         f"cannot store payload of type {type(value).__qualname__!r}: {value!r}"
     )
@@ -300,6 +321,15 @@ def payload_from_jsonable(value: Any) -> Any:
             payload_from_jsonable(k): payload_from_jsonable(v)
             for k, v in rest
         }
+    if tag == "dataclass":
+        path, fields = rest
+        module_name, _, qualname = path.rpartition(".")
+        target = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+        return target(**{
+            name: payload_from_jsonable(v) for name, v in fields
+        })
     raise ValueError(f"unknown stored payload tag {tag!r}")
 
 
@@ -334,6 +364,7 @@ def witness_to_jsonable(witness: WitnessRecord) -> dict[str, Any]:
             None if witness.minimal_schedule is None
             else list(witness.minimal_schedule)
         ),
+        "faults": witness.faults,
     }
 
 
@@ -348,6 +379,7 @@ def witness_from_jsonable(data: dict[str, Any]) -> WitnessRecord:
         bits=data["bits"],
         deadlock=data["deadlock"],
         minimal_schedule=None if minimal is None else tuple(minimal),
+        faults=data.get("faults"),
     )
 
 

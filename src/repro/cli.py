@@ -16,13 +16,21 @@
   guided adversary search above, reporting worst witness schedules
   (raw and minimised); ``--share-table`` shares one transposition
   table across each cell's strategies, ``--score`` swaps the badness
-  hook, ``--store PATH`` serves unchanged cells from a result store
+  hook, ``--faults crash:2,loss:1`` lets the adversary interleave
+  crash-stop/lossy/duplicated-write events with the schedule,
+  ``--store PATH`` serves unchanged cells from a result store
 * ``campaign`` — persistent, resumable stress campaigns over a SQLite
   :class:`~repro.campaigns.store.ResultStore`: ``run`` (store hits are
   served from cache, misses execute and become durable the moment they
   finish), ``status``, ``report`` (cross-run witness trajectories),
   ``gc`` (drop results no longer live under the current spec + code
-  version)
+  version), ``claims`` (exhaustively check every census fault claim;
+  violations exit nonzero with replayable deadlock witnesses)
+
+``stress`` and ``campaign run`` degrade gracefully: Ctrl-C (or an
+exhausted search budget) commits every already-streamed outcome to the
+store, prints a partial summary, and exits 130 — re-running the same
+command resumes from the committed prefix.
 * ``experiment`` / ``reproduce-all`` — the E1–E20 index (``--jobs`` fans
   experiments across worker processes)
 * ``protocols`` — list every shipped protocol (the census registry)
@@ -185,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--share-table", action="store_true",
                     help="share one transposition table across the "
                          "strategies of each search cell")
+    st.add_argument("--faults", default=None, metavar="SPEC",
+                    help="adversary fault budget, e.g. 'crash:2,loss:1' "
+                         "(kinds: crash, loss, dup); fault events join "
+                         "the searched schedule space")
     st.add_argument("--store", default=None, metavar="PATH",
                     help="SQLite result store for opportunistic reuse: "
                          "cells already stored are served from it, "
@@ -223,6 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--share-table", action="store_true",
                        help="share one transposition table per search cell "
                             "(participates in task fingerprints)")
+        p.add_argument("--faults", default=None, metavar="SPEC",
+                       help="adversary fault budget for every cell, e.g. "
+                            "'crash:1' (participates in task fingerprints)")
 
     crun = csub.add_parser(
         "run", help="run (or resume, or replay from cache) a campaign")
@@ -261,6 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
     _spec_args(cgc, required=False)
     cgc.add_argument("--quick", action="store_true",
                      help="liveness from the built-in smoke campaign spec")
+
+    cclaims = csub.add_parser(
+        "claims",
+        help="check every census fault claim exhaustively; a violated "
+             "claim exits nonzero with a replayable deadlock witness")
+    cclaims.add_argument("--store", default=None,
+                         help="optional result store (claim cells cache and "
+                              "resume like any campaign)")
+    cclaims.add_argument("--name", default="fault-claims",
+                         help="campaign name for stored claim cells")
+    cclaims.add_argument("--protocol", dest="protocols", action="append",
+                         default=None, choices=sorted(CENSUS_BY_KEY),
+                         help="restrict to specific protocols (repeatable)")
+    cclaims.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: serial)")
+    cclaims.add_argument("--trace", action="store_true",
+                         help="narrate the minimised witness of every "
+                              "violated claim")
 
     exp = sub.add_parser("experiment", help="regenerate one experiment (E1-E20)")
     exp.add_argument("experiment_id", help="e.g. E5")
@@ -440,17 +473,43 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_stress(args) -> int:
+    from .adversaries import OutOfBudget
+    from .faults.spec import resolve_faults
     from .runtime import resolve_backend
 
+    try:
+        resolve_faults(args.faults)  # typos fail as usage errors
+    except ValueError as exc:
+        raise SystemExit(f"stress: {exc}")
     backend = resolve_backend(args.jobs)
     instances = _build_instances(args)
     store = _open_store(args.store)
     try:
         all_ok = _stress_protocols(args, backend, instances, store)
+    except (KeyboardInterrupt, OutOfBudget) as exc:
+        print()
+        print(_interrupt_summary("stress", exc, store))
+        return 130
     finally:
         if store is not None:
             store.close()
     return 0 if all_ok else 1
+
+
+def _interrupt_summary(command: str, exc: BaseException, store) -> str:
+    """One partial-progress line for an interrupted run.
+
+    Outcomes stream into the store as they complete, so everything
+    committed before the interrupt is durable — re-running the same
+    command resumes from there instead of starting over.
+    """
+    reason = type(exc).__name__
+    if store is None:
+        return (f"{command}: interrupted ({reason}); no --store, so "
+                "partial results are discarded")
+    return (f"{command}: interrupted ({reason}); {store.writes} executed "
+            f"outcome(s) committed, {store.hits} served from cache — "
+            "re-run the same command to resume")
 
 
 def _stress_protocols(args, backend, instances, store) -> bool:
@@ -471,6 +530,7 @@ def _stress_protocols(args, backend, instances, store) -> bool:
             exhaustive_threshold=args.threshold,
             score=args.score,
             share_table=args.share_table,
+            faults=args.faults,
         )
         report, cached = _run_plan(plan, backend, store)
         all_ok &= report.ok
@@ -515,7 +575,12 @@ def _campaign_spec(args):
 
     try:
         if getattr(args, "quick", False):
-            return quick_campaign(args.name)
+            spec = quick_campaign(args.name)
+            if getattr(args, "faults", None) is not None:
+                import dataclasses
+
+                spec = dataclasses.replace(spec, faults=args.faults)
+            return spec
         if not args.protocols:
             raise SystemExit(
                 "campaign: provide at least one --protocol (or use --quick)"
@@ -539,6 +604,7 @@ def _campaign_spec(args):
             exhaustive_threshold=args.threshold,
             score=args.score,
             share_table=args.share_table,
+            faults=args.faults,
         )
         for campaign_cell in spec.cells:
             campaign_cell.instances()  # eager: invalid sizes fail here
@@ -563,13 +629,19 @@ def _existing_store(path: str):
 
 
 def _cmd_campaign_run(args) -> int:
+    from .adversaries import OutOfBudget
     from .campaigns import Campaign, ResultStore
     from .runtime import resolve_backend
 
     spec = _campaign_spec(args)
     backend = resolve_backend(args.jobs)
     with ResultStore(args.store) as store:
-        result = Campaign(spec).run(store, backend=backend)
+        try:
+            result = Campaign(spec).run(store, backend=backend)
+        except (KeyboardInterrupt, OutOfBudget) as exc:
+            print()
+            print(_interrupt_summary(f"campaign {spec.name!r}", exc, store))
+            return 130
         print(f"[store {args.store}, backend {backend.name}]")
         for cell_result in result.cells:
             cell = cell_result.cell
@@ -634,12 +706,50 @@ def _cmd_campaign_gc(args) -> int:
     return 0
 
 
+def _cmd_campaign_claims(args) -> int:
+    from .faults.claims import verify_claims
+    from .protocols.census import CENSUS_BY_KEY
+    from .runtime import resolve_backend
+
+    backend = resolve_backend(args.jobs)
+    store = _open_store(args.store)
+    try:
+        try:
+            verdicts = verify_claims(
+                store=store, backend=backend,
+                keys=args.protocols, name=args.name,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"campaign claims: {exc}")
+        violated = [v for v in verdicts if v.violated]
+        for verdict in verdicts:
+            print(verdict.summary())
+        if args.trace and violated:
+            from .analysis.trace import narrate_witness
+
+            for verdict in violated:
+                entry = CENSUS_BY_KEY[verdict.protocol_key]
+                print()
+                print(f"-- witness refuting {verdict.protocol_key} "
+                      f"under {verdict.claim} --")
+                print(narrate_witness(verdict.witnesses[0],
+                                      entry.instantiate()))
+        print()
+        print(f"{len(verdicts) - len(violated)}/{len(verdicts)} fault "
+              "claims hold (checked exhaustively)")
+    finally:
+        if store is not None:
+            store.close()
+    return 1 if violated else 0
+
+
 def _cmd_campaign(args) -> int:
     handler = {
         "run": _cmd_campaign_run,
         "status": _cmd_campaign_status,
         "report": _cmd_campaign_report,
         "gc": _cmd_campaign_gc,
+        "claims": _cmd_campaign_claims,
     }[args.campaign_command]
     return handler(args)
 

@@ -10,7 +10,9 @@ into an explicit state machine instead:
 * :meth:`ExecutionState.initial` builds the configuration after the
   round-0 activation pass;
 * :attr:`ExecutionState.candidates` is the adversary's current choice
-  set (active, unwritten nodes, ascending);
+  set — active, unwritten nodes ascending, followed by any affordable
+  fault events (crash-stop, lossy write, duplicated write) when the
+  state carries a :class:`~repro.faults.spec.FaultSpec` budget;
 * :meth:`ExecutionState.advance` applies one adversary choice — compute
   the writer's message (frozen value in asynchronous models, recomputed
   in synchronous ones), charge the bit budget, append to the board, run
@@ -41,9 +43,10 @@ from __future__ import annotations
 from collections.abc import Iterable
 from copy import deepcopy
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from ..encoding.bits import payload_bits, payload_key
+from ..faults.spec import FaultSpec, decode_choice, resolve_faults
 from ..graphs.labeled_graph import LabeledGraph
 from .errors import MessageTooLarge, ProtocolViolation, SchedulerError
 from .models import ModelSpec
@@ -51,6 +54,10 @@ from .protocol import NodeView, Protocol
 from .whiteboard import Whiteboard
 
 __all__ = ["RunResult", "ExecutionState", "Checkpoint", "replay_schedule"]
+
+#: Distinguishes "cache entry was absent" from "cached value was None"
+#: when a crash undo restores a node's frozen-message caches.
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -73,6 +80,16 @@ class RunResult:
         any write).
     max_message_bits / total_bits:
         Exact sizes of the largest message and of the whole board.
+    schedule:
+        The full adversary schedule, fault events included (equals
+        ``write_order`` for reliable runs).
+    crashed:
+        Nodes halted by crash-stop fault events (empty for reliable
+        runs).
+    output_error:
+        ``"ExcType: message"`` when ``protocol.output`` raised on a
+        fault-perturbed board (faulted runs only); ``output`` is then
+        ``None``.
     """
 
     success: bool
@@ -85,6 +102,9 @@ class RunResult:
     model: ModelSpec
     protocol_name: str
     n: int
+    schedule: tuple[int, ...] = ()
+    crashed: frozenset[int] = frozenset()
+    output_error: Optional[str] = None
 
     @property
     def corrupted(self) -> bool:
@@ -92,9 +112,21 @@ class RunResult:
 
     @property
     def deadlocked_nodes(self) -> frozenset[int]:
-        """Nodes that never wrote (empty iff the run succeeded)."""
-        written = set(self.write_order)
-        return frozenset(v for v in range(1, self.n + 1) if v not in written)
+        """Nodes stuck unterminated (empty iff the run succeeded).
+
+        A node terminates by writing, by having its write lost (it
+        believes it wrote), or by crashing — only the remainder is
+        deadlocked.
+        """
+        terminated = set(self.write_order) | set(self.crashed)
+        for choice in self.schedule:
+            if choice < 0:
+                kind, node = decode_choice(choice, self.n)
+                if kind == "loss":
+                    terminated.add(node)
+        return frozenset(
+            v for v in range(1, self.n + 1) if v not in terminated
+        )
 
 
 @dataclass(frozen=True)
@@ -116,9 +148,10 @@ class ExecutionState:
 
     __slots__ = (
         "graph", "protocol", "proto", "model", "bit_budget", "stateless",
-        "board", "written", "active", "frozen", "frozen_bits",
-        "activation_round", "choices", "_journal", "_candidates",
-        "_entry_keys", "_frozen_keys",
+        "faults", "board", "written", "active", "crashed", "frozen",
+        "frozen_bits", "activation_round", "choices", "crashes_left",
+        "losses_left", "dups_left", "last_event_bits", "last_event_total",
+        "_journal", "_candidates", "_entry_keys", "_frozen_keys",
     )
 
     def __init__(self) -> None:  # use ExecutionState.initial(...)
@@ -131,6 +164,7 @@ class ExecutionState:
         protocol: Protocol,
         model: ModelSpec,
         bit_budget: Optional[int] = None,
+        faults: "Union[None, str, FaultSpec]" = None,
     ) -> "ExecutionState":
         """The configuration after the round-0 activation pass."""
         self = object.__new__(cls)
@@ -138,6 +172,7 @@ class ExecutionState:
         self.protocol = protocol
         self.model = model
         self.bit_budget = bit_budget
+        self.faults = resolve_faults(faults)
         proto = protocol.fresh()
         self.proto = proto
         self.stateless = proto is protocol
@@ -149,10 +184,16 @@ class ExecutionState:
         self.board = Whiteboard()
         self.written = set()
         self.active = set()
+        self.crashed = set()
         self.frozen = {}
         self.frozen_bits = {}
         self.activation_round = {}
         self.choices = []
+        self.crashes_left = self.faults.max_crashes
+        self.losses_left = self.faults.max_losses
+        self.dups_left = self.faults.max_duplications
+        self.last_event_bits = 0
+        self.last_event_total = 0
         self._journal = []
         self._candidates = None
         self._entry_keys = []
@@ -167,36 +208,84 @@ class ExecutionState:
 
     @property
     def depth(self) -> int:
-        """Number of write events applied so far."""
+        """Number of schedule events applied so far (faults included)."""
         return len(self.choices)
 
     @property
     def schedule(self) -> tuple[int, ...]:
-        """The adversary choices applied so far."""
+        """The adversary choices applied so far (fault events encoded
+        as negative integers, see :mod:`repro.faults.spec`)."""
         return tuple(self.choices)
+
+    def _candidate_pair(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(write candidates, full candidates)``, cached per step.
+
+        Write candidates are the active, unwritten nodes (ascending) —
+        exactly the reliable engine's choice set.  When fault budget
+        remains *and* at least one write candidate exists, the full
+        tuple appends fault events after the writes: crash events for
+        every surviving unterminated node, then loss and duplication
+        events for every write candidate.  Writes-first ordering keeps
+        ``candidates[0]`` the smallest normal write, so ascending
+        completions never consume fault budget.
+        """
+        pair = self._candidates
+        if pair is None:
+            writes = tuple(sorted(self.active - self.written))
+            full = writes
+            if writes and (self.crashes_left or self.losses_left
+                           or self.dups_left):
+                events = list(writes)
+                n = self.graph.n
+                if self.crashes_left:
+                    events.extend(
+                        -v for v in sorted(
+                            set(self.graph.nodes())
+                            - self.written - self.crashed
+                        )
+                    )
+                if self.losses_left:
+                    events.extend(-(n + v) for v in writes)
+                if self.dups_left:
+                    events.extend(-(2 * n + v) for v in writes)
+                full = tuple(events)
+            pair = (writes, full)
+            self._candidates = pair
+        return pair
 
     @property
     def candidates(self) -> tuple[int, ...]:
-        """Active, unwritten nodes the adversary may pick (ascending)."""
-        c = self._candidates
-        if c is None:
-            c = tuple(sorted(self.active - self.written))
-            self._candidates = c
-        return c
+        """Choices the adversary may pick: active unwritten nodes
+        (ascending), then any affordable fault events."""
+        return self._candidate_pair()[1]
+
+    @property
+    def write_candidates(self) -> tuple[int, ...]:
+        """Active, unwritten nodes only — the reliable choice set."""
+        return self._candidate_pair()[0]
+
+    @property
+    def faults_remaining(self) -> bool:
+        """Whether any fault budget is still unspent."""
+        return bool(self.crashes_left or self.losses_left or self.dups_left)
 
     @property
     def done(self) -> bool:
-        """Every node has written (the successful final configuration)."""
-        return len(self.written) == self.graph.n
+        """Every node terminated — wrote (possibly lost) or crashed."""
+        return len(self.written) + len(self.crashed) == self.graph.n
 
     @property
     def deadlocked(self) -> bool:
-        """Unwritten nodes remain but none is active (corrupted)."""
-        return not self.done and not self.candidates
+        """Unterminated nodes remain but none can write (corrupted).
+
+        Fault events cannot rescue a deadlock: once no write candidate
+        exists the execution is over, budget or not.
+        """
+        return not self.done and not self.write_candidates
 
     @property
     def terminal(self) -> bool:
-        return self.done or not self.candidates
+        return self.done or not self.write_candidates
 
     def config_key(self) -> tuple:
         """Canonical, always-hashable digest of this configuration.
@@ -245,13 +334,24 @@ class ExecutionState:
                 part.append((v, key))
             part.sort()
             frozen_part = tuple(part)
-        return (
+        base = (
             tuple(keys),
             frozenset(self.written),
             frozenset(self.active),
             frozen_part,
             tuple(sorted(self.activation_round.items())),
         )
+        if self.faults.enabled:
+            # Crashed nodes and remaining budgets are part of the
+            # configuration: two states that differ only in what the
+            # adversary can still break have different futures.  The
+            # component is appended (rather than always present) so
+            # fault-free keys stay bit-identical to the reliable engine.
+            return base + (
+                frozenset(self.crashed),
+                (self.crashes_left, self.losses_left, self.dups_left),
+            )
+        return base
 
     # -- the step relation --------------------------------------------
 
@@ -291,8 +391,9 @@ class ExecutionState:
         model = self.model
         proto = self.proto
         active, written = self.active, self.written
+        crashed = self.crashed
         for v in self.graph.nodes():
-            if v in active or v in written:
+            if v in active or v in written or v in crashed:
                 continue
             if model.simultaneous:
                 should = event == 0  # everyone activates after round 1
@@ -327,7 +428,8 @@ class ExecutionState:
         return bits
 
     def advance(self, choice: int) -> "ExecutionState":
-        """Apply one adversary choice (a write event); returns ``self``.
+        """Apply one adversary choice (a write or fault event); returns
+        ``self``.
 
         Raises :class:`SchedulerError` when ``choice`` is not currently a
         candidate, :class:`MessageTooLarge` when the message exceeds the
@@ -339,6 +441,8 @@ class ExecutionState:
             raise SchedulerError(
                 f"scheduler chose {choice}, not among active nodes {candidates}"
             )
+        if choice < 0:
+            return self._advance_fault(choice)
         if self.model.asynchronous:
             payload = self.frozen[choice]
         else:
@@ -352,7 +456,76 @@ class ExecutionState:
         self.active.discard(choice)
         activated = self._activation_pass(event)
         self.choices.append(choice)
-        self._journal.append((choice, tuple(activated)))
+        self._journal.append(("w", choice, tuple(activated)))
+        self.last_event_bits = bits
+        self.last_event_total = bits
+        self._candidates = None
+        return self
+
+    def _produce_message(self, node: int) -> tuple[Any, int]:
+        """The message ``node`` would write now, budget-checked."""
+        if self.model.asynchronous:
+            payload = self.frozen[node]
+        else:
+            payload = self._own_payload(self.proto.message(self._view_of(node)))
+        bits = self._message_bits(node, payload)
+        if self.bit_budget is not None and bits > self.bit_budget:
+            raise MessageTooLarge(node, bits, self.bit_budget)
+        return payload, bits
+
+    def _advance_fault(self, choice: int) -> "ExecutionState":
+        """Apply one fault event; the fault-kind journal entries make
+        the undo path exact, so snapshot/restore and ``config_key()``
+        keep working unchanged under faults."""
+        kind, node = decode_choice(choice, self.graph.n)
+        if kind == "crash":
+            # Crash-stop: the node halts for good; its pending frozen
+            # message (asynchronous models) is discarded.  The board is
+            # untouched, so no activation pass can fire.
+            was_active = node in self.active
+            saved = None
+            if was_active:
+                self.active.discard(node)
+                if self.model.asynchronous:
+                    saved = (
+                        self.frozen.pop(node),
+                        self.frozen_bits.pop(node, _MISSING),
+                        self._frozen_keys.pop(node, _MISSING),
+                    )
+            self.crashed.add(node)
+            self.crashes_left -= 1
+            self.choices.append(choice)
+            self._journal.append(("c", node, (was_active, saved)))
+            self.last_event_bits = 0
+            self.last_event_total = 0
+        elif kind == "loss":
+            # Lossy write: the message is produced (and budget-charged)
+            # but never reaches the board; the writer terminates
+            # believing it wrote.  No board change, no activations.
+            self._produce_message(node)
+            self.written.add(node)
+            self.active.discard(node)
+            self.losses_left -= 1
+            self.choices.append(choice)
+            self._journal.append(("l", node, None))
+            self.last_event_bits = 0
+            self.last_event_total = 0
+        else:  # dup
+            # Duplicated write: two identical entries at the same event
+            # index.  Doubles the total-bits accounting while the
+            # max-message accounting sees a single message.
+            payload, bits = self._produce_message(node)
+            event = len(self.choices) + 1
+            self.board.write(node, payload, event, bits=bits)
+            self.board.write(node, payload, event, bits=bits)
+            self.written.add(node)
+            self.active.discard(node)
+            activated = self._activation_pass(event)
+            self.dups_left -= 1
+            self.choices.append(choice)
+            self._journal.append(("d", node, tuple(activated)))
+            self.last_event_bits = bits
+            self.last_event_total = 2 * bits
         self._candidates = None
         return self
 
@@ -389,11 +562,31 @@ class ExecutionState:
         return self
 
     def _undo_one(self) -> None:
-        """Undo the last write event and its activation side-effects."""
-        writer, activated = self._journal.pop()
+        """Undo the last schedule event and its side-effects."""
+        kind, node, data = self._journal.pop()
         self.choices.pop()
+        if kind == "c":
+            was_active, saved = data
+            self.crashed.discard(node)
+            self.crashes_left += 1
+            if was_active:
+                self.active.add(node)
+                if saved is not None:
+                    payload, fbits, fkey = saved
+                    self.frozen[node] = payload
+                    if fbits is not _MISSING:
+                        self.frozen_bits[node] = fbits
+                    if fkey is not _MISSING:
+                        self._frozen_keys[node] = fkey
+            return
+        if kind == "l":
+            self.losses_left += 1
+            self.written.discard(node)
+            self.active.add(node)
+            return
+        # "w" and "d": undo activations, board entries, and the write.
         asynchronous = self.model.asynchronous
-        for v in activated:
+        for v in data:
             self.active.discard(v)
             del self.activation_round[v]
             if asynchronous:
@@ -401,10 +594,13 @@ class ExecutionState:
                 self.frozen_bits.pop(v, None)
                 self._frozen_keys.pop(v, None)
         self.board.entries.pop()
+        if kind == "d":
+            self.board.entries.pop()
+            self.dups_left += 1
         if len(self._entry_keys) > len(self.board.entries):
             del self._entry_keys[len(self.board.entries):]
-        self.written.discard(writer)
-        self.active.add(writer)
+        self.written.discard(node)
+        self.active.add(node)
 
     def copy(self) -> "ExecutionState":
         """An independent fork of this configuration.
@@ -414,7 +610,8 @@ class ExecutionState:
         """
         if not self.stateless:
             clone = ExecutionState.initial(
-                self.graph, self.protocol, self.model, self.bit_budget
+                self.graph, self.protocol, self.model, self.bit_budget,
+                faults=self.faults,
             )
             for choice in self.choices:
                 clone.advance(choice)
@@ -425,14 +622,21 @@ class ExecutionState:
         clone.proto = self.proto
         clone.model = self.model
         clone.bit_budget = self.bit_budget
+        clone.faults = self.faults
         clone.stateless = True
         clone.board = Whiteboard(entries=list(self.board.entries))
         clone.written = set(self.written)
         clone.active = set(self.active)
+        clone.crashed = set(self.crashed)
         clone.frozen = dict(self.frozen)
         clone.frozen_bits = dict(self.frozen_bits)
         clone.activation_round = dict(self.activation_round)
         clone.choices = list(self.choices)
+        clone.crashes_left = self.crashes_left
+        clone.losses_left = self.losses_left
+        clone.dups_left = self.dups_left
+        clone.last_event_bits = self.last_event_bits
+        clone.last_event_total = self.last_event_total
         clone._journal = list(self._journal)
         clone._candidates = self._candidates
         clone._entry_keys = list(self._entry_keys)
@@ -453,10 +657,20 @@ class ExecutionState:
                 "remain"
             )
         success = self.done
-        output = (
-            self.proto.output(self.board.view(), self.graph.n)
-            if success else None
-        )
+        output = None
+        output_error = None
+        if success:
+            if self.faults.enabled:
+                # Faults can hand the decoder a board the protocol never
+                # promised to survive (missing, duplicated, or truncated
+                # entries); a decoder crash is a *verdict* — recorded,
+                # not raised.
+                try:
+                    output = self.proto.output(self.board.view(), self.graph.n)
+                except Exception as exc:  # noqa: BLE001
+                    output_error = f"{type(exc).__name__}: {exc}"
+            else:
+                output = self.proto.output(self.board.view(), self.graph.n)
         frozen_board = Whiteboard(entries=list(self.board.entries))
         return RunResult(
             success=success,
@@ -469,6 +683,9 @@ class ExecutionState:
             model=self.model,
             protocol_name=self.proto.name,
             n=self.graph.n,
+            schedule=tuple(self.choices),
+            crashed=frozenset(self.crashed),
+            output_error=output_error,
         )
 
 
@@ -478,16 +695,21 @@ def replay_schedule(
     model: ModelSpec,
     schedule: Iterable[int],
     bit_budget: Optional[int] = None,
+    faults: "Union[None, str, FaultSpec]" = None,
 ) -> RunResult:
     """Re-execute a concrete adversary schedule to a terminal result.
 
     The schedule must be valid (every choice a candidate when applied —
     :class:`SchedulerError` otherwise) and complete (the state must be
-    terminal afterwards — :class:`ValueError` otherwise).  This is how
-    witness schedules found by adversary searches are turned back into
-    full transcripts for checking and narration.
+    terminal afterwards — :class:`ValueError` otherwise).  Faulted
+    schedules carry their fault events inline, so replay under the same
+    ``faults`` budget reproduces crashes, losses, and duplications
+    bit-identically.  This is how witness schedules found by adversary
+    searches are turned back into full transcripts for checking and
+    narration.
     """
-    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                   faults=faults)
     for choice in schedule:
         state.advance(choice)
     return state.result()

@@ -41,8 +41,9 @@ the perf-regression gate compare the engine against it.
 from __future__ import annotations
 
 from collections.abc import Iterator
-from typing import Optional
+from typing import Optional, Union
 
+from ..faults.spec import FaultSpec
 from ..graphs.labeled_graph import LabeledGraph
 from .execution import ExecutionState, RunResult
 from .models import ModelSpec
@@ -58,6 +59,7 @@ def run(
     model: ModelSpec,
     scheduler: Scheduler,
     bit_budget: Optional[int] = None,
+    faults: Union[None, str, FaultSpec] = None,
 ) -> RunResult:
     """Execute ``protocol`` on ``graph`` under ``model`` with the given
     adversary.
@@ -68,8 +70,13 @@ def run(
         Optional hard cap (in bits) on every message; exceeding it raises
         :class:`~repro.core.errors.MessageTooLarge`.  ``None`` records
         sizes without enforcing.
+    faults:
+        Optional fault budget (spec string or
+        :class:`~repro.faults.spec.FaultSpec`); fault events then appear
+        among the scheduler's candidates as negative integers.
     """
-    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                   faults=faults)
     sched = scheduler.fresh()
     while not state.terminal:
         writer = sched.choose(state.candidates, state.board,
@@ -84,6 +91,7 @@ def all_executions(
     model: ModelSpec,
     bit_budget: Optional[int] = None,
     limit: Optional[int] = None,
+    faults: Union[None, str, FaultSpec] = None,
 ) -> Iterator[RunResult]:
     """Enumerate every execution (one per distinct adversary schedule).
 
@@ -97,8 +105,14 @@ def all_executions(
     protocols (``fresh()`` returns ``self``) undo in O(1) per backtrack,
     stateful ones restore by replay.  Both produce the same results in
     the same order (pinned against ``_all_executions_replay`` by tests).
+
+    With a ``faults`` budget the same DFS enumerates the *joint* fault ×
+    schedule space — every way the adversary can interleave crashes,
+    losses, and duplications with writes — which is the exact ground
+    truth the guided fault adversaries are tested against.
     """
-    state = ExecutionState.initial(graph, protocol, model, bit_budget)
+    state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                   faults=faults)
 
     def dfs() -> Iterator[RunResult]:
         if state.terminal:
@@ -123,6 +137,7 @@ def _all_executions_replay(
     protocol: Protocol,
     model: ModelSpec,
     bit_budget: Optional[int],
+    faults: Union[None, str, FaultSpec] = None,
 ) -> Iterator[RunResult]:
     """Replay-from-scratch DFS — the naive correctness reference.
 
@@ -134,7 +149,8 @@ def _all_executions_replay(
     stack: list[tuple[int, ...]] = [()]
     while stack:
         prefix = stack.pop()
-        state = ExecutionState.initial(graph, protocol, model, bit_budget)
+        state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                       faults=faults)
         for choice in prefix:
             state.advance(choice)
         if state.terminal:
@@ -149,6 +165,8 @@ def count_executions(
     graph: LabeledGraph,
     protocol: Protocol,
     model: ModelSpec,
+    faults: Union[None, str, FaultSpec] = None,
 ) -> int:
     """Number of distinct schedules (size of the adversary's choice tree)."""
-    return sum(1 for _ in all_executions(graph, protocol, model))
+    return sum(1 for _ in all_executions(graph, protocol, model,
+                                         faults=faults))

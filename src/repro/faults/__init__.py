@@ -1,0 +1,29 @@
+"""Fault models layered on the reliable whiteboard semantics.
+
+Only :mod:`.spec` is re-exported eagerly: it is stdlib-only, so the core
+execution engine can depend on this package without cycles.
+:mod:`repro.faults.claims` (census fault-claim verification) imports the
+campaign layer and must be imported as a module, never from here.
+"""
+
+from .spec import (
+    NO_FAULTS,
+    FaultSpec,
+    crash_event,
+    decode_choice,
+    describe_choice,
+    dup_event,
+    loss_event,
+    resolve_faults,
+)
+
+__all__ = [
+    "FaultSpec",
+    "NO_FAULTS",
+    "resolve_faults",
+    "crash_event",
+    "loss_event",
+    "dup_event",
+    "decode_choice",
+    "describe_choice",
+]

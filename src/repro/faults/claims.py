@@ -1,0 +1,185 @@
+"""Machine-checking of census fault claims.
+
+A census entry may claim robustness under a fault budget
+(:attr:`~repro.protocols.census.ProtocolEntry.fault_claims`): the claim
+``"crash:1"`` asserts *liveness* — on the protocol's claim fixture (a
+registered instance family at small, exhaustively enumerable sizes), no
+adversary interleaving of at most that many faults with the schedule can
+drive an execution into deadlock.  This module turns those strings into
+a stress campaign and exact verdicts:
+
+* every ``(protocol, claim)`` pair becomes one
+  :class:`~repro.campaigns.runner.CampaignCell` with ``faults=claim``
+  and ``allow_deadlock=True``, sized *below* the exhaustive threshold —
+  the cell enumerates the entire joint fault × schedule space, so a
+  verdict is a theorem about the fixture, not a search result;
+* a claim **holds** when no enumerated execution deadlocks, and is
+  **violated** when one does — the violation is returned as the cell's
+  recorded deadlock witness, replayable bit-for-bit and ddmin-minimised
+  like every other witness in the repo.
+
+Wrong *outputs* under faults (a lossy write starving a decoder) are
+deliberately not claim violations: claims are about liveness only, and
+output corruption is already surfaced by the ordinary checker path.
+
+This module imports the campaign layer, so it must be imported as
+``repro.faults.claims`` — never re-exported from :mod:`repro.faults`
+(the core engine imports that package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..campaigns.runner import Campaign, CampaignCell, CampaignSpec
+from ..campaigns.store import ResultStore
+from ..protocols.census import CENSUS
+from ..runtime.results import WitnessRecord
+
+__all__ = [
+    "CLAIM_FIXTURES",
+    "ClaimVerdict",
+    "claim_cells",
+    "claim_spec",
+    "verify_claims",
+]
+
+#: Per-protocol claim fixture: ``(family, sizes, seeds)``.  Sizes must
+#: stay at or below the claim campaign's exhaustive threshold so every
+#: verdict is exact; the hygiene test pins that every census entry with
+#: ``fault_claims`` has a fixture here.
+CLAIM_FIXTURES: dict[str, tuple[str, tuple[int, ...], tuple[int, ...]]] = {
+    "build-degenerate": ("degenerate2", (4,), (0, 1)),
+    "eob-bfs": ("even-odd-bipartite", (4, 5), (0,)),
+}
+
+#: Every claim cell is exhaustively enumerated: the threshold dominates
+#: all fixture sizes (asserted in claim_spec), so verdicts are exact.
+CLAIM_THRESHOLD = 5
+
+
+@dataclass
+class ClaimVerdict:
+    """One census fault claim, checked exhaustively on its fixture."""
+
+    protocol_key: str
+    claim: str
+    family: str
+    sizes: tuple[int, ...]
+    holds: bool
+    #: The recorded deadlock witnesses refuting the claim (empty when it
+    #: holds); each replays bit-for-bit and carries a ddmin-minimised
+    #: forcing schedule.
+    witnesses: list[WitnessRecord] = field(default_factory=list)
+
+    @property
+    def violated(self) -> bool:
+        return not self.holds
+
+    def summary(self) -> str:
+        verdict = "HOLDS" if self.holds else "VIOLATED"
+        sizes = ",".join(str(n) for n in self.sizes)
+        line = (
+            f"{self.protocol_key:<20} {self.claim:<16} "
+            f"{self.family} n={{{sizes}}}  {verdict}"
+        )
+        if self.violated:
+            w = self.witnesses[0]
+            schedule = w.minimal_schedule or w.schedule
+            line += f"  (deadlock schedule {schedule} on n={w.graph.n})"
+        return line
+
+
+def claim_cells(keys: Optional[list[str]] = None) -> tuple[CampaignCell, ...]:
+    """One cell per (census protocol × fault claim), in census order.
+
+    ``keys`` restricts to specific protocols; a census entry claiming
+    faults without a registered fixture raises so the table and this
+    module cannot drift apart.
+    """
+    cells = []
+    for entry in CENSUS:
+        if not entry.fault_claims:
+            continue
+        if keys is not None and entry.key not in keys:
+            continue
+        if entry.key not in CLAIM_FIXTURES:
+            raise ValueError(
+                f"census entry {entry.key!r} declares fault claims but "
+                "has no CLAIM_FIXTURES entry"
+            )
+        family, sizes, seeds = CLAIM_FIXTURES[entry.key]
+        for claim in entry.fault_claims:
+            cells.append(CampaignCell(
+                protocol_key=entry.key,
+                family=family,
+                sizes=sizes,
+                seeds=seeds,
+                # Deadlocks are the measurement, not failures — the
+                # verdict reads them off the witness records.
+                allow_deadlock=True,
+                faults=claim,
+            ))
+    return tuple(cells)
+
+
+def claim_spec(name: str = "fault-claims",
+               keys: Optional[list[str]] = None) -> CampaignSpec:
+    """The claim-checking campaign: exhaustive-only stress cells."""
+    cells = claim_cells(keys)
+    if not cells:
+        raise ValueError("no census entry declares fault claims"
+                         if keys is None else
+                         f"no fault claims among protocols {keys!r}")
+    for cell in cells:
+        if max(cell.sizes) > CLAIM_THRESHOLD:
+            raise ValueError(
+                f"claim fixture for {cell.protocol_key!r} exceeds the "
+                f"exhaustive threshold ({cell.sizes} > {CLAIM_THRESHOLD}); "
+                "claim verdicts must be exact"
+            )
+    return CampaignSpec(
+        name=name,
+        cells=cells,
+        mode="stress",
+        exhaustive_threshold=CLAIM_THRESHOLD,
+    )
+
+
+def verify_claims(
+    store: Optional[ResultStore] = None,
+    backend=None,
+    keys: Optional[list[str]] = None,
+    name: str = "fault-claims",
+) -> list[ClaimVerdict]:
+    """Check every census fault claim; one exact verdict per claim.
+
+    With a ``store``, verdict cells cache and resume like any campaign
+    (an unchanged re-run executes zero tasks); without one the check
+    runs against a throwaway in-memory store.
+    """
+    spec = claim_spec(name=name, keys=keys)
+    owned = store is None
+    if owned:
+        store = ResultStore(":memory:")
+    try:
+        result = Campaign(spec).run(store, backend=backend)
+    finally:
+        if owned:
+            store.close()
+    verdicts = []
+    for cell_result in result.cells:
+        cell = cell_result.cell
+        deadlocks = [
+            w for w in cell_result.report.witnesses if w.deadlock
+        ]
+        verdicts.append(ClaimVerdict(
+            protocol_key=cell.protocol_key,
+            claim=cell.faults,
+            family=cell.family,
+            sizes=cell.sizes,
+            holds=not deadlocks,
+            witnesses=deadlocks,
+        ))
+    return verdicts

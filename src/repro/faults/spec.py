@@ -1,0 +1,199 @@
+"""Fault budgets and the integer fault-event codec.
+
+The paper's whiteboard models assume perfectly reliable nodes and
+writes.  A :class:`FaultSpec` relaxes that with three adversary-chosen
+fault budgets, layered *orthogonally* on any
+:class:`~repro.core.models.ModelSpec`:
+
+* **crash-stop** (``max_crashes``) — a node halts permanently at an
+  adversary-chosen step; it never writes or activates again, and in
+  asynchronous models its pending frozen message is discarded;
+* **lossy writes** (``max_losses``) — a scheduled write is dropped
+  before reaching the board: the writer terminates (it believes it
+  wrote) but no entry appears;
+* **duplicated writes** (``max_duplications``) — a scheduled write is
+  applied twice: two identical board entries, doubling the total-bits
+  accounting while leaving the max-message accounting untouched.
+
+Fault *events* ride inside ordinary adversary schedules as negative
+integers, parameterised by the instance size ``n`` (node writes stay
+the positive identifiers ``1..n``):
+
+========  ==================  =======================
+event     encoding            decoded as
+========  ==================  =======================
+write v   ``v``               ``("write", v)``
+crash v   ``-v``              ``("crash", v)``
+loss v    ``-(n + v)``        ``("loss", v)``
+dup v     ``-(2n + v)``       ``("dup", v)``
+========  ==================  =======================
+
+Keeping schedules plain ``tuple[int, ...]`` means every existing
+consumer — witness records, ddmin minimisation, the campaign store and
+trajectory tables, replay — carries fault events without a format
+change, and replaying a faulted schedule is bit-identical by the same
+journaled mechanics as replaying writes.
+
+This module is deliberately dependency-free (stdlib only): the core
+execution engine imports it, so it must sit below every other layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "FaultSpec",
+    "NO_FAULTS",
+    "resolve_faults",
+    "crash_event",
+    "loss_event",
+    "dup_event",
+    "decode_choice",
+    "describe_choice",
+]
+
+#: Spec-string keys in canonical order.
+_KINDS = ("crash", "loss", "dup")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Adversary fault budgets for one execution (all default to 0).
+
+    A budget is *events available to the adversary*, not events that
+    must occur — the fault-free completion of a faulted configuration
+    is always in the search space, so enabling faults can only widen
+    the set of reachable outcomes.
+    """
+
+    max_crashes: int = 0
+    max_losses: int = 0
+    max_duplications: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("max_crashes", "max_losses", "max_duplications"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"{field_name} must be a non-negative int, got {value!r}"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault budget is non-zero (``False`` means the
+        execution is exactly the reliable one)."""
+        return bool(self.max_crashes or self.max_losses
+                    or self.max_duplications)
+
+    @classmethod
+    def parse(cls, text: Union[None, str, "FaultSpec"]) -> "FaultSpec":
+        """Parse a ``"crash:2,loss:1,dup:1"`` spec string.
+
+        ``None``, ``""`` and ``"none"`` all mean no faults; a
+        :class:`FaultSpec` passes through unchanged.  Unknown kinds and
+        malformed counts raise :class:`ValueError` naming the known
+        kinds, so CLI typos surface as usage errors.
+        """
+        if isinstance(text, FaultSpec):
+            return text
+        if text is None:
+            return NO_FAULTS
+        stripped = text.strip()
+        if not stripped or stripped == "none":
+            return NO_FAULTS
+        budgets = {kind: 0 for kind in _KINDS}
+        for part in stripped.split(","):
+            kind, sep, count = part.strip().partition(":")
+            if not sep or kind not in budgets:
+                known = ", ".join(f"{k}:N" for k in _KINDS)
+                raise ValueError(
+                    f"bad fault spec part {part.strip()!r}; expected "
+                    f"comma-separated {known} (or 'none')"
+                )
+            try:
+                value = int(count)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault count in {part.strip()!r}: {count!r} is not "
+                    "an integer"
+                ) from None
+            if value < 0:
+                raise ValueError(f"fault count must be >= 0 in {part.strip()!r}")
+            budgets[kind] += value
+        return cls(max_crashes=budgets["crash"], max_losses=budgets["loss"],
+                   max_duplications=budgets["dup"])
+
+    def canonical(self) -> Optional[str]:
+        """Canonical spec string (``None`` when no budget is set), the
+        primitive form tasks fingerprint: ``parse(canonical()) == self``
+        and equal specs render identically."""
+        parts = []
+        for kind, value in zip(_KINDS, (self.max_crashes, self.max_losses,
+                                        self.max_duplications)):
+            if value:
+                parts.append(f"{kind}:{value}")
+        return ",".join(parts) if parts else None
+
+
+#: The reliable execution: every budget zero.
+NO_FAULTS = FaultSpec()
+
+
+def resolve_faults(faults: Union[None, str, FaultSpec]) -> FaultSpec:
+    """A :class:`FaultSpec` from a spec string, an instance, or ``None``."""
+    return FaultSpec.parse(faults)
+
+
+# ----------------------------------------------------------------------
+# the integer event codec
+# ----------------------------------------------------------------------
+
+def crash_event(node: int, n: int) -> int:
+    """Schedule encoding of "node ``node`` crashes now"."""
+    _check_node(node, n)
+    return -node
+
+
+def loss_event(node: int, n: int) -> int:
+    """Schedule encoding of "node ``node`` writes, but the write is
+    dropped"."""
+    _check_node(node, n)
+    return -(n + node)
+
+
+def dup_event(node: int, n: int) -> int:
+    """Schedule encoding of "node ``node`` writes, applied twice"."""
+    _check_node(node, n)
+    return -(2 * n + node)
+
+
+def _check_node(node: int, n: int) -> None:
+    if not 1 <= node <= n:
+        raise ValueError(f"node {node} out of range for n={n}")
+
+
+def decode_choice(choice: int, n: int) -> tuple[str, int]:
+    """``(kind, node)`` for any schedule entry; kind is ``"write"``,
+    ``"crash"``, ``"loss"`` or ``"dup"``."""
+    if choice > 0:
+        _check_node(choice, n)
+        return ("write", choice)
+    value = -choice
+    if 1 <= value <= n:
+        return ("crash", value)
+    if n < value <= 2 * n:
+        return ("loss", value - n)
+    if 2 * n < value <= 3 * n:
+        return ("dup", value - 2 * n)
+    raise ValueError(f"undecodable schedule entry {choice} for n={n}")
+
+
+def describe_choice(choice: int, n: int) -> str:
+    """Human-readable form of one schedule entry (for narration and
+    error messages)."""
+    kind, node = decode_choice(choice, n)
+    if kind == "write":
+        return f"write({node})"
+    return f"{kind}({node})"

@@ -5,12 +5,26 @@ extension), the weakest model it runs in, its message bound, and a
 factory producing a ready instance — powering the ``python -m repro
 protocols`` listing and the hygiene tests that keep metadata and code in
 sync.
+
+Two optional per-protocol extension points ride on the same table:
+
+* ``fault_claims`` — robustness claims, one canonical fault-budget
+  string each (``"crash:1"``), asserting *liveness*: on the protocol's
+  claim family (see :mod:`repro.faults.claims`), no adversary
+  interleaving of that many faults can drive an execution into
+  deadlock.  Claims are machine-checked by ``campaign claims``; a
+  violated claim surfaces as a replayable, minimised deadlock witness.
+* ``score_hook`` — a protocol-supplied
+  :class:`~repro.adversaries.scoring.ScoreHook` factory, auto-registered
+  in the global hook registry at import time so stress searches can
+  select it by its primitive name (``stress --score sketch-decode``).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Optional
 
 from ..core.protocol import Protocol
 
@@ -27,6 +41,11 @@ class ProtocolEntry:
     message_bound: str
     source: str
     factory: Callable[[], Protocol]
+    #: Liveness claims under fault budgets, e.g. ``("crash:1", "dup:1")``
+    #: — checked against exhaustive ground truth by ``campaign claims``.
+    fault_claims: tuple[str, ...] = ()
+    #: Optional protocol-supplied badness hook (registered globally).
+    score_hook: Optional[Callable[[], object]] = None
 
     def instantiate(self) -> Protocol:
         proto = self.factory()
@@ -57,7 +76,11 @@ def _census() -> tuple[ProtocolEntry, ...]:
         NaiveTriangleProtocol,
     )
     from .randomized import RandomizedTwoCliquesProtocol
-    from .sketching import SketchConnectivityProtocol, SketchSpanningForestProtocol
+    from .sketching import (
+        SketchConnectivityProtocol,
+        SketchDecodeScore,
+        SketchSpanningForestProtocol,
+    )
     from .subgraph import SubgraphProtocol
     from .triangle import DegenerateTriangleProtocol
     from .two_cliques import TwoCliquesProtocol
@@ -67,7 +90,11 @@ def _census() -> tuple[ProtocolEntry, ...]:
                       "O(log n)", "Section 3.1", ForestBuildProtocol),
         ProtocolEntry("build-degenerate", "BUILD (degeneracy <= k)", "SIMASYNC",
                       "O(k^2 log n)", "Theorem 2",
-                      lambda: DegenerateBuildProtocol(2)),
+                      lambda: DegenerateBuildProtocol(2),
+                      # Simultaneous activation: every surviving node is
+                      # active from round one, so no fault interleaving
+                      # can starve the schedule — both claims hold.
+                      fault_claims=("crash:1", "dup:1")),
         ProtocolEntry("build-extended", "BUILD (mixed low/high degree)",
                       "SIMASYNC", "O(k^2 log n)", "Section 3 (remark)",
                       lambda: ExtendedBuildProtocol(2)),
@@ -75,8 +102,13 @@ def _census() -> tuple[ProtocolEntry, ...]:
                       "Theorem 5", lambda: RootedMisProtocol(1)),
         ProtocolEntry("two-cliques", "2-CLIQUES", "SIMSYNC", "O(log n)",
                       "Section 5.1", TwoCliquesProtocol),
+        # The crash:1 claim is *deliberately false*: free asynchronous
+        # activation relies on earlier writes waking later writers, so
+        # crashing the right node starves the rest — ``campaign claims``
+        # finds and minimises the deadlock witness refuting it.
         ProtocolEntry("eob-bfs", "EOB-BFS", "ASYNC", "O(log n)",
-                      "Theorem 7", EobBfsProtocol),
+                      "Theorem 7", EobBfsProtocol,
+                      fault_claims=("crash:1",)),
         ProtocolEntry("bfs-bipartite-async", "BFS (bipartite promise)",
                       "ASYNC", "O(log n)", "Corollary 4",
                       BipartiteBfsAsyncProtocol),
@@ -115,10 +147,12 @@ def _census() -> tuple[ProtocolEntry, ...]:
                       lambda: RandomizedTwoCliquesProtocol(shared_seed=0)),
         ProtocolEntry("sketch-connectivity", "CONNECTIVITY (public coins)",
                       "SIMASYNC", "O(log^3 n)", "extension: AGM sketching",
-                      lambda: SketchConnectivityProtocol(shared_seed=0)),
+                      lambda: SketchConnectivityProtocol(shared_seed=0),
+                      score_hook=SketchDecodeScore),
         ProtocolEntry("sketch-spanning-forest", "SPANNING-FOREST (public coins)",
                       "SIMASYNC", "O(log^3 n)", "extension: AGM sketching",
-                      lambda: SketchSpanningForestProtocol(shared_seed=0)),
+                      lambda: SketchSpanningForestProtocol(shared_seed=0),
+                      score_hook=SketchDecodeScore),
     )
 
 
@@ -127,6 +161,22 @@ CENSUS: tuple[ProtocolEntry, ...] = _census()
 #: The protocol registry, addressable by key — the single source for
 #: every CLI listing/choice that names protocols.
 CENSUS_BY_KEY: dict[str, ProtocolEntry] = {e.key: e for e in CENSUS}
+
+
+def _register_census_score_hooks() -> None:
+    """Make every protocol-supplied hook selectable by name.
+
+    Registration is idempotent (shared factories register once), so
+    re-importing the census — or two entries sharing a hook — is safe.
+    """
+    from ..adversaries.scoring import register_score_hook
+
+    for entry in CENSUS:
+        if entry.score_hook is not None:
+            register_score_hook(entry.score_hook)
+
+
+_register_census_score_hooks()
 
 
 def render_census() -> str:

@@ -49,6 +49,7 @@ from __future__ import annotations
 import math
 from functools import lru_cache
 
+from ..adversaries.scoring import ScoreHook
 from ..encoding.bits import Payload
 from ..encoding.l0_sampling import L0Sampler
 from ..graphs.labeled_graph import Edge
@@ -59,6 +60,7 @@ __all__ = [
     "SketchSpec",
     "SketchEngine",
     "SketchConnectivityProtocol",
+    "SketchDecodeScore",
     "SketchSpanningForestProtocol",
     "edge_slot",
     "slot_edge",
@@ -288,6 +290,38 @@ class SketchSpanningForestProtocol(_SketchBase):
 
     def output(self, board: BoardView, n: int) -> frozenset[Edge]:
         return self._spanning_forest(board, n)
+
+
+class SketchDecodeScore(ScoreHook):
+    """Protocol-supplied badness for the sketch protocols: hunt boards
+    the Borůvka decoder cannot recover a full spanning structure from.
+
+    Under-connection is the sketches' one-sided failure mode (ℓ₀-sample
+    misses can only *lose* forest edges), so the score rewards — in
+    lexicographic order — terminal boards the decoder rejects outright,
+    then missing forest edges / a 0 connectivity verdict, then raw bits.
+    Registered by the census as ``sketch-decode``.
+    """
+
+    name = "sketch-decode"
+
+    def _badness(self, state) -> int:
+        try:
+            out = state.proto.output(state.board.view(), state.n)
+        except Exception:
+            # Partial prefixes cannot decode yet; only a terminal board
+            # the decoder rejects (lost/crashed writers) is the jackpot.
+            return (1 << 20) if state.terminal else 0
+        if isinstance(out, frozenset):
+            return max((state.n - 1) - len(out), 0) * (1 << 10)
+        return 0 if out else (1 << 10)
+
+    def step_score(self, state) -> float:
+        return self._badness(state) + state.last_event_bits
+
+    def prefix_score(self, state) -> tuple:
+        board = state.board
+        return (self._badness(state), board.max_bits(), board.total_bits())
 
 
 class SketchConnectivityProtocol(_SketchBase):

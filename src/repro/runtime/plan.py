@@ -45,6 +45,7 @@ from ..core.models import MODELS_BY_NAME, ModelSpec
 from ..core.protocol import Protocol
 from ..core.schedulers import Scheduler, default_portfolio
 from ..core.simulator import RunResult, all_executions, run
+from ..faults.spec import FaultSpec, resolve_faults
 from ..graphs.labeled_graph import LabeledGraph
 from .results import (
     ListSink,
@@ -101,6 +102,11 @@ class ExecutionTask:
     #: one transposition table.
     score: Optional[str] = None
     share_table: bool = False
+    #: Canonical fault-budget spec string (``"crash:1,loss:2"``) or
+    #: ``None`` for the reliable semantics.  Primitive on purpose: it is
+    #: fingerprinted into campaign stores like every other knob, and
+    #: ``None`` keeps fault-free tasks byte-identical to pre-fault ones.
+    faults: Optional[str] = None
 
     @property
     def model(self) -> ModelSpec:
@@ -122,6 +128,7 @@ class ExecutionTask:
             results: Iterable[RunResult] = all_executions(
                 self.graph, self.protocol, model,
                 bit_budget=self.bit_budget, limit=self.exhaustive_limit,
+                faults=self.faults,
             )
         elif self.mode == "search":
             context = (
@@ -135,10 +142,12 @@ class ExecutionTask:
                         self.graph, self.protocol, model,
                         bit_budget=self.bit_budget,
                         context=context,
+                        faults=self.faults,
                     )
                     result = replay_schedule(
                         self.graph, self.protocol, model,
                         witness.schedule, self.bit_budget,
+                        faults=self.faults,
                     )
                     witness_runs.append((strategy.name, result))
                     yield result
@@ -171,12 +180,7 @@ class ExecutionTask:
             if result.corrupted and self.allow_deadlock:
                 report.executions += 1
                 continue
-            correct = (
-                bool(self.checker(self.graph, result.output, result))
-                if result.success
-                else False
-            )
-            report.record(self.graph, result, correct)
+            report.record(self.graph, result, self._check(result))
         if report is not None and self.capture_witnesses:
             if self.mode == "exhaustive":
                 if worst is not None:
@@ -192,25 +196,48 @@ class ExecutionTask:
             self.index, report, tuple(kept) if kept is not None else None
         )
 
+    def _check(self, result: RunResult) -> bool:
+        """Checker verdict for one execution.
+
+        Fault-free tasks call the checker exactly as before.  Under a
+        fault budget, a recorded decode failure is an incorrect outcome
+        (not a crash), and a checker that raises on a fault-perturbed
+        board counts as incorrect for the same reason.
+        """
+        if not result.success:
+            return False
+        if self.faults is None:
+            return bool(self.checker(self.graph, result.output, result))
+        if result.output_error is not None:
+            return False
+        try:
+            return bool(self.checker(self.graph, result.output, result))
+        except Exception:  # noqa: BLE001 - fault-perturbed boards only
+            return False
+
     def _record_witness(self, report: VerificationReport, strategy: str,
                         result: RunResult) -> None:
+        # result.schedule carries fault events; it equals write_order for
+        # reliable runs (and pre-fault RunResults leave it empty).
+        schedule = result.schedule or result.write_order
         minimal = None
         if self.minimize_witnesses:
             from ..adversaries.base import minimize_schedule
 
             minimal = minimize_schedule(
-                self.graph, self.protocol, self.model, result.write_order,
+                self.graph, self.protocol, self.model, schedule,
                 bits=result.max_message_bits, deadlock=result.corrupted,
-                bit_budget=self.bit_budget,
+                bit_budget=self.bit_budget, faults=self.faults,
             )
         report.witnesses.append(WitnessRecord(
             strategy=strategy,
             graph=self.graph,
             model_name=self.model_name,
-            schedule=result.write_order,
+            schedule=schedule,
             bits=result.max_message_bits,
             deadlock=result.corrupted,
             minimal_schedule=minimal,
+            faults=self.faults,
         ))
 
 
@@ -253,6 +280,7 @@ class ExecutionPlan:
         minimize_witnesses: bool = True,
         score: Optional[str] = None,
         share_table: bool = False,
+        faults: Union[None, str, FaultSpec] = None,
     ) -> "ExecutionPlan":
         """Enumerate the (protocol × model × instance) product into tasks.
 
@@ -284,6 +312,13 @@ class ExecutionPlan:
             )
         if score is not None:
             resolve_score(score)  # fail fast on unknown hook names
+        fault_spec = resolve_faults(faults).canonical()
+        if fault_spec is not None and mode not in ("exhaustive", "stress"):
+            raise ValueError(
+                "fault budgets need adversary-searched (stress) or "
+                "exhaustively enumerated cells; scheduler portfolios "
+                f"cannot choose fault events, and mode is {mode!r}"
+            )
         protos = _as_tuple(protocols, Protocol)
         model_specs = _as_tuple(models, ModelSpec)
         graphs = list(instances)
@@ -335,6 +370,7 @@ class ExecutionPlan:
                         score=score if task_mode == "search" else None,
                         share_table=(share_table
                                      if task_mode == "search" else False),
+                        faults=fault_spec,
                     ))
         return cls(
             tasks=tuple(tasks),

@@ -70,6 +70,11 @@ class WitnessRecord:
     #: witnesses the minimal forcing prefix.  ``None`` when the recording
     #: cell skipped minimisation.
     minimal_schedule: Optional[tuple[int, ...]] = None
+    #: Canonical fault-budget spec the witness was found (and must be
+    #: replayed) under; ``None`` for reliable-semantics witnesses.  A
+    #: faulted ``schedule`` encodes its fault events as negative
+    #: integers (see :mod:`repro.faults.spec`).
+    faults: Optional[str] = None
 
 
 @dataclass
@@ -95,13 +100,14 @@ class VerificationReport:
         self.max_message_bits = max(self.max_message_bits, result.max_message_bits)
         prev = self.max_bits_by_n.get(graph.n, 0)
         self.max_bits_by_n[graph.n] = max(prev, result.max_message_bits)
+        schedule = result.schedule or result.write_order
         if result.corrupted:
             self.failures.append(
-                Failure(graph, result.write_order, None, "deadlock")
+                Failure(graph, schedule, None, "deadlock")
             )
         elif not correct:
             self.failures.append(
-                Failure(graph, result.write_order, result.output, "wrong-output")
+                Failure(graph, schedule, result.output, "wrong-output")
             )
 
     def merge(self, other: "VerificationReport") -> "VerificationReport":

@@ -1,0 +1,113 @@
+"""Census fault claims: exact verdicts, replayable violations, hygiene."""
+
+import pytest
+
+from repro.adversaries import schedule_forces
+from repro.campaigns.store import ResultStore
+from repro.core import ASYNC
+from repro.core.execution import replay_schedule
+from repro.faults.claims import (
+    CLAIM_FIXTURES,
+    CLAIM_THRESHOLD,
+    claim_cells,
+    claim_spec,
+    verify_claims,
+)
+from repro.protocols.census import CENSUS, CENSUS_BY_KEY
+
+
+class TestHygiene:
+    def test_every_census_claim_has_a_fixture(self):
+        for entry in CENSUS:
+            for claim in entry.fault_claims:
+                assert entry.key in CLAIM_FIXTURES, (
+                    f"{entry.key} claims {claim!r} without a fixture"
+                )
+
+    def test_fixture_sizes_stay_exhaustive(self):
+        for key, (_, sizes, _) in CLAIM_FIXTURES.items():
+            assert max(sizes) <= CLAIM_THRESHOLD, key
+
+    def test_cells_are_stress_exhaustive_with_deadlocks_allowed(self):
+        spec = claim_spec()
+        assert spec.mode == "stress"
+        assert spec.exhaustive_threshold == CLAIM_THRESHOLD
+        for cell in spec.cells:
+            assert cell.allow_deadlock
+            assert cell.faults is not None
+        # every (protocol, claim) pair appears exactly once
+        pairs = [(c.protocol_key, c.faults) for c in spec.cells]
+        assert len(pairs) == len(set(pairs))
+
+    def test_key_filter_and_unknown_keys(self):
+        only = claim_cells(keys=["eob-bfs"])
+        assert {c.protocol_key for c in only} == {"eob-bfs"}
+        with pytest.raises(ValueError, match="no fault claims"):
+            claim_spec(keys=["two-cliques"])
+
+
+class TestVerdicts:
+    @pytest.fixture(scope="class")
+    def verdicts(self):
+        return verify_claims()
+
+    def test_one_verdict_per_census_claim(self, verdicts):
+        expected = [
+            (entry.key, claim)
+            for entry in CENSUS
+            for claim in entry.fault_claims
+        ]
+        assert [(v.protocol_key, v.claim) for v in verdicts] == expected
+
+    def test_build_degenerate_claims_hold(self, verdicts):
+        for v in verdicts:
+            if v.protocol_key == "build-degenerate":
+                assert v.holds, v.summary()
+                assert not v.witnesses
+
+    def test_eob_bfs_crash_claim_is_violated(self, verdicts):
+        # The deliberately false census claim: one crash starves the
+        # even side of the n=4 bipartite fixture.
+        verdict = next(v for v in verdicts
+                       if v.protocol_key == "eob-bfs" and v.claim == "crash:1")
+        assert verdict.violated
+        assert verdict.witnesses
+        assert "VIOLATED" in verdict.summary()
+
+    def test_violation_witness_replays_to_deadlock(self, verdicts):
+        verdict = next(v for v in verdicts if v.violated)
+        proto = CENSUS_BY_KEY[verdict.protocol_key].instantiate()
+        for witness in verdict.witnesses:
+            assert witness.faults == verdict.claim
+            replayed = replay_schedule(
+                witness.graph, proto, ASYNC, witness.schedule,
+                faults=witness.faults,
+            )
+            assert replayed.corrupted
+
+    def test_violation_minimal_schedule_forces_deadlock(self, verdicts):
+        verdict = next(v for v in verdicts if v.violated)
+        proto = CENSUS_BY_KEY[verdict.protocol_key].instantiate()
+        witness = verdict.witnesses[0]
+        assert witness.minimal_schedule is not None
+        assert schedule_forces(
+            witness.graph, proto, ASYNC, witness.minimal_schedule,
+            bits=witness.bits, deadlock=True, faults=witness.faults,
+        )
+
+
+class TestStoreRoundTrip:
+    def test_verdicts_identical_from_cache(self):
+        with ResultStore(":memory:", salt="s") as store:
+            first = verify_claims(store=store)
+            writes = store.writes
+            assert writes > 0
+            second = verify_claims(store=store)
+            assert store.writes == writes  # nothing re-executed
+            assert [
+                (v.protocol_key, v.claim, v.holds) for v in first
+            ] == [(v.protocol_key, v.claim, v.holds) for v in second]
+            for a, b in zip(first, second):
+                assert [w.schedule for w in a.witnesses] == [
+                    w.schedule for w in b.witnesses
+                ]

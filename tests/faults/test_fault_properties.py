@@ -1,0 +1,180 @@
+"""Property tests for the fault zoo (hypothesis).
+
+The invariants here are the PR's durable contracts: faulted schedules
+replay bit-identically, a zero-budget spec is semantically invisible,
+every fault knob is a distinct fingerprint dimension, and an
+interrupted store-backed run resumes to the field-identical report.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns.runner import Campaign, CampaignCell, CampaignSpec
+from repro.campaigns.store import (
+    ResultStore,
+    report_to_jsonable,
+    task_fingerprint,
+    witness_to_jsonable,
+)
+from repro.core import ASYNC, SIMASYNC
+from repro.core.execution import ExecutionState, replay_schedule
+from repro.graphs.families import family
+from repro.protocols.bfs import EobBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.runtime.backends import SerialBackend
+
+FAULT_SPECS = st.sampled_from(
+    ["crash:1", "crash:2", "loss:1", "dup:1", "crash:1,loss:1",
+     "crash:1,dup:1", "loss:1,dup:1"]
+)
+
+FIXTURES = [
+    (family("degenerate2").sample_in_class(4, 0),
+     DegenerateBuildProtocol(2), SIMASYNC),
+    (family("even-odd-bipartite").sample_in_class(4, 0),
+     EobBfsProtocol(), ASYNC),
+]
+
+
+def random_walk(graph, proto, model, faults, picks):
+    """Steer a state by indexing into candidates with the pick stream."""
+    state = ExecutionState.initial(graph, proto, model, None, faults=faults)
+    for pick in picks:
+        if state.terminal:
+            break
+        candidates = state.candidates
+        state.advance(candidates[pick % len(candidates)])
+    while not state.terminal:
+        state.advance(state.candidates[0])
+    return state.result()
+
+
+class TestReplayDeterminism:
+    @settings(max_examples=40, deadline=None)
+    @given(faults=FAULT_SPECS,
+           picks=st.lists(st.integers(min_value=0, max_value=31),
+                          max_size=12),
+           fixture=st.sampled_from([0, 1]))
+    def test_any_faulted_walk_replays_bit_identically(self, faults, picks,
+                                                      fixture):
+        graph, proto, model = FIXTURES[fixture]
+        result = random_walk(graph, proto, model, faults, picks)
+        again = replay_schedule(graph, proto, model, result.schedule,
+                                faults=faults)
+        assert again.schedule == result.schedule
+        assert again.write_order == result.write_order
+        assert again.crashed == result.crashed
+        assert again.success == result.success
+        assert again.max_message_bits == result.max_message_bits
+        assert again.total_bits == result.total_bits
+        assert again.output_error == result.output_error
+        assert [
+            (e.author, e.bits, e.payload) for e in again.board.entries
+        ] == [(e.author, e.bits, e.payload) for e in result.board.entries]
+
+    @settings(max_examples=25, deadline=None)
+    @given(picks=st.lists(st.integers(min_value=0, max_value=31),
+                          max_size=10))
+    def test_zero_budget_walk_equals_reliable_walk(self, picks):
+        graph, proto, model = FIXTURES[0]
+        reliable = random_walk(graph, proto, model, None, picks)
+        zeroed = random_walk(graph, proto, model, "crash:0,loss:0", picks)
+        assert zeroed.schedule == reliable.schedule
+        assert zeroed.output == reliable.output
+        assert zeroed.total_bits == reliable.total_bits
+
+
+def claim_cell(faults, sizes=(4,), seeds=(0, 1)):
+    return CampaignCell(
+        protocol_key="build-degenerate", family="degenerate2",
+        sizes=sizes, seeds=seeds, allow_deadlock=True, faults=faults,
+    )
+
+
+def spec_with(faults, name="fp"):
+    return CampaignSpec(name=name, cells=(claim_cell(faults),),
+                        exhaustive_threshold=5)
+
+
+class TestFingerprints:
+    def test_every_fault_knob_is_a_distinct_dimension(self):
+        budgets = [None, "crash:1", "crash:2", "loss:1", "dup:1",
+                   "crash:1,loss:1"]
+        prints = set()
+        for faults in budgets:
+            _, plan = next(iter(spec_with(faults).plans()))
+            prints.add(task_fingerprint(plan.tasks[0], salt="s"))
+        assert len(prints) == len(budgets)
+
+    def test_equivalent_spellings_share_a_fingerprint(self):
+        _, a = next(iter(spec_with("loss:1,crash:1").plans()))
+        _, b = next(iter(spec_with("crash:1,loss:1").plans()))
+        assert task_fingerprint(a.tasks[0], salt="s") == task_fingerprint(
+            b.tasks[0], salt="s"
+        )
+
+    def test_zero_budget_fingerprint_equals_fault_free(self):
+        _, a = next(iter(spec_with(None).plans()))
+        _, b = next(iter(spec_with("crash:0").plans()))
+        assert task_fingerprint(a.tasks[0], salt="s") == task_fingerprint(
+            b.tasks[0], salt="s"
+        )
+
+
+class InterruptingBackend(SerialBackend):
+    """Yields ``survive`` outcomes, then dies mid-run."""
+
+    def __init__(self, survive: int) -> None:
+        self.survive = survive
+
+    def run(self, tasks):
+        for i, outcome in enumerate(super().run(tasks)):
+            if i >= self.survive:
+                raise KeyboardInterrupt
+            yield outcome
+
+
+def report_fields(report):
+    return (
+        report_to_jsonable(report),
+        [witness_to_jsonable(w) for w in report.witnesses],
+    )
+
+
+class TestStoreResume:
+    def run_campaign(self, store, backend=None):
+        spec = CampaignSpec(
+            name="resume",
+            cells=(claim_cell("crash:1", sizes=(4,), seeds=(0, 1, 2)),),
+            exhaustive_threshold=5,
+        )
+        return Campaign(spec).run(store, backend=backend)
+
+    def test_interrupted_run_resumes_to_identical_report(self, tmp_path):
+        uninterrupted = ResultStore(":memory:", salt="s")
+        reference = self.run_campaign(uninterrupted)
+
+        store = ResultStore(tmp_path / "resume.db", salt="s")
+        try:
+            self.run_campaign(store, backend=InterruptingBackend(1))
+        except KeyboardInterrupt:
+            pass
+        # the outcome that streamed before the interrupt is durable
+        assert store.writes == 1
+        resumed = self.run_campaign(store)
+        assert resumed.hits == 1
+        assert resumed.executed == 2
+        assert report_fields(resumed.report) == report_fields(
+            reference.report
+        )
+        store.close()
+        uninterrupted.close()
+
+    def test_unchanged_rerun_executes_zero_tasks(self):
+        with ResultStore(":memory:", salt="s") as store:
+            first = self.run_campaign(store)
+            assert first.executed == 3
+            again = self.run_campaign(store)
+            assert again.executed == 0
+            assert again.hit_rate == 1.0
+            assert report_fields(again.report) == report_fields(first.report)

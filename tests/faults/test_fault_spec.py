@@ -1,0 +1,116 @@
+"""FaultSpec parsing, canonical strings, and the integer event codec."""
+
+import pytest
+
+from repro.faults.spec import (
+    NO_FAULTS,
+    FaultSpec,
+    crash_event,
+    decode_choice,
+    describe_choice,
+    dup_event,
+    loss_event,
+    resolve_faults,
+)
+
+
+class TestParse:
+    def test_none_empty_and_none_string_disable(self):
+        for text in (None, "", "none", "  none  "):
+            spec = FaultSpec.parse(text)
+            assert spec == NO_FAULTS
+            assert not spec.enabled
+            assert spec.canonical() is None
+
+    def test_full_spec(self):
+        spec = FaultSpec.parse("crash:2,loss:1,dup:3")
+        assert spec == FaultSpec(max_crashes=2, max_losses=1,
+                                 max_duplications=3)
+        assert spec.enabled
+
+    def test_passthrough_and_resolve(self):
+        spec = FaultSpec(max_crashes=1)
+        assert FaultSpec.parse(spec) is spec
+        assert resolve_faults("crash:1") == spec
+        assert resolve_faults(None) == NO_FAULTS
+
+    def test_repeated_kinds_accumulate(self):
+        assert FaultSpec.parse("crash:1,crash:2") == FaultSpec(max_crashes=3)
+
+    def test_whitespace_tolerated(self):
+        assert FaultSpec.parse(" crash:1 , loss:2 ") == FaultSpec(
+            max_crashes=1, max_losses=2
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "crashes:1", "crash", "crash:", "crash:x", "crash:-1", "crash:1;loss:1",
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+    def test_zero_counts_mean_disabled(self):
+        spec = FaultSpec.parse("crash:0,loss:0")
+        assert not spec.enabled
+        assert spec.canonical() is None
+
+
+class TestCanonical:
+    def test_round_trip(self):
+        for text in ("crash:2", "loss:1", "dup:4", "crash:1,loss:2,dup:3"):
+            spec = FaultSpec.parse(text)
+            assert spec.canonical() == text
+            assert FaultSpec.parse(spec.canonical()) == spec
+
+    def test_canonical_order_is_fixed(self):
+        # Input order never leaks into the fingerprinted form.
+        assert FaultSpec.parse("dup:1,crash:2").canonical() == "crash:2,dup:1"
+
+    def test_zero_budgets_omitted(self):
+        assert FaultSpec(max_crashes=0, max_losses=2).canonical() == "loss:2"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_crashes": -1},
+        {"max_losses": 1.5},
+        {"max_duplications": True},
+        {"max_crashes": "1"},
+    ])
+    def test_bad_budgets_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+
+class TestCodec:
+    def test_encode_decode_round_trip(self):
+        n = 6
+        for v in range(1, n + 1):
+            assert decode_choice(v, n) == ("write", v)
+            assert decode_choice(crash_event(v, n), n) == ("crash", v)
+            assert decode_choice(loss_event(v, n), n) == ("loss", v)
+            assert decode_choice(dup_event(v, n), n) == ("dup", v)
+
+    def test_encodings_are_disjoint(self):
+        n = 5
+        seen = set()
+        for v in range(1, n + 1):
+            seen.update({v, crash_event(v, n), loss_event(v, n),
+                         dup_event(v, n)})
+        assert len(seen) == 4 * n
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            crash_event(0, 4)
+        with pytest.raises(ValueError):
+            crash_event(5, 4)
+        with pytest.raises(ValueError):
+            decode_choice(-(3 * 4 + 1), 4)
+        with pytest.raises(ValueError):
+            decode_choice(0, 4)
+
+    def test_describe_choice(self):
+        assert describe_choice(3, 4) == "write(3)"
+        assert describe_choice(-3, 4) == "crash(3)"
+        assert describe_choice(-(4 + 2), 4) == "loss(2)"
+        assert describe_choice(-(8 + 1), 4) == "dup(1)"

@@ -49,13 +49,17 @@ def load_trajectory(path: Path) -> dict:
 
 def _adversary_report_markers() -> list[str]:
     """Names the committed adversary report must mention to be fresh:
-    every strategy in the shipped default portfolio, plus the shared
-    transposition-table section the search-kernel PR added."""
+    every strategy in the shipped default portfolio, the shared
+    transposition-table section the search-kernel PR added, and one row
+    per fault budget the fault-matrix section sweeps."""
     from repro.adversaries import default_search_portfolio
 
-    return sorted({s.name for s in default_search_portfolio()}) + [
-        "transposition"
-    ]
+    # Mirrors benchmarks.bench_adversary.FAULT_BUDGETS (benchmarks/ is
+    # not a package); widen both together when the sweep grows.
+    fault_budgets = ["crash:1", "loss:1", "dup:1", "crash:1,loss:1"]
+    return (sorted({s.name for s in default_search_portfolio()})
+            + ["transposition", "fault matrix"]
+            + fault_budgets)
 
 
 #: Committed report sections and the markers that prove freshness.  A
