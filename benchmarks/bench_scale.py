@@ -9,9 +9,18 @@ being interactive.
 
 from __future__ import annotations
 
+import json
 import time
 
-from repro.core import SIMASYNC, SIMSYNC, SYNC, MinIdScheduler, RandomScheduler, run
+from repro.core import (
+    SIMASYNC,
+    SIMSYNC,
+    SYNC,
+    MinIdScheduler,
+    RandomScheduler,
+    count_executions,
+    run,
+)
 from repro.graphs import generators as gen
 from repro.graphs.properties import canonical_bfs_forest, is_rooted_mis
 from repro.protocols.bfs import SyncBfsProtocol
@@ -62,7 +71,7 @@ def test_sketch_forest_n48(benchmark):
     assert connected_components(forest) == connected_components(g)
 
 
-def test_scale_summary(benchmark, write_report):
+def test_scale_summary(benchmark, write_report, report_dir):
     rows = []
     cases = [
         ("BUILD k=3, n=512", lambda: run(
@@ -88,3 +97,69 @@ def test_scale_summary(benchmark, write_report):
     for name, dt, bits in rows:
         lines.append(f"{name:<22} {dt:>9.2f}s {bits:>13}")
     write_report("scale_stress", "\n".join(lines))
+    # Machine-readable twin of the table above: tools/bench_report.py
+    # renders and staleness-checks it, so downstream tooling never
+    # scrapes the fixed-width text.
+    payload = {
+        "bench": "scale_stress",
+        "rows": [
+            {"case": name, "seconds": round(dt, 4), "max_message_bits": bits}
+            for name, dt, bits in rows
+        ],
+    }
+    (report_dir / "scale_stress.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+
+#: The exhaustive-enumeration curve: sizes swept, and the size past
+#: which the scalar engine is no longer interactive (the "cliff") —
+#: mirrored by tools/bench_report.py's staleness markers; widen both
+#: together.
+CURVE_SIZES = (5, 6, 7, 8, 9)
+SCALAR_CLIFF = 7
+
+
+def test_scale_curve(benchmark, report_dir):
+    """Exhaustive count_executions scaling, scalar vs batched.
+
+    The scalar engine is the semantic authority and is measured up to
+    ``SCALAR_CLIFF``; the batched structure-of-arrays core must agree
+    with it exactly there, then keep the curve bending past the cliff
+    (n=9 is 362880 schedules — hours scalar, sub-second batched).
+    """
+    rows = []
+    for n in CURVE_SIZES:
+        g = gen.cycle_graph(n)
+        proto = DegenerateBuildProtocol(2)
+        t0 = time.perf_counter()
+        batched = count_executions(g, proto, SIMASYNC, batch=True)
+        t_batched = time.perf_counter() - t0
+        scalar_seconds = None
+        if n <= SCALAR_CLIFF:
+            t0 = time.perf_counter()
+            scalar = count_executions(g, proto, SIMASYNC)
+            scalar_seconds = round(time.perf_counter() - t0, 4)
+            assert scalar == batched
+        rows.append({
+            "n": n,
+            "executions": batched,
+            "scalar_seconds": scalar_seconds,
+            "batched_seconds": round(t_batched, 4),
+        })
+    assert [row["executions"] for row in rows] == sorted(
+        row["executions"] for row in rows
+    )
+    payload = {
+        "bench": "scale_curve",
+        "fixture": "cycle / build-degenerate k=2 / SIMASYNC",
+        "scalar_cliff": SCALAR_CLIFF,
+        "rows": rows,
+    }
+    (report_dir / "scale_curve.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    small = gen.cycle_graph(6)
+    benchmark.pedantic(
+        lambda: count_executions(small, DegenerateBuildProtocol(2),
+                                 SIMASYNC, batch=True),
+        rounds=1, iterations=1,
+    )

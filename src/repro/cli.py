@@ -197,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="adversary fault budget, e.g. 'crash:2,loss:1' "
                          "(kinds: crash, loss, dup); fault events join "
                          "the searched schedule space")
+    st.add_argument("--batch", dest="batch", action="store_true",
+                    default=None,
+                    help="step cells through the batched structure-of-"
+                         "arrays engine where supported (field-identical "
+                         "reports, just faster)")
+    st.add_argument("--no-batch", dest="batch", action="store_false",
+                    help="pin every cell to the scalar reference engine")
     st.add_argument("--store", default=None, metavar="PATH",
                     help="SQLite result store for opportunistic reuse: "
                          "cells already stored are served from it, "
@@ -531,6 +538,7 @@ def _stress_protocols(args, backend, instances, store) -> bool:
             score=args.score,
             share_table=args.share_table,
             faults=args.faults,
+            batch=args.batch,
         )
         report, cached = _run_plan(plan, backend, store)
         all_ok &= report.ok

@@ -92,6 +92,7 @@ def all_executions(
     bit_budget: Optional[int] = None,
     limit: Optional[int] = None,
     faults: Union[None, str, FaultSpec] = None,
+    batch: bool = False,
 ) -> Iterator[RunResult]:
     """Enumerate every execution (one per distinct adversary schedule).
 
@@ -110,7 +111,28 @@ def all_executions(
     schedule space — every way the adversary can interleave crashes,
     losses, and duplications with writes — which is the exact ground
     truth the guided fault adversaries are tested against.
+
+    ``batch=True`` routes supported cells (stateless protocol, n <= 64,
+    numpy available, no ``limit``) through the batched
+    structure-of-arrays core (:mod:`repro.core.batch`), which steps the
+    whole frontier in lockstep and yields the *same results in the same
+    order* — pinned by the batch equivalence tests.  Unsupported cells,
+    and any batched run that hits a per-lane violation, silently fall
+    back to this scalar reference, so ``batch=True`` never changes an
+    observable outcome.
     """
+    if batch and limit is None:
+        from .batch import BatchAborted, batch_supported, batched_all_executions
+
+        if batch_supported(graph, protocol, model):
+            try:
+                results = batched_all_executions(
+                    graph, protocol, model, bit_budget, faults=faults)
+            except BatchAborted:
+                results = None  # scalar rerun raises at the right point
+            if results is not None:
+                yield from results
+                return
     state = ExecutionState.initial(graph, protocol, model, bit_budget,
                                    faults=faults)
 
@@ -166,7 +188,23 @@ def count_executions(
     protocol: Protocol,
     model: ModelSpec,
     faults: Union[None, str, FaultSpec] = None,
+    batch: bool = False,
 ) -> int:
-    """Number of distinct schedules (size of the adversary's choice tree)."""
+    """Number of distinct schedules (size of the adversary's choice tree).
+
+    ``batch=True`` counts terminal configurations breadth-wise on the
+    batched core without materialising a single :class:`RunResult` —
+    the pure-enumeration fast path — falling back to the scalar walk
+    for unsupported cells or on a captured violation.
+    """
+    if batch:
+        from .batch import BatchAborted, batch_supported, batched_count_executions
+
+        if batch_supported(graph, protocol, model):
+            try:
+                return batched_count_executions(graph, protocol, model,
+                                                faults=faults)
+            except BatchAborted:
+                pass  # scalar rerun raises at the right point
     return sum(1 for _ in all_executions(graph, protocol, model,
                                          faults=faults))

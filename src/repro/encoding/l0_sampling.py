@@ -41,10 +41,19 @@ across sketch instances, protocol rounds, nodes, and repeated runs:
 per-cell objects, and offers :meth:`L0Sampler.batch_update` which
 sketches a whole ``(items, deltas)`` stream in one pass.  The numbers
 produced are bit-for-bit identical to the original per-cell
-implementation — the caches only eliminate recomputation.  (The arrays
-hold Python ints on purpose: fingerprint arithmetic multiplies 61-bit
-residues by signed weights, which would overflow fixed-width numpy
-lanes.)
+implementation — the caches only eliminate recomputation.
+
+The *stored* aggregates hold Python ints on purpose: fingerprint
+arithmetic multiplies 61-bit residues by signed weights, which would
+overflow fixed-width lanes, and the scalar update loop is the semantic
+authority.  Long update streams, however, take a numpy fast path when
+it is exactly representable: :func:`mulmod61` and :func:`powmod61` do
+the ``mod 2^61 - 1`` arithmetic on paired-uint64 half-products (every
+partial fits 64 bits), and :meth:`L0Sampler.batch_update` falls back to
+the scalar loop whenever the stream's weights exceed the guarded int64
+headroom — so the fast path is an accelerator, never a semantics
+change, exactly like the batched execution core in
+:mod:`repro.core.batch`.
 """
 
 from __future__ import annotations
@@ -54,7 +63,19 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Optional, Sequence
 
-__all__ = ["FIELD_PRIME", "OneSparseRecovery", "L0Sampler", "level_of"]
+try:  # optional accelerator: the scalar path below is the authority
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+__all__ = [
+    "FIELD_PRIME",
+    "OneSparseRecovery",
+    "L0Sampler",
+    "level_of",
+    "mulmod61",
+    "powmod61",
+]
 
 #: Field for fingerprints: the Mersenne prime 2^61 - 1.
 FIELD_PRIME = (1 << 61) - 1
@@ -112,6 +133,83 @@ def _column(seed: int, levels: int, item: int) -> tuple[int, ...]:
     top = min(_geom(seed, item), levels)
     zs = _cell_zs(seed, levels)
     return tuple(_pow_z(zs[l], item) for l in range(top + 1))
+
+
+#: Streams shorter than this stay on the scalar loop: binding the numpy
+#: lanes costs more than it saves below a few dozen updates.
+_FAST_MIN_ITEMS = 32
+_MASK31 = (1 << 31) - 1
+_MASK30 = (1 << 30) - 1
+
+
+def mulmod61(a, b):
+    """``(a * b) % FIELD_PRIME`` on uint64 lanes (vectorized, exact).
+
+    Operands must be reduced residues (``< 2^61``).  Each is split into
+    a 31-bit low and 30-bit high half so every partial product fits a
+    uint64, then the pieces fold with ``2^61 ≡ 1 (mod p)`` (so
+    ``2^62 ≡ 2``).  The property tests pin this lane-for-lane against
+    Python's arbitrary-precision ``(a * b) % FIELD_PRIME``.
+    """
+    a = _np.asarray(a, dtype=_np.uint64)
+    b = _np.asarray(b, dtype=_np.uint64)
+    a0 = a & _np.uint64(_MASK31)
+    a1 = a >> _np.uint64(31)
+    b0 = b & _np.uint64(_MASK31)
+    b1 = b >> _np.uint64(31)
+    mid = a1 * b0 + a0 * b1
+    # a*b = a1·b1·2^62 + mid·2^31 + a0·b0; reduce the mid term through a
+    # 30/34 split so its shifted halves stay below 2^61 as well.
+    t = (
+        ((a1 * b1) << _np.uint64(1))
+        + (mid >> _np.uint64(30))
+        + ((mid & _np.uint64(_MASK30)) << _np.uint64(31))
+        + a0 * b0
+    )
+    p = _np.uint64(FIELD_PRIME)
+    t = (t >> _np.uint64(61)) + (t & p)
+    t = (t >> _np.uint64(61)) + (t & p)
+    return t - _np.where(t >= p, p, _np.uint64(0))
+
+
+def powmod61(base, exp):
+    """``(base ** exp) % FIELD_PRIME`` on uint64 lanes.
+
+    Vectorized square-and-multiply over the exponent bits; ``base``
+    must hold reduced residues.  Broadcasts like numpy ufuncs do.
+    """
+    base, exp = _np.broadcast_arrays(
+        _np.asarray(base, dtype=_np.uint64), _np.asarray(exp, dtype=_np.uint64)
+    )
+    base = base.copy()
+    exp = exp.copy()
+    out = _np.ones(base.shape, dtype=_np.uint64)
+    while True:
+        odd = (exp & _np.uint64(1)).astype(bool)
+        if odd.any():
+            out[odd] = mulmod61(out[odd], base[odd])
+        exp = exp >> _np.uint64(1)
+        if not exp.any():
+            return out
+        base = mulmod61(base, base)
+
+
+def _sum_mod61(v):
+    """Exact mod-p sum of a uint64 residue array (entries ``< p``).
+
+    Folds in chunks of eight — ``8 * (p - 1) < 2^64``, so the chunk
+    sums cannot wrap — reducing 8x per pass.
+    """
+    p = _np.uint64(FIELD_PRIME)
+    while v.size > 1:
+        pad = (-v.size) % 8
+        if pad:
+            v = _np.concatenate([v, _np.zeros(pad, dtype=_np.uint64)])
+        v = v.reshape(-1, 8).sum(axis=1, dtype=_np.uint64)
+        v = (v >> _np.uint64(61)) + (v & p)
+        v = (v >> _np.uint64(61)) + (v & p)
+        v = v - _np.where(v >= p, p, _np.uint64(0))
+    return int(v[0]) if v.size else 0
 
 
 def level_of(seed: int, item: int, max_level: int) -> int:
@@ -262,8 +360,25 @@ class L0Sampler:
         Equivalent to ``for i, d in zip(items, deltas): self.update(i, d)``
         (linearity makes the order irrelevant), with the seed-derived
         tables bound once for the entire stream.
+
+        Long streams run the fingerprint arithmetic on paired-uint64
+        numpy lanes (:func:`mulmod61` / :func:`powmod61`) when every
+        intermediate provably fits; otherwise — short streams, missing
+        numpy, or weights past the int64 headroom — the exact scalar
+        loop below runs.  Both paths produce identical aggregates.
         """
         seed, levels = self.seed, self.levels
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        if not isinstance(deltas, (list, tuple)):
+            deltas = list(deltas)
+        if (
+            _np is not None
+            and len(items) == len(deltas)
+            and len(items) >= _FAST_MIN_ITEMS
+            and self._batch_update_fast(items, deltas)
+        ):
+            return
         c0, c1, fp = self._c0, self._c1, self._fp
         column = _column
         for item, delta in zip(items, deltas):
@@ -274,6 +389,61 @@ class L0Sampler:
                 c0[l] += delta
                 c1[l] += weighted
                 fp[l] = (fp[l] + delta * power) % FIELD_PRIME
+
+    def _batch_update_fast(self, items: Sequence[int], deltas: Sequence[int]) -> bool:
+        """Vectorized twin of the scalar ``batch_update`` loop.
+
+        Returns ``False`` without touching any state when the stream
+        needs arbitrary precision (an item or weight past the guarded
+        int64 headroom) or contains an invalid item — the scalar loop
+        then reproduces the exact semantics, including which updates
+        land before a ``ValueError``.  On ``True`` every aggregate has
+        been advanced to exactly what the scalar loop would produce.
+        """
+        seed, levels = self.seed, self.levels
+        try:
+            it = _np.array(items, dtype=_np.int64)
+            de = _np.array(deltas, dtype=_np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return False
+        if (it < 1).any():
+            return False  # scalar loop raises at the offending update
+        max_item = int(it.max())
+        max_delta = int(_np.abs(de).max()) if de.size else 0
+        # cumsum(de * it) must stay inside int64: guard the worst case
+        # with exact Python-int arithmetic before trusting the lanes.
+        if (
+            max_item > _MASK31
+            or max_delta > _MASK31
+            or it.size * max_delta * max_item >= (1 << 62)
+        ):
+            return False
+        top = _np.array(
+            [min(_geom(seed, int(i)), levels) for i in items], dtype=_np.int64
+        )
+        order = _np.argsort(-top, kind="stable")
+        it_s = it[order]
+        de_s = de[order]
+        top_s = top[order]
+        cum_d = _np.cumsum(de_s)
+        cum_di = _np.cumsum(de_s * it_s)
+        items_u = it_s.astype(_np.uint64)
+        deltas_u = (de_s % _np.int64(FIELD_PRIME)).astype(_np.uint64)
+        zs = _cell_zs(seed, levels)
+        c0, c1, fp = self._c0, self._c1, self._fp
+        for l in range(levels + 1):
+            # Levels contribute to prefixes of the top-descending order:
+            # item i updates cells 0..top_i, so level l sees every item
+            # with top >= l.
+            k = int(_np.searchsorted(-top_s, -l, side="right"))
+            if k == 0:
+                break
+            c0[l] += int(cum_d[k - 1])
+            c1[l] += int(cum_di[k - 1])
+            powers = powmod61(_np.uint64(zs[l]), items_u[:k])
+            terms = mulmod61(deltas_u[:k], powers)
+            fp[l] = (fp[l] + _sum_mod61(terms)) % FIELD_PRIME
+        return True
 
     def combine(self, other: "L0Sampler") -> "L0Sampler":
         if (other.seed, other.levels) != (self.seed, self.levels):

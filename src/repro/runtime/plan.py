@@ -107,6 +107,13 @@ class ExecutionTask:
     #: fingerprinted into campaign stores like every other knob, and
     #: ``None`` keeps fault-free tasks byte-identical to pre-fault ones.
     faults: Optional[str] = None
+    #: Batched-core preference: ``True`` routes exhaustive cells through
+    #: the structure-of-arrays fast path (``None``/``False`` keep the
+    #: scalar engine; search cells carry the knob on their strategies).
+    #: Semantics-free by construction — batched results are pinned
+    #: field-identical to scalar — so ``task_fingerprint`` deliberately
+    #: excludes it: the same cell batched or not is the same work.
+    batch: Optional[bool] = None
 
     @property
     def model(self) -> ModelSpec:
@@ -128,7 +135,7 @@ class ExecutionTask:
             results: Iterable[RunResult] = all_executions(
                 self.graph, self.protocol, model,
                 bit_budget=self.bit_budget, limit=self.exhaustive_limit,
-                faults=self.faults,
+                faults=self.faults, batch=self.batch is True,
             )
         elif self.mode == "search":
             context = (
@@ -281,6 +288,7 @@ class ExecutionPlan:
         score: Optional[str] = None,
         share_table: bool = False,
         faults: Union[None, str, FaultSpec] = None,
+        batch: Optional[bool] = None,
     ) -> "ExecutionPlan":
         """Enumerate the (protocol × model × instance) product into tasks.
 
@@ -293,6 +301,13 @@ class ExecutionPlan:
         search cell's strategies through one shared
         :class:`~repro.adversaries.SearchContext` (one transposition
         table per cell).
+
+        ``batch`` selects the batched structure-of-arrays engine for
+        exhaustive cells and the default portfolio's beam strategy:
+        ``True`` forces it wherever supported, ``False`` pins the
+        scalar engine, ``None`` (default) keeps exhaustive cells scalar
+        and lets the beam auto-detect.  Either way every report is
+        field-identical — the knob trades time, never semantics.
         """
         if mode not in _MODES:
             raise ValueError(f"unknown plan mode {mode!r}; expected one of {_MODES}")
@@ -328,7 +343,7 @@ class ExecutionPlan:
         )
         searches = (
             tuple(adversaries) if adversaries is not None
-            else tuple(default_search_portfolio(score=score))
+            else tuple(default_search_portfolio(score=score, batch=batch))
             if mode == "stress"
             else ()
         )
@@ -371,6 +386,7 @@ class ExecutionPlan:
                         share_table=(share_table
                                      if task_mode == "search" else False),
                         faults=fault_spec,
+                        batch=batch if task_mode == "exhaustive" else None,
                     ))
         return cls(
             tasks=tuple(tasks),

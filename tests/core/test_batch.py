@@ -1,0 +1,174 @@
+"""Equivalence tests for the batched structure-of-arrays core.
+
+The scalar :class:`~repro.core.execution.ExecutionState` is the only
+semantic authority; :mod:`repro.core.batch` is an equivalence-pinned
+accelerator.  Every test here therefore compares the batched engine
+against the scalar engine *field for field* — full ``RunResult``
+dataclass equality (board entries, activation rounds, bit accounting,
+crashes, decode errors), exact enumeration order, and bit-identical
+configuration digests — across all four timing models and the fault
+spectrum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import (
+    BatchedExecutionState,
+    _BatchCell,
+    batch_supported,
+    batched_count_executions,
+    partition_lots,
+)
+from repro.core.execution import ExecutionState
+from repro.core.models import ALL_MODELS, ASYNC, SIMASYNC, SIMSYNC, SYNC
+from repro.core.simulator import all_executions, count_executions
+from repro.faults.spec import resolve_faults
+from repro.graphs import generators as gen
+from repro.protocols.bfs import EobBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+
+if not batch_supported(gen.cycle_graph(3), DegenerateBuildProtocol(2),
+                       SIMASYNC):
+    pytest.skip("batched core unsupported (numpy < 2.0)",
+                allow_module_level=True)
+
+
+FIXTURES = [
+    pytest.param(gen.random_k_degenerate(5, 2, seed=0),
+                 DegenerateBuildProtocol(2), SIMASYNC, id="build-simasync"),
+    pytest.param(gen.random_k_degenerate(5, 2, seed=1),
+                 DegenerateBuildProtocol(2), SIMSYNC, id="build-simsync"),
+    pytest.param(gen.path_graph(5), EobBfsProtocol(), ASYNC,
+                 id="eob-async"),
+    pytest.param(gen.random_connected_graph(5, 0.5, seed=3),
+                 EobBfsProtocol(), SYNC, id="eob-sync"),
+]
+
+FAULTS = [None, "crash:1", "crash:1,loss:1", "dup:1"]
+
+
+@pytest.mark.parametrize("graph,proto,model", FIXTURES)
+@pytest.mark.parametrize("faults", FAULTS)
+def test_all_executions_field_identical(graph, proto, model, faults):
+    scalar = list(all_executions(graph, proto, model, faults=faults))
+    batched = list(all_executions(graph, proto, model, faults=faults,
+                                  batch=True))
+    assert batched == scalar  # full dataclass equality, same order
+
+
+@pytest.mark.parametrize("graph,proto,model", FIXTURES)
+@pytest.mark.parametrize("faults", [None, "crash:1"])
+def test_count_executions_identical(graph, proto, model, faults):
+    assert (count_executions(graph, proto, model, faults=faults, batch=True)
+            == count_executions(graph, proto, model, faults=faults))
+
+
+@pytest.mark.parametrize("graph,proto,model", FIXTURES)
+def test_config_keys_bit_identical(graph, proto, model):
+    """Batched digests equal scalar ``config_key()`` along every prefix
+    of a breadth-first walk — ``faults=None`` included, whose keys must
+    not grow a fault component."""
+    cell = _BatchCell(graph, proto, model, None, resolve_faults(None))
+    batch = BatchedExecutionState.root(cell)
+    scalars = [ExecutionState.initial(graph, proto, model)]
+    for _ in range(3):
+        assert all(not s.faults.enabled for s in scalars)
+        for lane, state in enumerate(scalars):
+            assert batch.config_key_of(lane) == state.config_key()
+        lanes, choices = batch.expansion()
+        if lanes.size == 0:
+            break
+        batch = batch.fork(lanes, choices)
+        scalars = [scalars[p].copy().advance(c)
+                   for p, c in zip(lanes.tolist(), choices.tolist())]
+        live = np.nonzero(~batch.terminal_mask())[0]
+        batch = batch.compact(live)
+        scalars = [scalars[i] for i in live.tolist()]
+        if not scalars:
+            break
+
+
+def test_bit_budget_violation_matches_scalar():
+    g = gen.random_k_degenerate(5, 2, seed=0)
+    proto = DegenerateBuildProtocol(2)
+    with pytest.raises(Exception) as scalar_exc:
+        list(all_executions(g, proto, SIMASYNC, bit_budget=8))
+    with pytest.raises(Exception) as batched_exc:
+        list(all_executions(g, proto, SIMASYNC, bit_budget=8, batch=True))
+    assert type(batched_exc.value) is type(scalar_exc.value)
+    assert str(batched_exc.value) == str(scalar_exc.value)
+
+
+def test_partition_lots_covers_expansion():
+    g = gen.random_k_degenerate(6, 2, seed=0)
+    cell = _BatchCell(g, DegenerateBuildProtocol(2), SIMASYNC, None,
+                      resolve_faults(None))
+    root = BatchedExecutionState.root(cell)
+    lanes, choices = root.expansion()
+    children = root.fork(lanes, choices)
+    for lots in (1, 2, 3, children.size, children.size + 5):
+        parts = partition_lots(children, lots)
+        assert 1 <= len(parts) <= min(lots, children.size)
+        covered = sorted(lane for part in parts for lane in part.tolist())
+        assert covered == list(range(children.size))
+        # LPT balance: no lot exceeds the ideal share by more than the
+        # largest single subtree weight.
+        weights = children.subtree_weights().tolist()
+        lot_weights = [sum(weights[i] for i in part.tolist())
+                       for part in parts]
+        if len(parts) > 1:
+            assert max(lot_weights) <= (sum(weights) / len(parts)
+                                        + max(weights))
+
+
+@st.composite
+def _random_cells(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    kind = draw(st.sampled_from(["kdeg", "cycle", "conn"]))
+    seed = draw(st.integers(min_value=0, max_value=6))
+    if kind == "kdeg":
+        graph = gen.random_k_degenerate(n, min(2, n - 1), seed=seed)
+        proto = DegenerateBuildProtocol(min(2, n - 1))
+    elif kind == "cycle":
+        graph = gen.cycle_graph(max(n, 3))
+        proto = DegenerateBuildProtocol(2)
+    else:
+        graph = gen.random_connected_graph(n, 0.6, seed=seed)
+        proto = EobBfsProtocol()
+    model = draw(st.sampled_from(ALL_MODELS))
+    faults = draw(st.sampled_from([None, "crash:1", "loss:1", "dup:1"]))
+    budget = draw(st.sampled_from([None, None, 48]))
+    return graph, proto, model, faults, budget
+
+
+@given(_random_cells())
+@settings(max_examples=40, deadline=None)
+def test_random_cells_batched_equals_scalar(cell):
+    graph, proto, model, faults, budget = cell
+    try:
+        scalar = list(all_executions(graph, proto, model, bit_budget=budget,
+                                     faults=faults))
+        scalar_exc = None
+    except Exception as exc:  # budget violations must match too
+        scalar, scalar_exc = None, exc
+    try:
+        batched = list(all_executions(graph, proto, model, bit_budget=budget,
+                                      faults=faults, batch=True))
+        batched_exc = None
+    except Exception as exc:
+        batched, batched_exc = None, exc
+    if scalar_exc is None:
+        assert batched_exc is None
+        assert batched == scalar
+        if budget is None:
+            assert (count_executions(graph, proto, model, faults=faults,
+                                     batch=True) == len(scalar))
+    else:
+        assert type(batched_exc) is type(scalar_exc)
+        assert str(batched_exc) == str(scalar_exc)

@@ -77,12 +77,16 @@ class TestSectionGate:
         reports = tmp_path / "reports"
         reports.mkdir()
         monkeypatch.setattr(bench_report, "REPORTS_DIR", reports)
+        expected = bench_report.expected_sections()
         problems = bench_report.check_sections()
-        assert len(problems) == 2
+        assert len(problems) == len(expected)
         assert all("missing" in p for p in problems)
 
-        shutil.copy(REPO_ROOT / "reports" / "adversary_search.txt",
-                    reports / "adversary_search.txt")
+        for name, (path, _) in expected.items():
+            if name == "parallel_sweep":
+                continue
+            shutil.copy(REPO_ROOT / "reports" / path.name,
+                        reports / path.name)
         (reports / "parallel_sweep.txt").write_text("out of date\n")
         problems = bench_report.check_sections()
         assert len(problems) == 1 and "stale" in problems[0]

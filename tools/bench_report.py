@@ -58,8 +58,19 @@ def _adversary_report_markers() -> list[str]:
     # not a package); widen both together when the sweep grows.
     fault_budgets = ["crash:1", "loss:1", "dup:1", "crash:1,loss:1"]
     return (sorted({s.name for s in default_search_portfolio()})
-            + ["transposition", "fault matrix"]
+            + ["transposition", "fault matrix", "occupancy"]
             + fault_budgets)
+
+
+def _scale_curve_markers() -> list[str]:
+    """Rows the committed scale curve must contain to be fresh.
+
+    Mirrors ``benchmarks.bench_scale.CURVE_SIZES`` (benchmarks/ is not
+    a package); widen both together when the curve grows.  The sizes
+    past the scalar cliff are exactly what proves the batched engine
+    kept the curve bending, so each one is a marker.
+    """
+    return [f'"n": {n}' for n in (5, 6, 7, 8, 9)] + ['"batched_seconds"']
 
 
 #: Committed report sections and the markers that prove freshness.  A
@@ -76,6 +87,14 @@ def expected_sections() -> dict[str, tuple[Path, list[str]]]:
             REPORTS_DIR / "parallel_sweep.txt",
             ["ExecutionPlan"],
         ),
+        "scale_stress": (
+            REPORTS_DIR / "scale_stress.json",
+            ['"case"', '"seconds"', '"max_message_bits"'],
+        ),
+        "scale_curve": (
+            REPORTS_DIR / "scale_curve.json",
+            _scale_curve_markers(),
+        ),
     }
 
 
@@ -90,6 +109,14 @@ def check_sections() -> list[str]:
         if not text.strip():
             problems.append(f"section {name!r}: {path} is empty")
             continue
+        if path.suffix == ".json":
+            try:
+                json.loads(text)
+            except ValueError as exc:
+                problems.append(
+                    f"section {name!r}: {path} is not valid JSON ({exc})"
+                )
+                continue
         for marker in markers:
             if marker not in text:
                 problems.append(
@@ -158,6 +185,34 @@ def render(trajectory: dict) -> str:
     return "\n".join(lines)
 
 
+def render_scale_curve() -> str:
+    """The committed exhaustive-scaling curve as a table ("" if absent).
+
+    Renders ``reports/scale_curve.json`` (written by
+    ``benchmarks/bench_scale.py::test_scale_curve``) so a reviewer sees
+    where the scalar engine cliffs and how far the batched core pushes
+    the same enumeration, without re-running the benchmark.
+    """
+    path = REPORTS_DIR / "scale_curve.json"
+    if not path.exists():
+        return ""
+    try:
+        curve = json.loads(path.read_text())
+    except ValueError:
+        return ""
+    lines = ["", f"Exhaustive enumeration curve ({curve.get('fixture', '?')})",
+             ""]
+    lines.append(f"{'n':>3} {'executions':>12} {'scalar':>10} {'batched':>10}")
+    for row in curve.get("rows", []):
+        scalar = row.get("scalar_seconds")
+        scalar_cell = f"{scalar:.4f}s" if scalar is not None else "(cliff)"
+        lines.append(
+            f"{row.get('n', '?'):>3} {row.get('executions', '?'):>12} "
+            f"{scalar_cell:>10} {row.get('batched_seconds', 0):>9.4f}s"
+        )
+    return "\n".join(lines)
+
+
 def render_campaign(store_path: Path, name: str | None) -> str:
     from repro.campaigns import ResultStore, render_trajectories
 
@@ -190,6 +245,9 @@ def main(argv=None) -> int:
     path = Path(args.path) if args.path else DEFAULT_PATH
     trajectory = load_trajectory(path)
     print(render(trajectory))
+    curve = render_scale_curve()
+    if curve:
+        print(curve)
 
     problems = check_latest_run(trajectory) + check_sections()
     if problems:
