@@ -182,7 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exhaustive-enumeration size threshold; larger "
                          "instances use adversary search")
     st.add_argument("--jobs", type=int, default=None,
-                    help="worker processes (default: serial)")
+                    help="worker processes (default: serial); heavy "
+                         "exhaustive cells additionally shard their "
+                         "schedule tree across the workers")
     st.add_argument("--trace", action="store_true",
                     help="narrate the overall worst witness transcript")
     from .adversaries import SCORE_HOOKS

@@ -43,8 +43,10 @@ the spmm block-partition kernels applied to schedule subtrees.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import math
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Union
 
 try:  # numpy is a hard dependency of the graphs layer, but stay graceful
@@ -56,7 +58,7 @@ from ..encoding.bits import payload_bits, payload_key
 from ..faults.spec import FaultSpec, resolve_faults
 from .errors import MessageTooLarge, ProtocolViolation
 from .execution import ExecutionState, RunResult
-from .models import ModelSpec
+from .models import MODELS_BY_NAME, ModelSpec
 from .protocol import NodeView, Protocol
 from .whiteboard import BoardView, Entry, Whiteboard
 from ..graphs.labeled_graph import LabeledGraph
@@ -64,10 +66,17 @@ from ..graphs.labeled_graph import LabeledGraph
 __all__ = [
     "BatchAborted",
     "BatchedExecutionState",
+    "ScheduleLot",
     "batch_supported",
     "batched_all_executions",
     "batched_count_executions",
+    "config_key_digest",
+    "expand_enumeration_units",
     "partition_lots",
+    "partition_weighted",
+    "run_schedule_lot",
+    "sharded_all_executions",
+    "sharded_count_executions",
 ]
 
 
@@ -987,26 +996,39 @@ class BatchedExecutionState:
         return fact * (1.0 + (self.cl + self.ll + self.dl))
 
 
-def partition_lots(batch: BatchedExecutionState, lots: int) -> list:
-    """Split lanes into ``lots`` roughly equal-weight groups.
+def partition_weighted(weights, lots: int) -> list:
+    """Split ``range(len(weights))`` into ``lots`` roughly equal-weight
+    groups.
 
-    Longest-processing-time greedy over :meth:`subtree_weights`: lanes
-    descending by weight, each assigned to the currently lightest lot.
-    Returns a list of ascending index arrays that partition the batch —
-    the balanced fan-out used before enumeration recursion.
+    Longest-processing-time greedy: items descending by weight (stable,
+    so equal weights keep their index order — the deterministic
+    tie-break), each assigned to the currently lightest lot.  Returns a
+    list of ascending int64 index arrays that partition the items; empty
+    groups are dropped, so an empty input yields an empty list.
     """
-    lots = max(1, min(int(lots), batch.size))
-    weights = batch.subtree_weights()
+    weights = np.asarray(weights, dtype=np.float64)
+    count = int(weights.shape[0])
+    if count == 0:
+        return []
+    lots = max(1, min(int(lots), count))
     order = np.argsort(-weights, kind="stable")
     heap = [(0.0, i) for i in range(lots)]
     heapq.heapify(heap)
     members: list[list[int]] = [[] for _ in range(lots)]
-    for lane in order.tolist():
+    for item in order.tolist():
         load, slot = heapq.heappop(heap)
-        members[slot].append(lane)
-        heapq.heappush(heap, (load + float(weights[lane]), slot))
+        members[slot].append(item)
+        heapq.heappush(heap, (load + float(weights[item]), slot))
     return [np.array(sorted(group), dtype=np.int64)
             for group in members if group]
+
+
+def partition_lots(batch: BatchedExecutionState, lots: int) -> list:
+    """Split lanes into ``lots`` roughly equal-weight groups — the LPT
+    greedy of :func:`partition_weighted` over :meth:`subtree_weights`,
+    the balanced fan-out used before enumeration recursion and by the
+    process-sharded lot drivers."""
+    return partition_weighted(batch.subtree_weights(), lots)
 
 
 #: Above this frontier width the enumeration drivers split into lots of
@@ -1117,3 +1139,315 @@ def batched_all_executions(
             yield builder(lane)
 
     return _results()
+
+
+# ----------------------------------------------------------------------
+# lot-sharded enumeration: picklable sub-tasks over schedule prefixes
+# ----------------------------------------------------------------------
+
+def _normalize_key(obj):
+    """Config-key component with frozensets replaced by sorted tuples
+    (frozenset iteration order is not stable across processes; every
+    other component is ints/None/tuples whose repr is)."""
+    if isinstance(obj, frozenset):
+        return ("fs",) + tuple(sorted(obj))
+    if isinstance(obj, tuple):
+        return tuple(_normalize_key(x) for x in obj)
+    return obj
+
+
+def config_key_digest(key) -> bytes:
+    """Process-stable digest of an ``ExecutionState.config_key()``.
+
+    Two keys digest equal iff they are equal: the only order-unstable
+    components of a config key are frozensets of ints, normalized to
+    sorted tuples before hashing.  Sharded searches exchange these
+    digests instead of raw keys (16 bytes each, picklable, and identical
+    no matter which process computed them)."""
+    return hashlib.blake2b(repr(_normalize_key(key)).encode(),
+                           digest_size=16).digest()
+
+
+@dataclass(frozen=True)
+class ScheduleLot:
+    """One picklable, replayable enumeration sub-task.
+
+    A lot is a set of schedule-prefix backpointers into one cell's
+    choice tree: each prefix names a subtree root (all prefixes share
+    one depth, so a worker reconstructs its
+    :class:`BatchedExecutionState` slice by replicating the root lane
+    and advancing the prefix choices column-wise).  Workers walk every
+    subtree to its terminals — batched when the cell supports it, by
+    the scalar reference otherwise — and return per-prefix results in
+    scalar DFS order, so the parent can reassemble the global DFS order
+    from submission-ordered lot outputs.
+    """
+
+    graph: LabeledGraph
+    protocol: Protocol
+    model_name: str
+    bit_budget: Optional[int]
+    faults: Optional[str]  # canonical spec string (process-stable)
+    prefixes: tuple[tuple[int, ...], ...]
+    batch: bool
+    collect: bool  # False = count terminals only
+
+    @property
+    def model(self) -> ModelSpec:
+        return MODELS_BY_NAME[self.model_name]
+
+
+def _lot_root_slice(lot: ScheduleLot, cell: _BatchCell,
+                    track_sched: bool) -> BatchedExecutionState:
+    """Reconstruct the lot's frontier slice: replicate the root lane
+    once per prefix, then advance the prefix choices column-wise (all
+    prefixes share one depth by construction)."""
+    root = BatchedExecutionState.root(cell, track_sched=track_sched)
+    k = len(lot.prefixes)
+    batch = root.compact(np.zeros(k, dtype=np.int64))
+    for level in range(len(lot.prefixes[0])):
+        batch.advance_all(np.array([p[level] for p in lot.prefixes],
+                                   dtype=np.int64))
+    return batch
+
+
+def _run_lot_batched(lot: ScheduleLot, model: ModelSpec):
+    cell = _BatchCell(lot.graph, lot.protocol, model, lot.bit_budget,
+                      lot.faults)
+    if not lot.collect:
+        slice_ = _lot_root_slice(lot, cell, track_sched=False)
+        return _walk_terminals(slice_, None, count_only=True)
+    slice_ = _lot_root_slice(lot, cell, track_sched=True)
+    leaves: list[tuple[BatchedExecutionState, int]] = []
+    _walk_terminals(slice_, lambda batch, lane: leaves.append((batch, lane)),
+                    count_only=False)
+    n = cell.n
+    leaves.sort(key=lambda item: tuple(
+        _choice_rank(c, n) for c in item[0].schedule_of(item[1])))
+    depth = len(lot.prefixes[0])
+    position = {prefix: i for i, prefix in enumerate(lot.prefixes)}
+    groups: list[list[RunResult]] = [[] for _ in lot.prefixes]
+    builders: dict[int, Any] = {}
+    for batch, lane in leaves:
+        builder = builders.get(id(batch))
+        if builder is None:
+            builder = builders[id(batch)] = batch._result_builder()
+        groups[position[batch.schedule_of(lane)[:depth]]].append(builder(lane))
+    return groups
+
+
+def _run_lot_scalar(lot: ScheduleLot, model: ModelSpec):
+    total = 0
+    groups: list[list[RunResult]] = []
+    for prefix in lot.prefixes:
+        state = ExecutionState.initial(lot.graph, lot.protocol, model,
+                                       lot.bit_budget, faults=lot.faults)
+        for choice in prefix:
+            state.advance(choice)
+        group: Optional[list[RunResult]] = [] if lot.collect else None
+
+        def dfs() -> int:
+            if state.terminal:
+                if group is not None:
+                    group.append(state.result())
+                return 1
+            count = 0
+            for choice in state.candidates:
+                checkpoint = state.snapshot()
+                state.advance(choice)
+                count += dfs()
+                state.restore(checkpoint)
+            return count
+
+        total += dfs()
+        if group is not None:
+            groups.append(group)
+    return groups if lot.collect else total
+
+
+def run_schedule_lot(lot: ScheduleLot):
+    """Worker entry point (module-level so process pools can pickle it).
+
+    Returns ``("ok", value)`` — per-prefix result lists in scalar DFS
+    order when collecting, the terminal count otherwise — or
+    ``("error", message)``.  Errors are *markers*, never re-raised
+    results: the parent discards the whole sharded attempt and re-runs
+    the serial authority, which raises the original exception at
+    exactly the right point in DFS order.
+    """
+    try:
+        model = lot.model
+        if lot.batch and batch_supported(lot.graph, lot.protocol, model):
+            try:
+                return ("ok", _run_lot_batched(lot, model))
+            except BatchAborted:
+                pass  # scalar walk below raises/collects authoritatively
+        return ("ok", _run_lot_scalar(lot, model))
+    except Exception as exc:  # noqa: BLE001 - marker, parent re-runs serial
+        return ("error", f"{type(exc).__name__}: {exc}")
+
+
+def expand_enumeration_units(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    bit_budget: Optional[int],
+    faults: Union[None, str, FaultSpec],
+    min_prefixes: int,
+    max_depth: int = 3,
+) -> list:
+    """Bounded scalar DFS expansion into an ordered *unit* list.
+
+    Units appear in exact scalar DFS order: ``("result", RunResult)``
+    for configurations that terminate above the frontier, and
+    ``("prefix", schedule)`` for depth-``d`` subtree roots.  All
+    prefixes share the one depth ``d`` — the smallest depth (iterative
+    deepening up to ``max_depth``) whose frontier has at least
+    ``min_prefixes`` subtrees, so lots reconstruct their batched slice
+    with column-wise prefix replay.  Exceptions propagate raw; callers
+    fall back to the serial authority, which raises identically.
+    """
+    for depth in range(1, max_depth + 1):
+        units: list = []
+        state = ExecutionState.initial(graph, protocol, model, bit_budget,
+                                       faults=faults)
+
+        def walk(remaining: int) -> None:
+            if state.terminal:
+                units.append(("result", state.result()))
+                return
+            if remaining == 0:
+                units.append(("prefix", state.schedule))
+                return
+            for choice in state.candidates:
+                checkpoint = state.snapshot()
+                state.advance(choice)
+                walk(remaining - 1)
+                state.restore(checkpoint)
+
+        walk(depth)
+        prefixes = sum(1 for kind, _ in units if kind == "prefix")
+        if prefixes == 0 or prefixes >= min_prefixes or depth == max_depth:
+            return units
+    return units  # pragma: no cover - loop always returns
+
+
+def _prefix_weights(prefixes, n: int, faults: Union[None, str, FaultSpec]):
+    """LPT weights for same-depth subtree roots: the
+    :meth:`BatchedExecutionState.subtree_weights` estimate, computable
+    without reconstructing lanes (every prefix event terminates one
+    node, so remaining depth is uniform)."""
+    spec = resolve_faults(faults)
+    slack = 1.0 + (spec.max_crashes + spec.max_losses
+                   + spec.max_duplications)
+    return [math.factorial(min(n - len(p), 20)) * slack for p in prefixes]
+
+
+def _build_lots(graph, protocol, model, bit_budget, faults, prefixes,
+                batch: bool, collect: bool, jobs: int) -> list[ScheduleLot]:
+    canonical = resolve_faults(faults).canonical()
+    weights = _prefix_weights(prefixes, graph.n, faults)
+    return [
+        ScheduleLot(graph, protocol, model.name, bit_budget, canonical,
+                    tuple(prefixes[i] for i in idx.tolist()), batch, collect)
+        for idx in partition_weighted(weights, jobs * 2)
+    ]
+
+
+def _map_lots(lots, jobs: int):
+    """Fan lots through the process backend's submission-ordered map
+    seam (one future per lot — lots are already LPT-balanced)."""
+    from ..runtime.backends import ProcessPoolBackend
+
+    backend = ProcessPoolBackend(jobs=jobs, chunk_size=1)
+    return list(backend.map(run_schedule_lot, lots))
+
+
+def sharded_all_executions(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    bit_budget: Optional[int] = None,
+    faults: Union[None, str, FaultSpec] = None,
+    batch: bool = False,
+    jobs: int = 2,
+) -> Optional[list]:
+    """Every terminal :class:`RunResult`, enumerated by ``jobs`` worker
+    processes over balanced subtree lots, in exact scalar DFS order.
+
+    Returns ``None`` whenever the sharded path cannot *prove* field
+    identity — expansion raised, a worker errored or aborted, or the
+    frontier is too small to split — and the caller falls back to the
+    serial authority (which also re-raises any exception at the right
+    point).  Like the batch knob, sharding never changes an observable
+    value; it only produces the same values on more cores.
+    """
+    if np is None:
+        return None
+    try:
+        units = expand_enumeration_units(graph, protocol, model, bit_budget,
+                                         faults, min_prefixes=2 * jobs)
+    except Exception:  # noqa: BLE001 - serial authority re-raises
+        return None
+    prefixes = [payload for kind, payload in units if kind == "prefix"]
+    if not prefixes:
+        return [payload for _, payload in units]
+    if len(prefixes) < 2:
+        return None
+    lots = _build_lots(graph, protocol, model, bit_budget, faults, prefixes,
+                       batch, collect=True, jobs=jobs)
+    try:
+        outputs = _map_lots(lots, jobs)
+    except Exception:  # noqa: BLE001 - pool failure: serial authority
+        return None
+    per_prefix: dict[tuple[int, ...], list[RunResult]] = {}
+    for lot, (status, value) in zip(lots, outputs):
+        if status != "ok":
+            return None
+        for prefix, group in zip(lot.prefixes, value):
+            per_prefix[prefix] = group
+    results: list[RunResult] = []
+    for kind, payload in units:
+        if kind == "result":
+            results.append(payload)
+        else:
+            results.extend(per_prefix[payload])
+    return results
+
+
+def sharded_count_executions(
+    graph: LabeledGraph,
+    protocol: Protocol,
+    model: ModelSpec,
+    faults: Union[None, str, FaultSpec] = None,
+    batch: bool = False,
+    jobs: int = 2,
+) -> Optional[int]:
+    """Terminal count via worker-sharded subtree lots (``None`` = fall
+    back to the serial path, same contract as
+    :func:`sharded_all_executions`)."""
+    if np is None:
+        return None
+    try:
+        units = expand_enumeration_units(graph, protocol, model, None,
+                                         faults, min_prefixes=2 * jobs)
+    except Exception:  # noqa: BLE001 - serial authority re-raises
+        return None
+    prefixes = [payload for kind, payload in units if kind == "prefix"]
+    terminal_above = sum(1 for kind, _ in units if kind == "result")
+    if not prefixes:
+        return terminal_above
+    if len(prefixes) < 2:
+        return None
+    lots = _build_lots(graph, protocol, model, None, faults, prefixes,
+                       batch, collect=False, jobs=jobs)
+    try:
+        outputs = _map_lots(lots, jobs)
+    except Exception:  # noqa: BLE001 - pool failure: serial authority
+        return None
+    total = terminal_above
+    for status, value in outputs:
+        if status != "ok":
+            return None
+        total += value
+    return total

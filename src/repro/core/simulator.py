@@ -93,6 +93,7 @@ def all_executions(
     limit: Optional[int] = None,
     faults: Union[None, str, FaultSpec] = None,
     batch: bool = False,
+    jobs: Optional[int] = None,
 ) -> Iterator[RunResult]:
     """Enumerate every execution (one per distinct adversary schedule).
 
@@ -120,7 +121,25 @@ def all_executions(
     and any batched run that hits a per-lane violation, silently fall
     back to this scalar reference, so ``batch=True`` never changes an
     observable outcome.
+
+    ``jobs=N`` (N > 1) additionally shards the schedule tree across
+    process workers: a bounded parent expansion produces uniform-depth
+    schedule prefixes, ``partition_lots``-style LPT weighting groups
+    them into picklable :class:`~repro.core.batch.ScheduleLot` sub-tasks
+    fanned through ``ProcessPoolBackend.map``, and submission-order
+    reassembly restores the exact serial DFS order.  Like ``batch``,
+    ``jobs`` never changes an observable outcome — any worker error or
+    unsupported cell falls back to this serial path, which raises at
+    exactly the right point.
     """
+    if jobs is not None and jobs > 1 and limit is None:
+        from .batch import sharded_all_executions
+
+        results = sharded_all_executions(graph, protocol, model, bit_budget,
+                                         faults=faults, batch=batch, jobs=jobs)
+        if results is not None:
+            yield from results
+            return
     if batch and limit is None:
         from .batch import BatchAborted, batch_supported, batched_all_executions
 
@@ -189,14 +208,25 @@ def count_executions(
     model: ModelSpec,
     faults: Union[None, str, FaultSpec] = None,
     batch: bool = False,
+    jobs: Optional[int] = None,
 ) -> int:
     """Number of distinct schedules (size of the adversary's choice tree).
 
     ``batch=True`` counts terminal configurations breadth-wise on the
     batched core without materialising a single :class:`RunResult` —
     the pure-enumeration fast path — falling back to the scalar walk
-    for unsupported cells or on a captured violation.
+    for unsupported cells or on a captured violation.  ``jobs=N``
+    (N > 1) shards the count across process workers (see
+    :func:`all_executions`); the summed total is pinned identical.
     """
+    if jobs is not None and jobs > 1:
+        from .batch import sharded_count_executions
+
+        total = sharded_count_executions(graph, protocol, model,
+                                         faults=faults, batch=batch,
+                                         jobs=jobs)
+        if total is not None:
+            return total
     if batch:
         from .batch import BatchAborted, batch_supported, batched_count_executions
 

@@ -36,9 +36,35 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def _default_jobs() -> int:
+    """Worker count when ``jobs`` is unset: the number of CPUs this
+    *process* may use (``os.process_cpu_count``, Python >= 3.13, respects
+    affinity masks), falling back to ``os.cpu_count`` and then 1."""
+    counter = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return counter() or 1
+
+
 def _execute_task(task) -> TaskOutcome:
     """Run one plan task (top-level so process backends can pickle it)."""
     return task.execute()
+
+
+def _execute_item(item):
+    """Run one lowered work item (see :mod:`repro.runtime.sharding`).
+
+    Plain tasks execute whole and raise like the serial backend; shard
+    items return ``("ok", partials)`` / ``("error", msg)`` markers so
+    the parent can discard a failed lot and re-run the cell serially —
+    exceptions must surface from the authority, not a worker.
+    """
+    kind, payload = item
+    if kind == "task":
+        return payload.execute()
+    task, prefixes = payload
+    try:
+        return ("ok", task._execute_shard(prefixes))
+    except Exception as exc:  # noqa: BLE001 - marker, parent re-raises
+        return ("error", f"{type(exc).__name__}: {exc}")
 
 
 def _apply_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
@@ -76,7 +102,7 @@ class ProcessPoolBackend(Backend):
     Parameters
     ----------
     jobs:
-        Worker processes (default ``os.cpu_count()``).
+        Worker processes (default: CPUs available to this process).
     chunk_size:
         Items per shard.  Default targets four shards per worker, which
         keeps the pool busy under uneven cell costs while bounding
@@ -94,6 +120,26 @@ class ProcessPoolBackend(Backend):
         self.jobs = jobs
         self.chunk_size = chunk_size
 
+    def run(self, tasks: Sequence[Any]) -> Iterator[TaskOutcome]:
+        """Execute plan tasks, sharding heavy exhaustive cells.
+
+        Tasks are lowered into a mixed item list (whole tasks plus
+        schedule-prefix lots of shardable cells — see
+        :mod:`repro.runtime.sharding`), fanned through the ordinary
+        chunked :meth:`map`, and reassembled in task order.  When no
+        cell qualifies this is exactly the task-per-item path.
+        """
+        from .sharding import lower, reassemble
+
+        jobs = self.jobs or _default_jobs()
+        if jobs < 2:
+            return super().run(tasks)
+        tasks = list(tasks)
+        items, layout = lower(tasks, jobs)
+        if all(entry[0] == "task" for entry in layout):
+            return super().run(tasks)
+        return reassemble(tasks, layout, self.map(_execute_item, items))
+
     def _shards(self, items: list[T], jobs: int) -> list[list[T]]:
         size = self.chunk_size or max(1, math.ceil(len(items) / (jobs * 4)))
         return [items[i:i + size] for i in range(0, len(items), size)]
@@ -102,7 +148,7 @@ class ProcessPoolBackend(Backend):
         items = list(items)
         if not items:
             return
-        jobs = self.jobs or os.cpu_count() or 1
+        jobs = self.jobs or _default_jobs()
         shards = self._shards(items, jobs)
         with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
             futures = {

@@ -172,6 +172,33 @@ class ExecutionTask:
             if self.mode == "exhaustive":
                 report.exhaustive_instances = 1
         kept: Optional[list[RunResult]] = [] if self.keep_runs else None
+        worst, first_deadlock = self._fold_results(results, report, kept)
+        if report is not None and self.capture_witnesses:
+            if self.mode == "exhaustive":
+                if worst is not None:
+                    self._record_witness(report, "exhaustive", worst)
+                if first_deadlock is not None and first_deadlock is not worst:
+                    self._record_witness(
+                        report, "exhaustive-deadlock", first_deadlock
+                    )
+            else:
+                for strategy_name, result in witness_runs:
+                    self._record_witness(report, strategy_name, result)
+        return TaskOutcome(
+            self.index, report, tuple(kept) if kept is not None else None
+        )
+
+    def _fold_results(
+        self,
+        results: Iterable[RunResult],
+        report: Optional[VerificationReport],
+        kept: Optional[list[RunResult]],
+    ) -> tuple[Optional[RunResult], Optional[RunResult]]:
+        """The one aggregation loop: fold ``results`` (DFS order) into
+        ``report``/``kept`` in place and return ``(worst,
+        first_deadlock)``.  Shared by the serial :meth:`execute`, shard
+        workers (:meth:`_shard_partial`) and the shard merge, so every
+        path aggregates identically by construction."""
         worst: Optional[RunResult] = None
         first_deadlock: Optional[RunResult] = None
         for result in results:
@@ -188,17 +215,73 @@ class ExecutionTask:
                 report.executions += 1
                 continue
             report.record(self.graph, result, self._check(result))
-        if report is not None and self.capture_witnesses:
-            if self.mode == "exhaustive":
-                if worst is not None:
-                    self._record_witness(report, "exhaustive", worst)
-                if first_deadlock is not None and first_deadlock is not worst:
-                    self._record_witness(
-                        report, "exhaustive-deadlock", first_deadlock
-                    )
+        return worst, first_deadlock
+
+    def _shard_partial(self, results: Iterable[RunResult]):
+        """Aggregate one schedule-prefix group into a picklable partial:
+        ``(report, kept, worst, first_deadlock)``, with the report's
+        instance counters left at zero (the merge's header supplies
+        them once)."""
+        report: Optional[VerificationReport] = None
+        if self.checker is not None:
+            report = VerificationReport(self.protocol.name, self.model_name)
+        kept: Optional[list[RunResult]] = [] if self.keep_runs else None
+        worst, first_deadlock = self._fold_results(results, report, kept)
+        return (report, tuple(kept) if kept is not None else None,
+                worst, first_deadlock)
+
+    def _execute_shard(self, prefixes):
+        """Worker side of a sharded exhaustive cell: replay one lot of
+        schedule prefixes to every terminal below them and aggregate
+        each prefix's group separately, keyed for the parent merge."""
+        from ..core.batch import ScheduleLot, run_schedule_lot
+
+        lot = ScheduleLot(self.graph, self.protocol, self.model_name,
+                          self.bit_budget, self.faults, tuple(prefixes),
+                          batch=self.batch is True, collect=True)
+        status, value = run_schedule_lot(lot)
+        if status != "ok":
+            raise RuntimeError(value)
+        return {prefix: self._shard_partial(group)
+                for prefix, group in zip(lot.prefixes, value)}
+
+    def _merge_shards(self, units, partials: dict) -> TaskOutcome:
+        """Parent side: walk the DFS unit list, folding above-frontier
+        results directly and merging worker partials where their prefix
+        sits, then apply the witness tail — field-identical to
+        :meth:`execute` because report merging is associative and every
+        fold below used the same loop in the same order."""
+        report: Optional[VerificationReport] = None
+        if self.checker is not None:
+            report = VerificationReport(self.protocol.name, self.model_name)
+            report.instances = 1
+            report.exhaustive_instances = 1
+        kept: Optional[list[RunResult]] = [] if self.keep_runs else None
+        worst: Optional[RunResult] = None
+        first_deadlock: Optional[RunResult] = None
+        for kind, payload in units:
+            if kind == "result":
+                unit_worst, unit_deadlock = self._fold_results(
+                    [payload], report, kept)
             else:
-                for strategy_name, result in witness_runs:
-                    self._record_witness(report, strategy_name, result)
+                part_report, part_kept, unit_worst, unit_deadlock = (
+                    partials[payload])
+                if report is not None:
+                    report.merge(part_report)
+                if kept is not None:
+                    kept.extend(part_kept)
+            if unit_worst is not None and (
+                    worst is None
+                    or unit_worst.max_message_bits > worst.max_message_bits):
+                worst = unit_worst
+            if first_deadlock is None and unit_deadlock is not None:
+                first_deadlock = unit_deadlock
+        if report is not None and self.capture_witnesses:
+            if worst is not None:
+                self._record_witness(report, "exhaustive", worst)
+            if first_deadlock is not None and first_deadlock is not worst:
+                self._record_witness(
+                    report, "exhaustive-deadlock", first_deadlock)
         return TaskOutcome(
             self.index, report, tuple(kept) if kept is not None else None
         )

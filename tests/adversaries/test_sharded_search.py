@@ -1,0 +1,141 @@
+"""Lot-sharded (``jobs=N``) adversary searches vs. the serial authority.
+
+Branch-and-bound and the deadlock seeker gain a ``jobs=`` path that
+expands the schedule tree to a uniform prefix frontier, fans LPT-
+balanced prefix lots across process workers, and folds the per-unit
+results in exact DFS unit order.  The contract is *field identity*:
+same witness (schedule, bits, explored count), same ``ctx.stats``, same
+exceptions — sharding must be invisible to every observer.  Engagement
+tests pin that the sharded paths actually run on supported cells, so a
+silent fall-back cannot masquerade as equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.adversaries import (
+    BranchAndBoundAdversary,
+    DeadlockAdversary,
+    SearchContext,
+)
+from repro.core.models import MODELS_BY_NAME, SIMASYNC, SIMSYNC, SYNC
+from repro.graphs import generators as gen
+from repro.protocols.bfs import EobBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+
+FIXTURES = [
+    pytest.param(gen.random_k_degenerate(5, 2, seed=0),
+                 DegenerateBuildProtocol(2), SIMASYNC, id="build-simasync"),
+    pytest.param(gen.random_k_degenerate(5, 2, seed=1),
+                 DegenerateBuildProtocol(2), SIMSYNC, id="build-simsync"),
+    pytest.param(gen.random_connected_graph(5, 0.5, seed=3),
+                 EobBfsProtocol(), SYNC, id="eob-sync"),
+]
+
+
+def _stats_tuple(stats):
+    return (stats.steps, stats.searches, stats.restarts,
+            stats.batch_children, stats.batch_kept)
+
+
+def _search_fields(strategy_factory, graph, proto, model, faults,
+                   jobs=None, **kwargs):
+    strategy = strategy_factory()
+    ctx = SearchContext()
+    witness = strategy.search(graph, proto, model, context=ctx,
+                              faults=faults, jobs=jobs, **kwargs)
+    return witness, _stats_tuple(ctx.stats)
+
+
+@pytest.mark.parametrize("graph,proto,model", FIXTURES)
+@pytest.mark.parametrize("faults", [None, "crash:1"])
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_bnb_sharded_field_identical(graph, proto, model, faults, jobs):
+    factory = lambda: BranchAndBoundAdversary(restarts=0)  # noqa: E731
+    serial_w, serial_stats = _search_fields(factory, graph, proto, model,
+                                            faults)
+    sharded_w, sharded_stats = _search_fields(factory, graph, proto, model,
+                                              faults, jobs=jobs)
+    assert sharded_w == serial_w
+    assert sharded_stats == serial_stats
+
+
+@pytest.mark.parametrize("graph,proto,model", FIXTURES)
+@pytest.mark.parametrize("faults", [None, "crash:1", "crash:1,loss:1"])
+@pytest.mark.parametrize("max_steps", [None, 500, 50])
+def test_deadlock_sharded_field_identical(graph, proto, model, faults,
+                                          max_steps):
+    factory = lambda: DeadlockAdversary(max_steps=max_steps)  # noqa: E731
+    serial_w, serial_stats = _search_fields(factory, graph, proto, model,
+                                            faults)
+    sharded_w, sharded_stats = _search_fields(factory, graph, proto, model,
+                                              faults, jobs=2)
+    assert sharded_w == serial_w
+    assert sharded_stats == serial_stats
+
+
+def test_bnb_sharded_path_engages():
+    """`_search_sharded` must return a witness (not fall back) on a
+    plain supported cell — the regression guard for silent fall-backs."""
+    graph = gen.random_k_degenerate(5, 2, seed=0)
+    proto = DegenerateBuildProtocol(2)
+    adv = BranchAndBoundAdversary(restarts=0)
+    ctx = SearchContext()
+    from repro.adversaries.kernel import BudgetMeter, SearchStats
+    from repro.faults.spec import resolve_faults
+
+    spec = resolve_faults("crash:1")  # reliable SIMASYNC collapses O(n)
+    adv._meter = BudgetMeter(ctx.stats, None, None)
+    adv._faults = spec
+    adv._table = None
+    witness = adv._search_sharded(graph, proto, SIMASYNC, None, ctx,
+                                  spec, jobs=2)
+    assert witness is not None
+    serial = BranchAndBoundAdversary(restarts=0).search(
+        graph, proto, SIMASYNC, faults="crash:1")
+    assert witness == serial
+
+
+def test_deadlock_sharded_path_engages():
+    # SYNC, not SIMASYNC: simultaneous deadlock searches resolve via a
+    # pre-gate shortcut, so only free models can reach the sharded path.
+    graph = gen.random_connected_graph(5, 0.5, seed=3)
+    proto = EobBfsProtocol()
+    adv = DeadlockAdversary()
+    ctx = SearchContext()
+    from repro.adversaries.kernel import BudgetMeter, SearchStats
+    from repro.faults.spec import resolve_faults
+
+    spec = resolve_faults("crash:1")
+    adv._meter = BudgetMeter(ctx.stats, None, None)
+    adv._faults = spec
+    adv._table = None
+    adv._seen = set()
+    adv._best_complete = None
+    witness = adv._search_sharded(graph, proto, SYNC, None, ctx,
+                                  spec, jobs=2)
+    assert witness is not None
+    serial = DeadlockAdversary().search(graph, proto, SYNC,
+                                        faults="crash:1")
+    assert witness == serial
+
+
+def test_sharded_gate_declines_with_table():
+    """A transposition-table run couples subtrees through shared memo
+    state; the jobs gate must keep such searches serial (identical
+    results, stats unchanged by the jobs knob)."""
+    graph = gen.random_k_degenerate(5, 2, seed=0)
+    proto = DegenerateBuildProtocol(2)
+    from repro.adversaries import TranspositionTable
+
+    serial_ctx = SearchContext(table=TranspositionTable())
+    serial = BranchAndBoundAdversary(restarts=0).search(
+        graph, proto, SIMASYNC, context=serial_ctx)
+    jobs_ctx = SearchContext(table=TranspositionTable())
+    with_jobs = BranchAndBoundAdversary(restarts=0).search(
+        graph, proto, SIMASYNC, context=jobs_ctx, jobs=2)
+    assert with_jobs == serial
+    assert _stats_tuple(jobs_ctx.stats) == _stats_tuple(serial_ctx.stats)

@@ -127,6 +127,73 @@ def test_partition_lots_covers_expansion():
                                         + max(weights))
 
 
+def test_partition_weighted_more_lots_than_items():
+    """Requesting more lots than items degrades to one singleton lot per
+    item (empty groups are dropped, never returned)."""
+    from repro.core.batch import partition_weighted
+
+    parts = partition_weighted([3.0, 1.0, 2.0], 8)
+    assert len(parts) == 3
+    assert sorted(i for part in parts for i in part.tolist()) == [0, 1, 2]
+    assert all(part.size == 1 for part in parts)
+
+
+def test_partition_weighted_single_item_and_empty():
+    from repro.core.batch import partition_weighted
+
+    [only] = partition_weighted([7.0], 4)
+    assert only.tolist() == [0]
+    assert partition_weighted([], 4) == []
+    assert partition_weighted(np.zeros(0), 1) == []
+
+
+def test_partition_weighted_equal_weights_deterministic():
+    """All-equal weights: the stable descending sort keeps index order,
+    so the greedy deals indices round-robin — the same grouping every
+    call, pinned here so process-sharded lots are reproducible."""
+    from repro.core.batch import partition_weighted
+
+    first = partition_weighted([1.0] * 6, 2)
+    second = partition_weighted([1.0] * 6, 2)
+    assert [p.tolist() for p in first] == [p.tolist() for p in second]
+    assert [p.tolist() for p in first] == [[0, 2, 4], [1, 3, 5]]
+
+
+def test_partition_lots_single_lane_and_empty_frontier():
+    """A one-lane frontier yields one singleton lot; a fully-compacted
+    (empty) frontier yields no lots at all."""
+    g = gen.random_k_degenerate(4, 2, seed=0)
+    cell = _BatchCell(g, DegenerateBuildProtocol(2), SIMASYNC, None,
+                      resolve_faults(None))
+    root = BatchedExecutionState.root(cell)
+    assert root.size == 1
+    [only] = partition_lots(root, 3)
+    assert only.tolist() == [0]
+    empty = root.compact(np.zeros(0, dtype=np.int64))
+    assert partition_lots(empty, 2) == []
+
+
+def test_partition_lots_weights_follow_compact():
+    """``subtree_weights`` is recomputed from the surviving lanes after
+    ``compact()``: partitioning the compacted frontier equals
+    partitioning the surviving lanes' weights directly."""
+    g = gen.random_k_degenerate(5, 2, seed=0)
+    cell = _BatchCell(g, DegenerateBuildProtocol(2), SIMASYNC, None,
+                      resolve_faults(None))
+    root = BatchedExecutionState.root(cell)
+    lanes, choices = root.expansion()
+    children = root.fork(lanes, choices)
+    keep = np.arange(0, children.size, 2, dtype=np.int64)
+    surviving = children.compact(keep)
+    expected = children.subtree_weights()[keep]
+    assert surviving.subtree_weights().tolist() == expected.tolist()
+    from repro.core.batch import partition_weighted
+
+    direct = [p.tolist() for p in partition_weighted(expected, 2)]
+    via_lots = [p.tolist() for p in partition_lots(surviving, 2)]
+    assert via_lots == direct
+
+
 @st.composite
 def _random_cells(draw):
     n = draw(st.integers(min_value=2, max_value=5))

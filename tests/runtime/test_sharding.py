@@ -1,0 +1,163 @@
+"""Runtime-layer sharding: one heavy exhaustive cell, many workers.
+
+:mod:`repro.runtime.sharding` lowers a task list into whole-task items
+plus schedule-prefix lots, the process backend fans them through its
+ordinary ``map`` seam, and ``reassemble`` folds the per-prefix partial
+aggregates back in DFS unit order.  The contract mirrors the batch
+knob's: the merged :class:`TaskOutcome` is field-identical to
+``task.execute()``, any failure falls back to the serial authority, and
+the whole mechanism is invisible to campaign fingerprints (a sharded
+cell is the same work).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.checkers import default_checker
+from repro.core.models import MODELS_BY_NAME
+from repro.graphs import generators as gen
+from repro.protocols.bfs import EobBfsProtocol
+from repro.protocols.build import DegenerateBuildProtocol
+from repro.runtime import sharding
+from repro.runtime.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    _default_jobs,
+    _execute_item,
+)
+from repro.runtime.plan import ExecutionPlan
+
+
+def _stress_plan(sizes=(4, 6), faults=None, protocol=None, models=None):
+    proto = protocol if protocol is not None else DegenerateBuildProtocol(2)
+    models = models if models is not None else [MODELS_BY_NAME["SIMASYNC"]]
+    graphs = [gen.random_k_degenerate(n, 2, seed=0) for n in sizes]
+    return ExecutionPlan.build(
+        proto, models, graphs, mode="stress",
+        checker=default_checker(proto), exhaustive_threshold=6,
+        bit_budget=lambda n: 4096, faults=faults, keep_runs=True)
+
+
+def _outcome_key(outcome):
+    report = outcome.report
+    body = (None if report is None
+            else json.dumps(vars(report), sort_keys=True, default=repr))
+    return (outcome.index, body, outcome.runs)
+
+
+class TestLower:
+    def test_only_heavy_exhaustive_cells_shard(self):
+        plan = _stress_plan(sizes=(4, 6, 8))
+        items, layout = sharding.lower(list(plan.tasks), 2)
+        kinds = [entry[0] for entry in layout]
+        # n=4 exhaustive (below SHARD_MIN_N) and n=8 search stay whole;
+        # the n=6 exhaustive cell fans out into several lots.
+        assert kinds == ["task", "shard", "task"]
+        shard_items = [item for item in items if item[0] == "shard"]
+        assert len(shard_items) == layout[1][2] >= 2
+        lots = [prefixes for _, (_, prefixes) in shard_items]
+        covered = sorted(p for lot in lots for p in lot)
+        expected = sorted(p for kind, p in layout[1][1] if kind == "prefix")
+        assert covered == expected
+
+    def test_single_schedule_cell_stays_whole(self):
+        # ASYNC on a path never branches: one schedule, nothing to split.
+        plan = ExecutionPlan.build(
+            EobBfsProtocol(), [MODELS_BY_NAME["ASYNC"]], [gen.path_graph(6)],
+            mode="stress", checker=default_checker(EobBfsProtocol()),
+            exhaustive_threshold=6, keep_runs=True)
+        items, layout = sharding.lower(list(plan.tasks), 2)
+        assert [entry[0] for entry in layout] == ["task"]
+
+    def test_exhaustive_limit_disqualifies(self):
+        plan = _stress_plan(sizes=(6,))
+        from dataclasses import replace
+
+        task = replace(plan.tasks[0], exhaustive_limit=10)
+        assert not sharding.shardable(task)
+
+
+class TestMergeIdentity:
+    @pytest.mark.parametrize("faults", [None, "crash:1"])
+    def test_in_process_merge_matches_execute(self, faults):
+        plan = _stress_plan(sizes=(6,), faults=faults)
+        tasks = list(plan.tasks)
+        items, layout = sharding.lower(tasks, 2)
+        assert layout[0][0] == "shard"
+        outputs = [_execute_item(item) for item in items]
+        assert all(status == "ok" for status, _ in outputs)
+        [outcome] = list(sharding.reassemble(tasks, layout, outputs))
+        assert _outcome_key(outcome) == _outcome_key(tasks[0].execute())
+
+    def test_backend_run_matches_serial(self):
+        plan = _stress_plan(sizes=(4, 6), faults="crash:1")
+        serial = [_outcome_key(o) for o in SerialBackend().run(plan.tasks)]
+        sharded = [
+            _outcome_key(o)
+            for o in ProcessPoolBackend(jobs=2, chunk_size=1).run(plan.tasks)
+        ]
+        assert sharded == serial
+
+    def test_dropped_runs_and_no_checker(self):
+        """keep_runs=False / checker=None cells still merge identically."""
+        from dataclasses import replace
+
+        plan = _stress_plan(sizes=(6,))
+        for patch in ({"keep_runs": False}, {"checker": None}):
+            task = replace(plan.tasks[0], **patch)
+            items, layout = sharding.lower([task], 2)
+            outputs = [_execute_item(item) for item in items]
+            [outcome] = list(sharding.reassemble([task], layout, outputs))
+            assert _outcome_key(outcome) == _outcome_key(task.execute())
+
+    def test_worker_error_falls_back_to_serial(self):
+        plan = _stress_plan(sizes=(6,))
+        tasks = list(plan.tasks)
+        items, layout = sharding.lower(tasks, 2)
+        outputs = [("error", "RuntimeError: boom") for _ in items]
+        [outcome] = list(sharding.reassemble(tasks, layout, outputs))
+        assert _outcome_key(outcome) == _outcome_key(tasks[0].execute())
+
+
+class TestDefaultJobs:
+    def test_prefers_process_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 3,
+                            raising=False)
+        assert _default_jobs() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        """Python < 3.13 has no ``os.process_cpu_count``; the default
+        must degrade to ``os.cpu_count`` and then to 1."""
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert _default_jobs() == 5
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert _default_jobs() == 1
+
+
+class TestFingerprintInvisible:
+    def test_store_rerun_executes_nothing_across_jobs(self, tmp_path):
+        """Sharding adds no task attribute, so a store populated by a
+        sharded run serves a serial re-run entirely from cache — and
+        vice versa.  Zero executions on the second pass."""
+        from repro.campaigns import ResultStore
+        from repro.campaigns.runner import _run_tasks_with_store
+
+        plan = _stress_plan(sizes=(6,), faults="crash:1")
+        with ResultStore(tmp_path / "s.db", salt="t") as store:
+            reports, hits = _run_tasks_with_store(
+                list(plan.tasks), store,
+                backend=ProcessPoolBackend(jobs=2, chunk_size=1))
+            assert hits == 0 and store.writes == len(plan.tasks)
+            writes_before = store.writes
+            again, hits = _run_tasks_with_store(
+                list(plan.tasks), store, backend=SerialBackend())
+            assert hits == len(plan.tasks)
+            assert store.writes == writes_before
+            assert [vars(r) for r in again] == [vars(r) for r in reports]

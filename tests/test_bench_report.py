@@ -67,6 +67,46 @@ class TestLatestRunGate:
         assert bench_report.check_latest_run({"runs": []}) == []
 
 
+class TestMachineMetadata:
+    def test_same_machine_runs_are_quiet(self, bench_report):
+        data = trajectory()
+        machine = {"cpu_count": 4, "python": "3.12.0", "numpy": "2.0.0"}
+        data["runs"][0]["machine"] = dict(machine)
+        data["runs"].append({"timestamp": "t1", "machine": dict(machine),
+                             "results": data["runs"][0]["results"]})
+        assert bench_report.cross_machine_notes(data) == []
+
+    def test_different_machine_is_flagged(self, bench_report):
+        data = trajectory()
+        data["runs"][0]["machine"] = {"cpu_count": 1, "python": "3.11.7",
+                                      "numpy": "2.4.0"}
+        data["runs"].append({
+            "timestamp": "t1",
+            "machine": {"cpu_count": 8, "python": "3.11.7", "numpy": "2.4.0"},
+            "results": data["runs"][0]["results"],
+        })
+        notes = bench_report.cross_machine_notes(data)
+        assert len(notes) == 1
+        assert "different machine" in notes[0] and "8 cpu" in notes[0]
+
+    def test_metadata_free_history_is_flagged(self, bench_report):
+        data = trajectory()  # run 0 predates machine metadata
+        data["runs"].append({
+            "timestamp": "t1",
+            "machine": {"cpu_count": 1, "python": "3.11.7", "numpy": "2.4.0"},
+            "results": data["runs"][0]["results"],
+        })
+        notes = bench_report.cross_machine_notes(data)
+        assert len(notes) == 1 and "predates machine metadata" in notes[0]
+
+    def test_render_shows_latest_machine(self, bench_report):
+        data = trajectory()
+        data["runs"][-1]["machine"] = {"cpu_count": 2, "python": "3.11.7",
+                                       "numpy": "2.4.0"}
+        out = bench_report.render(data)
+        assert "latest machine: 2 cpu, py 3.11.7, numpy 2.4.0" in out
+
+
 class TestSectionGate:
     def test_committed_sections_are_fresh(self, bench_report):
         # The repository's own reports must pass their own gate.

@@ -70,7 +70,8 @@ def _scale_curve_markers() -> list[str]:
     past the scalar cliff are exactly what proves the batched engine
     kept the curve bending, so each one is a marker.
     """
-    return [f'"n": {n}' for n in (5, 6, 7, 8, 9)] + ['"batched_seconds"']
+    return ([f'"n": {n}' for n in (5, 6, 7, 8, 9)]
+            + ['"batched_seconds"', '"sharded_seconds"'])
 
 
 #: Committed report sections and the markers that prove freshness.  A
@@ -149,6 +150,46 @@ def check_latest_run(trajectory: dict) -> list[str]:
     ]
 
 
+def _machine_label(run: dict) -> str:
+    """One-line machine summary of a run ("" when not recorded)."""
+    machine = run.get("machine")
+    if not machine:
+        return ""
+    parts = [f"{machine.get('cpu_count', '?')} cpu",
+             f"py {machine.get('python', '?')}"]
+    if machine.get("numpy"):
+        parts.append(f"numpy {machine['numpy']}")
+    return ", ".join(parts)
+
+
+def cross_machine_notes(trajectory: dict) -> list[str]:
+    """Runs whose recorded machine differs from the latest run's.
+
+    Absolute seconds never transfer between machines, so any
+    run-over-run delta involving a flagged row (or a row with no
+    recorded machine at all) compares apples to oranges.
+    """
+    runs = trajectory.get("runs", [])
+    if not runs:
+        return []
+    latest = runs[-1].get("machine")
+    notes = []
+    for i, run in enumerate(runs[:-1]):
+        machine = run.get("machine")
+        if machine is None:
+            notes.append(
+                f"run {i} ({run.get('timestamp', '?')}) predates machine "
+                "metadata — treat deltas against it as cross-machine"
+            )
+        elif latest is not None and machine != latest:
+            notes.append(
+                f"run {i} ({run.get('timestamp', '?')}) ran on a different "
+                f"machine ({_machine_label(run)} vs "
+                f"{_machine_label(runs[-1])}) — seconds are not comparable"
+            )
+    return notes
+
+
 def render(trajectory: dict) -> str:
     lines = ["Performance trajectory (speedup vs. seed baseline)", ""]
     baseline = trajectory.get("seed_baseline_seconds", {})
@@ -182,6 +223,11 @@ def render(trajectory: dict) -> str:
                 f"latest {name}: {r['seconds']:.4f}s, "
                 f"{r['speedup_vs_seed']:.1f}x faster than seed"
             )
+    label = _machine_label(runs[-1])
+    if label:
+        lines.append(f"latest machine: {label}")
+    for note in cross_machine_notes(trajectory):
+        lines.append(f"note: {note}")
     return "\n".join(lines)
 
 
@@ -202,13 +248,17 @@ def render_scale_curve() -> str:
         return ""
     lines = ["", f"Exhaustive enumeration curve ({curve.get('fixture', '?')})",
              ""]
-    lines.append(f"{'n':>3} {'executions':>12} {'scalar':>10} {'batched':>10}")
+    lines.append(f"{'n':>3} {'executions':>12} {'scalar':>10} "
+                 f"{'batched':>10} {'sharded':>10}")
     for row in curve.get("rows", []):
         scalar = row.get("scalar_seconds")
         scalar_cell = f"{scalar:.4f}s" if scalar is not None else "(cliff)"
+        sharded = row.get("sharded_seconds")
+        sharded_cell = f"{sharded:.4f}s" if sharded is not None else "-"
         lines.append(
             f"{row.get('n', '?'):>3} {row.get('executions', '?'):>12} "
-            f"{scalar_cell:>10} {row.get('batched_seconds', 0):>9.4f}s"
+            f"{scalar_cell:>10} {row.get('batched_seconds', 0):>9.4f}s "
+            f"{sharded_cell:>10}"
         )
     return "\n".join(lines)
 
