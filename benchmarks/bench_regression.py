@@ -137,6 +137,11 @@ SEED_BASELINE = {
     # the only way to enumerate one cell, so the unsharded batched walk
     # is the seed baseline for the jobs=2 bench.
     "sharded_enumeration_n8": 0.0350,
+    # The instrumented execute() with tracing off on the stress
+    # portfolio — before telemetry there was no seam at all, so the
+    # pre-telemetry execute (~= the NULL_COLLECTION path) is the seed
+    # baseline; the entry pins that the guards stay free.
+    "telemetry_overhead_n6": 0.0585,
 }
 
 #: CI gate: minimum acceptable *same-machine* ratio of the seed-style
@@ -169,6 +174,12 @@ SMOKE_FLOORS = {
     # per-schedule pickling — without flaking on single-core runners,
     # where the honest ratio is below 1.
     "sharded_enumeration_ratio": 0.2,
+    # Untraced instrumented execute() vs the guard-free NULL_COLLECTION
+    # reference on the identical cells: telemetry that is off must cost
+    # nothing, so the honest ratio is ~1.0.  The 0.95 floor allows ~5%
+    # measurement noise while catching instrumentation that starts
+    # allocating or formatting on the hot path.
+    "telemetry_overhead_ratio": 0.95,
 }
 
 
@@ -394,6 +405,70 @@ def _time_scalar_beam_n6(reps: int) -> float:
     return _median_time(lambda: _run_beam_n6(batch=False), reps)
 
 
+def bench_telemetry_overhead_n6(reps: int) -> float:
+    """The stress portfolio through the fully instrumented ``execute()``
+    with tracing *off* — every telemetry guard taken, nothing recorded.
+
+    Gated against :func:`_time_null_collection_n6` (the same cells
+    through ``_run_cell(NULL_COLLECTION)``, bypassing every guard), so
+    CI catches any instrumentation that starts doing work on the
+    untraced hot path.
+    """
+    from repro.telemetry import tracer as _trace
+
+    assert not _trace.tracing_enabled(), "bench requires tracing off"
+    assert _trace.active() is None
+    plan = _build_stress_plan(batch=True)
+    tasks = list(plan.tasks)
+    return _median_time(lambda: [t.execute() for t in tasks], reps)
+
+
+def _time_null_collection_n6(reps: int) -> float:
+    """Same cells, no telemetry seam at all: the overhead reference."""
+    from repro.telemetry import NULL_COLLECTION
+
+    plan = _build_stress_plan(batch=True)
+    tasks = list(plan.tasks)
+    return _median_time(
+        lambda: [t._run_cell(NULL_COLLECTION) for t in tasks], reps)
+
+
+def _telemetry_overhead_ratio(reps: int) -> float:
+    """Guard-free reference over instrumented execute, noise-hardened.
+
+    The two sides differ by a few telemetry guards (~ns each), far
+    below shared-runner jitter, so the sides run *interleaved* (drift
+    hits both equally) and the ratio uses each side's *minimum* (the
+    standard overhead estimator: spikes only ever inflate a sample).
+    """
+    from repro.telemetry import NULL_COLLECTION
+    from repro.telemetry import tracer as _trace
+
+    assert not _trace.tracing_enabled(), "gate requires tracing off"
+    plan = _build_stress_plan(batch=True)
+    tasks = list(plan.tasks)
+
+    def instrumented():
+        for task in tasks:
+            task.execute()
+
+    def reference():
+        for task in tasks:
+            task._run_cell(NULL_COLLECTION)
+
+    instrumented()
+    reference()
+    t_now, t_ref = [], []
+    for _ in range(max(5, reps)):
+        t0 = time.perf_counter()
+        instrumented()
+        t_now.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        reference()
+        t_ref.append(time.perf_counter() - t0)
+    return min(t_ref) / min(t_now)
+
+
 def _sharded_count_fixture():
     from repro.core.simulator import count_executions
 
@@ -436,6 +511,7 @@ BENCHES = {
     "stress_portfolio_n6": bench_stress_portfolio_n6,
     "batched_beam_n6": bench_batched_beam_n6,
     "sharded_enumeration_n8": bench_sharded_enumeration_n8,
+    "telemetry_overhead_n6": bench_telemetry_overhead_n6,
 }
 
 #: Benches timed in ``--smoke`` runs.  The parallel-verify bench is
@@ -448,7 +524,8 @@ BENCHES = {
 #: they stay.
 SMOKE_BENCHES = ("sketch_n96", "all_executions_n6", "adversary_search_n6",
                  "adversary_table_n6", "stress_portfolio_n6",
-                 "batched_beam_n6", "sharded_enumeration_n8")
+                 "batched_beam_n6", "sharded_enumeration_n8",
+                 "telemetry_overhead_n6")
 
 
 # ----------------------------------------------------------------------
@@ -560,6 +637,11 @@ def run_smoke_gate(reps: int) -> tuple[dict, list[str]]:
     t_ref = _time_batched_count_n8(max(1, reps // 2))
     t_now, _extras = bench_sharded_enumeration_n8(reps)
     ratios["sharded_enumeration_ratio"] = round(t_ref / t_now, 2)
+
+    # Untraced instrumented execute() vs the guard-free reference path:
+    # tracing-off telemetry must stay within noise (<= ~5% overhead).
+    ratios["telemetry_overhead_ratio"] = round(
+        _telemetry_overhead_ratio(reps), 2)
 
     for name, ratio in ratios.items():
         if ratio < SMOKE_FLOORS[name]:

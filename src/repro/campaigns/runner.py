@@ -36,7 +36,13 @@ from ..graphs.families import FAMILIES, family
 from ..protocols.census import CENSUS_BY_KEY
 from ..runtime.backends import Backend, SerialBackend
 from ..runtime.plan import ExecutionPlan, ExecutionTask
-from ..runtime.results import StoreBackedSink, VerificationReport
+from ..runtime.results import (
+    KernelStatsSink,
+    ResultSink,
+    StoreBackedSink,
+    VerificationReport,
+)
+from ..telemetry import KernelAccumulator, KernelStats, RunTelemetry
 from .store import ResultStore
 from .trajectories import record_generation
 
@@ -207,6 +213,10 @@ class CampaignResult:
     generation: int
     report: VerificationReport
     cells: list[CellResult] = field(default_factory=list)
+    #: Folded deterministic kernel snapshot of the tasks *executed* this
+    #: run (``None`` when everything was served from the store).
+    #: Observation-only — defaulted so older constructions still work.
+    kernel: Optional[KernelStats] = None
 
     @property
     def tasks(self) -> int:
@@ -242,10 +252,16 @@ def _run_tasks_with_store(
     store: ResultStore,
     backend: Optional[Backend] = None,
     campaign: Optional[str] = None,
+    telemetry: Optional[RunTelemetry] = None,
+    kernel: Optional[KernelAccumulator] = None,
 ) -> tuple[list[VerificationReport], int]:
     """Execute ``tasks`` through ``store``: misses run on ``backend`` and
     are committed as they stream; hits are deserialized.  Returns the
     per-task reports *in task order* plus the hit count.
+
+    ``telemetry``/``kernel`` are pure observers layered over the sink
+    chain (store commit first, then stats fold, then trace line) — the
+    reports are field-identical with or without them.
     """
     backend = backend if backend is not None else SerialBackend()
     fingerprints = {task.index: store.fingerprint(task) for task in tasks}
@@ -257,12 +273,19 @@ def _run_tasks_with_store(
             misses.append(task)
         else:
             cached[task.index] = report
-    sink = StoreBackedSink(store, fingerprints, campaign=campaign)
+            if telemetry is not None:
+                telemetry.record_hit(task.index, fingerprints[task.index])
+    sink: ResultSink = StoreBackedSink(store, fingerprints, campaign=campaign)
+    inner = sink
+    if kernel is not None:
+        sink = KernelStatsSink(sink, kernel)
+    if telemetry is not None:
+        sink = telemetry.sink(sink)
     # Drive the backend one outcome at a time: each add() commits before
     # the next outcome is awaited, which is the kill-resume guarantee.
     for outcome in backend.run(misses):
         sink.add(outcome)
-    executed = {o.index: o.report for o in sink.result()}
+    executed = {o.index: o.report for o in inner.result()}
     reports = []
     for task in tasks:
         report = cached.get(task.index)
@@ -277,6 +300,8 @@ def run_plan_with_store(
     store: ResultStore,
     backend: Optional[Backend] = None,
     campaign: Optional[str] = None,
+    telemetry: Optional[RunTelemetry] = None,
+    kernel: Optional[KernelAccumulator] = None,
 ) -> VerificationReport:
     """Opportunistic store reuse for any checker-carrying plan.
 
@@ -286,7 +311,8 @@ def run_plan_with_store(
     task becomes a future hit.
     """
     reports, _ = _run_tasks_with_store(
-        plan.tasks, store, backend=backend, campaign=campaign
+        plan.tasks, store, backend=backend, campaign=campaign,
+        telemetry=telemetry, kernel=kernel,
     )
     merged = VerificationReport(
         "+".join(plan.protocol_names), "+".join(plan.model_names)
@@ -315,20 +341,27 @@ class Campaign:
         self,
         store: ResultStore,
         backend: Optional[Backend] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> CampaignResult:
         """Run (or resume, or replay from cache) the whole campaign.
 
         Cells execute in spec order, tasks in plan order; the merged
         report folds per-task reports in exactly that order, so any
         backend — and any hit/miss split — produces the identical
-        result.  Completing the run appends one trajectory generation.
+        result.  Completing the run appends one trajectory generation
+        and (when any task executed) records the run's folded kernel
+        snapshot in the store's meta table for ``campaign status``.
         """
         spec = self.spec
         overall = VerificationReport(spec.name, spec.mode)
         cell_results: list[CellResult] = []
+        kernel = KernelAccumulator()
         for cell, plan in spec.plans():
+            if telemetry is not None:
+                telemetry.add_plan(plan)
             reports, hits = _run_tasks_with_store(
-                plan.tasks, store, backend=backend, campaign=spec.name
+                plan.tasks, store, backend=backend, campaign=spec.name,
+                telemetry=telemetry, kernel=kernel,
             )
             merged = VerificationReport(
                 "+".join(plan.protocol_names), "+".join(plan.model_names)
@@ -342,11 +375,13 @@ class Campaign:
         generation = record_generation(
             store, spec, [(c.cell, c.report) for c in cell_results]
         )
+        store.record_kernel_summary(spec.name, kernel.kernel)
         return CampaignResult(
             name=spec.name,
             generation=generation,
             report=overall,
             cells=cell_results,
+            kernel=kernel.kernel,
         )
 
 

@@ -46,6 +46,8 @@ from typing import Any, Iterable, Optional
 
 from ..graphs.codec import from_graph6, to_graph6
 from ..graphs.labeled_graph import LabeledGraph
+from ..telemetry import tracer as _trace
+from ..telemetry.stats import KernelStats
 from ..runtime.results import (
     Failure,
     TaskOutcome,
@@ -479,6 +481,8 @@ class ResultStore:
 
         Counts a session hit/miss either way.
         """
+        tracer = _trace.active()
+        start = time.perf_counter() if tracer is not None else 0.0
         row = self._conn.execute(
             "SELECT report_json, witnesses_jsonl FROM results "
             "WHERE fingerprint = ?",
@@ -486,6 +490,10 @@ class ResultStore:
         ).fetchone()
         if row is None:
             self.misses += 1
+            if tracer is not None:
+                tracer.observe("store.get_seconds",
+                               time.perf_counter() - start)
+                tracer.count("store.misses")
             return None
         self.hits += 1
         report_json, witnesses_jsonl = row
@@ -494,7 +502,11 @@ class ResultStore:
             for line in witnesses_jsonl.splitlines()
             if line.strip()
         ]
-        return report_from_jsonable(json.loads(report_json), witnesses)
+        report = report_from_jsonable(json.loads(report_json), witnesses)
+        if tracer is not None:
+            tracer.observe("store.get_seconds", time.perf_counter() - start)
+            tracer.count("store.hits")
+        return report
 
     def __contains__(self, fingerprint: str) -> bool:
         row = self._conn.execute(
@@ -522,6 +534,8 @@ class ResultStore:
         Commits immediately: durability per task is the resume
         guarantee.
         """
+        tracer = _trace.active()
+        start = time.perf_counter() if tracer is not None else 0.0
         witnesses_jsonl = "\n".join(
             json.dumps(witness_to_jsonable(w), sort_keys=True)
             for w in report.witnesses
@@ -543,6 +557,9 @@ class ResultStore:
         )
         self._conn.commit()
         self.writes += 1
+        if tracer is not None:
+            tracer.observe("store.put_seconds", time.perf_counter() - start)
+            tracer.count("store.commits")
 
     def put_outcome(self, fingerprint: str, outcome: TaskOutcome,
                     campaign: Optional[str] = None) -> None:
@@ -590,6 +607,43 @@ class ResultStore:
         )
         self._conn.commit()
         return len(doomed)
+
+    # -- meta ----------------------------------------------------------
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Set one key in the meta table (small operational metadata;
+        never part of any fingerprint)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (key, value),
+        )
+        self._conn.commit()
+
+    def get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def record_kernel_summary(self, campaign: str,
+                              kernel: Optional[KernelStats]) -> None:
+        """Persist the folded kernel snapshot of a campaign's latest
+        completed run, for ``campaign status``.  Observation-only
+        metadata: replaced wholesale each run, invisible to
+        fingerprints, and ``None`` (nothing observed) is a no-op."""
+        if kernel is None:
+            return
+        self.set_meta(
+            f"kernel:{campaign}",
+            json.dumps(kernel.to_jsonable(), sort_keys=True),
+        )
+
+    def kernel_summary(self, campaign: str) -> Optional[KernelStats]:
+        """The stored kernel snapshot for ``campaign``, or ``None``."""
+        raw = self.get_meta(f"kernel:{campaign}")
+        if raw is None:
+            return None
+        return KernelStats.from_jsonable(json.loads(raw))
 
     # -- trajectory storage (used by repro.campaigns.trajectories) -----
 

@@ -34,6 +34,16 @@ command resumes from the committed prefix.
 * ``experiment`` / ``reproduce-all`` — the E1–E20 index (``--jobs`` fans
   experiments across worker processes)
 * ``protocols`` — list every shipped protocol (the census registry)
+* ``telemetry`` — inspect run traces: ``report`` renders per-cell
+  timings, hotspot spans and shard-imbalance flags from a ``--trace-out``
+  JSONL file; ``validate`` schema-checks a trace and its manifest
+
+``sweep``, ``stress`` and ``campaign run`` accept ``--trace-out PATH``:
+the run writes a JSONL telemetry event stream (plus a sibling
+``*.manifest.json``) without changing any result — reports are
+byte-identical traced or not.  End-of-run kernel summaries (steps,
+batch occupancy, transposition hit-rate) print to *stderr*, keeping
+stdout stable across semantics-free knobs like ``--batch``/``--jobs``.
 
 Protocol names come from one registry — :data:`repro.protocols.census.
 CENSUS_BY_KEY` — so ``demo`` choices, ``sweep`` choices and the
@@ -165,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="SQLite result store for opportunistic reuse: "
                          "cells already stored are served from it, "
                          "everything executed becomes a future hit")
+    sw.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a JSONL telemetry event stream (plus a "
+                         "sibling *.manifest.json); results are identical "
+                         "with or without it")
 
     st = sub.add_parser(
         "stress",
@@ -210,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="SQLite result store for opportunistic reuse: "
                          "cells already stored are served from it, "
                          "everything executed becomes a future hit")
+    st.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a JSONL telemetry event stream (plus a "
+                         "sibling *.manifest.json); results are identical "
+                         "with or without it")
 
     from .graphs.families import FAMILIES as GRAPH_CLASSES
 
@@ -264,6 +282,10 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="P",
                       help="exit nonzero unless at least this fraction of "
                            "tasks was served from the store (CI resume smoke)")
+    crun.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="write a JSONL telemetry event stream (plus a "
+                           "sibling *.manifest.json); results are identical "
+                           "with or without it")
 
     cstatus = csub.add_parser("status", help="store and campaign overview")
     cstatus.add_argument("--store", required=True)
@@ -315,6 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="small workloads (the default; explicit for scripts)")
     allp.add_argument("--jobs", type=int, default=None,
                       help="fan experiments across worker processes")
+
+    tel = sub.add_parser("telemetry", help="inspect run telemetry traces")
+    tsub = tel.add_subparsers(dest="telemetry_command", required=True)
+    trep = tsub.add_parser(
+        "report", help="render per-cell timings, hotspots and shard "
+                       "imbalance from a trace")
+    trep.add_argument("trace", help="path to a --trace-out JSONL file")
+    trep.add_argument("--top", type=int, default=10,
+                      help="hotspot spans to show (default: 10)")
+    tval = tsub.add_parser(
+        "validate", help="schema-validate a trace (and its manifest)")
+    tval.add_argument("trace", help="path to a --trace-out JSONL file")
 
     sub.add_parser("protocols", help="list every shipped protocol")
     return parser
@@ -427,15 +461,58 @@ def _open_store(path):
     return ResultStore(path)
 
 
-def _run_plan(plan, backend, store):
+def _open_session(args, command: str):
+    """A RunTelemetry session for ``--trace-out``, or ``None``."""
+    path = getattr(args, "trace_out", None)
+    if path is None:
+        return None
+    from .telemetry import RunTelemetry
+
+    return RunTelemetry(path, command=command,
+                        argv=getattr(args, "_argv", None))
+
+
+def _activated(session):
+    """The session's tracer scope, or a no-op block without one."""
+    from contextlib import nullcontext
+
+    return session.activate() if session is not None else nullcontext()
+
+
+def _kernel_line(kernel) -> None:
+    """End-of-run kernel summary (steps, batch occupancy, table
+    hit-rate).  Printed to *stderr* on purpose: stdout reports are
+    pinned byte-identical across semantics-free knobs (``--batch``,
+    ``--jobs``, tracing), and occupancy is exactly the kind of number
+    that differs across them."""
+    if kernel is not None:
+        print(f"    kernel: {kernel.summary()}", file=sys.stderr)
+
+
+def _run_plan(plan, backend, store, telemetry=None, kernel=None):
     """Run ``plan``, through ``store`` when one is given; returns the
-    merged report plus a cache-accounting suffix for the listing line."""
+    merged report plus a cache-accounting suffix for the listing line.
+
+    ``telemetry``/``kernel`` are observation-only sink layers — the
+    report is field-identical with or without them."""
+    if telemetry is not None:
+        telemetry.add_plan(plan)
     if store is None:
-        return plan.verification_report(backend=backend), ""
+        from .runtime.results import KernelStatsSink, ReportMergeSink
+
+        sink = ReportMergeSink(
+            "+".join(plan.protocol_names), "+".join(plan.model_names)
+        )
+        if kernel is not None:
+            sink = KernelStatsSink(sink, kernel)
+        if telemetry is not None:
+            sink = telemetry.sink(sink)
+        return plan.run(backend=backend, sink=sink), ""
     from .campaigns.runner import run_plan_with_store
 
     hits_before, writes_before = store.hits, store.writes
-    report = run_plan_with_store(plan, store, backend=backend)
+    report = run_plan_with_store(plan, store, backend=backend,
+                                 telemetry=telemetry, kernel=kernel)
     hits = store.hits - hits_before
     executed = store.writes - writes_before
     return report, f" [store: {hits} hits, {executed} executed]"
@@ -450,34 +527,43 @@ def _cmd_sweep(args) -> int:
     instances = _build_instances(args)
     from .analysis.checkers import AcceptAny
 
+    from .telemetry import KernelAccumulator
+
     all_ok = True
     store = _open_store(args.store)
+    session = _open_session(args, "sweep")
+    kernel = KernelAccumulator()
     try:
-        for key in args.protocols:
-            entry = CENSUS_BY_KEY[key]
-            checker = _sweep_checker(key)
-            plan = ExecutionPlan.build(
-                entry.instantiate(),
-                MODELS_BY_NAME[entry.model],
-                instances,
-                mode=args.mode,
-                checker=checker,
-                exhaustive_threshold=args.threshold,
-                keep_runs=False,
-            )
-            report, cached = _run_plan(plan, backend, store)
-            all_ok &= report.ok
-            vacuous = (
-                "  (no oracle registered: success/size only)"
-                if isinstance(checker, AcceptAny) else ""
-            )
-            print(f"[{len(plan):>3} tasks via {backend.name}]{cached} "
-                  f"{report.summary()}{vacuous}")
-            for n, bits in sorted(report.max_bits_by_n.items()):
-                print(f"    n={n}: max message {bits} bits")
+        with _activated(session):
+            for key in args.protocols:
+                entry = CENSUS_BY_KEY[key]
+                checker = _sweep_checker(key)
+                plan = ExecutionPlan.build(
+                    entry.instantiate(),
+                    MODELS_BY_NAME[entry.model],
+                    instances,
+                    mode=args.mode,
+                    checker=checker,
+                    exhaustive_threshold=args.threshold,
+                    keep_runs=False,
+                )
+                report, cached = _run_plan(plan, backend, store,
+                                           telemetry=session, kernel=kernel)
+                all_ok &= report.ok
+                vacuous = (
+                    "  (no oracle registered: success/size only)"
+                    if isinstance(checker, AcceptAny) else ""
+                )
+                print(f"[{len(plan):>3} tasks via {backend.name}]{cached} "
+                      f"{report.summary()}{vacuous}")
+                for n, bits in sorted(report.max_bits_by_n.items()):
+                    print(f"    n={n}: max message {bits} bits")
     finally:
+        if session is not None:
+            session.finish()
         if store is not None:
             store.close()
+    _kernel_line(kernel.kernel)
     return 0 if all_ok else 1
 
 
@@ -490,18 +576,29 @@ def _cmd_stress(args) -> int:
         resolve_faults(args.faults)  # typos fail as usage errors
     except ValueError as exc:
         raise SystemExit(f"stress: {exc}")
+    from .telemetry import KernelAccumulator
+
     backend = resolve_backend(args.jobs)
     instances = _build_instances(args)
     store = _open_store(args.store)
+    session = _open_session(args, "stress")
+    kernel = KernelAccumulator()
     try:
-        all_ok = _stress_protocols(args, backend, instances, store)
+        with _activated(session):
+            all_ok = _stress_protocols(args, backend, instances, store,
+                                       telemetry=session, kernel=kernel)
     except (KeyboardInterrupt, OutOfBudget) as exc:
+        if session is not None:
+            session.finish("interrupted")
         print()
         print(_interrupt_summary("stress", exc, store))
         return 130
     finally:
+        if session is not None:
+            session.finish()
         if store is not None:
             store.close()
+    _kernel_line(kernel.kernel)
     return 0 if all_ok else 1
 
 
@@ -521,7 +618,8 @@ def _interrupt_summary(command: str, exc: BaseException, store) -> str:
             "re-run the same command to resume")
 
 
-def _stress_protocols(args, backend, instances, store) -> bool:
+def _stress_protocols(args, backend, instances, store,
+                      telemetry=None, kernel=None) -> bool:
     from .core.models import MODELS_BY_NAME
     from .protocols.census import CENSUS_BY_KEY
     from .runtime import ExecutionPlan
@@ -542,7 +640,8 @@ def _stress_protocols(args, backend, instances, store) -> bool:
             faults=args.faults,
             batch=args.batch,
         )
-        report, cached = _run_plan(plan, backend, store)
+        report, cached = _run_plan(plan, backend, store,
+                                   telemetry=telemetry, kernel=kernel)
         all_ok &= report.ok
         print(f"[{len(plan):>3} tasks via {backend.name}]{cached} "
               f"{report.summary()}")
@@ -645,13 +744,21 @@ def _cmd_campaign_run(args) -> int:
 
     spec = _campaign_spec(args)
     backend = resolve_backend(args.jobs)
+    session = _open_session(args, "campaign run")
     with ResultStore(args.store) as store:
         try:
-            result = Campaign(spec).run(store, backend=backend)
+            with _activated(session):
+                result = Campaign(spec).run(store, backend=backend,
+                                            telemetry=session)
         except (KeyboardInterrupt, OutOfBudget) as exc:
+            if session is not None:
+                session.finish("interrupted")
             print()
             print(_interrupt_summary(f"campaign {spec.name!r}", exc, store))
             return 130
+        finally:
+            if session is not None:
+                session.finish()
         print(f"[store {args.store}, backend {backend.name}]")
         for cell_result in result.cells:
             cell = cell_result.cell
@@ -660,6 +767,7 @@ def _cmd_campaign_run(args) -> int:
                   f"{cell_result.executed} executed — "
                   f"{cell_result.report.summary()}")
         print(result.summary())
+        _kernel_line(result.kernel)
         if args.expect_hit_rate is not None and (
             result.hit_rate < args.expect_hit_rate
         ):
@@ -682,6 +790,9 @@ def _cmd_campaign_status(args) -> int:
             generations = stats["generations"].get(campaign, 0)
             print(f"    {campaign}: {count} results, "
                   f"{generations} trajectory generation(s)")
+            kernel = store.kernel_summary(campaign)
+            if kernel is not None:
+                print(f"      kernel (last run): {kernel.summary()}")
     return 0
 
 
@@ -764,6 +875,34 @@ def _cmd_campaign(args) -> int:
     return handler(args)
 
 
+def _cmd_telemetry(args) -> int:
+    from .telemetry import (
+        TraceSchemaError,
+        load_trace,
+        render_report,
+        validate_trace,
+    )
+
+    try:
+        if args.telemetry_command == "validate":
+            manifest = validate_trace(args.trace)
+            print(f"ok: run {manifest['run_id']} "
+                  f"({manifest['command'] or 'run'}) — "
+                  f"{manifest['tasks']} tasks, "
+                  f"{manifest['traced_tasks']} traced, "
+                  f"{manifest['store_hits']} store hits, "
+                  f"schema {manifest['schema']}")
+            return 0
+        trace = load_trace(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"telemetry: no such trace {args.trace!r}")
+    except TraceSchemaError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(render_report(trace, top=args.top), end="")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from .experiments import get_experiment
 
@@ -793,6 +932,9 @@ def _cmd_reproduce_all(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # Remembered for run manifests (--trace-out); parse_args already
+    # fell back to sys.argv itself when argv is None.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     if args.command == "table2":
         return _cmd_table2(args)
     if args.command == "fig1":
@@ -811,6 +953,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stress(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "reproduce-all":

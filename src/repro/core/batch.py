@@ -56,6 +56,7 @@ except Exception:  # pragma: no cover - exercised only on stripped installs
 
 from ..encoding.bits import payload_bits, payload_key
 from ..faults.spec import FaultSpec, resolve_faults
+from ..telemetry import tracer as _trace
 from .errors import MessageTooLarge, ProtocolViolation
 from .execution import ExecutionState, RunResult
 from .models import MODELS_BY_NAME, ModelSpec
@@ -484,6 +485,7 @@ class BatchedExecutionState:
             }
         else:
             clone.violations = {}
+        _trace.observe("batch.compact_width", clone.size)
         return clone
 
     def fork(self, parents, choices) -> "BatchedExecutionState":
@@ -491,6 +493,7 @@ class BatchedExecutionState:
         an array gather followed by one vectorised advance."""
         child = self.compact(parents)
         child.advance_all(choices)
+        _trace.observe("batch.fork_width", child.size)
         return child
 
     # -- inspection ----------------------------------------------------

@@ -31,8 +31,10 @@ class MessageTooLarge(WhiteboardError):
 
     def __reduce__(self):
         # Exception.args holds only the formatted message; rebuild from the
-        # real fields so worker processes can ship this across a pool.
-        return (MessageTooLarge, (self.node, self.bits, self.budget))
+        # real fields so worker processes can ship this across a pool.  The
+        # state dict keeps extras like PEP 678 notes attached in transit.
+        return (MessageTooLarge, (self.node, self.bits, self.budget),
+                dict(self.__dict__))
 
 
 class ProtocolViolation(WhiteboardError):

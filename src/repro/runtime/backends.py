@@ -44,9 +44,36 @@ def _default_jobs() -> int:
     return counter() or 1
 
 
+def _annotate_failure(exc: BaseException, task) -> None:
+    """Attach which-cell context to a worker exception before it travels
+    home.  Notes survive pickling and keep the exception type intact
+    (callers match on the type); the fingerprint prefix is computed
+    lazily — only on this error path — and never lets annotation itself
+    raise.  ``add_note`` is 3.11+, so older interpreters just skip it.
+    """
+    if not hasattr(exc, "add_note"):
+        return
+    note = (
+        f"while executing task index={task.index} "
+        f"protocol={task.protocol.name!r} n={task.graph.n} "
+        f"mode={task.mode!r}"
+    )
+    try:
+        from ..campaigns.store import task_fingerprint
+
+        note += f" fingerprint={task_fingerprint(task)[:12]}"
+    except Exception:  # noqa: BLE001 - context must not mask the error
+        pass
+    exc.add_note(note)
+
+
 def _execute_task(task) -> TaskOutcome:
     """Run one plan task (top-level so process backends can pickle it)."""
-    return task.execute()
+    try:
+        return task.execute()
+    except Exception as exc:
+        _annotate_failure(exc, task)
+        raise
 
 
 def _execute_item(item):
@@ -59,7 +86,7 @@ def _execute_item(item):
     """
     kind, payload = item
     if kind == "task":
-        return payload.execute()
+        return _execute_task(payload)
     task, prefixes = payload
     try:
         return ("ok", task._execute_shard(prefixes))

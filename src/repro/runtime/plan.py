@@ -47,6 +47,8 @@ from ..core.schedulers import Scheduler, default_portfolio
 from ..core.simulator import RunResult, all_executions, run
 from ..faults.spec import FaultSpec, resolve_faults
 from ..graphs.labeled_graph import LabeledGraph
+from ..telemetry import TaskCollection
+from ..telemetry import tracer as _trace
 from .results import (
     ListSink,
     ReportMergeSink,
@@ -122,6 +124,20 @@ class ExecutionTask:
     def execute(self) -> TaskOutcome:
         """Run the cell and aggregate, mirroring the serial harness exactly.
 
+        Wraps :meth:`_run_cell` in a telemetry collection scope: the
+        deterministic kernel snapshot (and, while tracing, the timing
+        payload) is attached to the outcome on the way out.  Observation
+        only — cells that touch nothing observable return the identical
+        outcome object :meth:`_run_cell` built.
+        """
+        collect = TaskCollection(self)
+        with collect:
+            outcome = self._run_cell(collect)
+        return collect.finalize(outcome)
+
+    def _run_cell(self, collect) -> TaskOutcome:
+        """The cell body proper (``collect`` is the observation scope).
+
         Deadlocks under ``allow_deadlock`` count as executions but do not
         touch the bit maxima — the historical ``verify_protocol``
         behaviour, which equivalence tests pin.  Search cells run each
@@ -138,24 +154,34 @@ class ExecutionTask:
                 faults=self.faults, batch=self.batch is True,
             )
         elif self.mode == "search":
-            context = (
-                SearchContext(table=TranspositionTable())
-                if self.share_table else None
+            # Always hand the strategies one shared SearchContext so its
+            # cumulative SearchStats can be snapshotted.  Equivalent to
+            # the ensure(None) each strategy would otherwise do: the
+            # table is None unless shared, max_steps is None, and
+            # nothing reads the stats back into the search.
+            context = SearchContext(
+                table=TranspositionTable() if self.share_table else None
             )
+            collect.observe_context(context)
 
             def searched() -> Iterable[RunResult]:
                 for strategy in self.adversaries:
-                    witness = strategy.search(
-                        self.graph, self.protocol, model,
-                        bit_budget=self.bit_budget,
-                        context=context,
-                        faults=self.faults,
-                    )
-                    result = replay_schedule(
-                        self.graph, self.protocol, model,
-                        witness.schedule, self.bit_budget,
-                        faults=self.faults,
-                    )
+                    with _trace.span("search",
+                                     strategy=strategy.name) as span:
+                        witness = strategy.search(
+                            self.graph, self.protocol, model,
+                            bit_budget=self.bit_budget,
+                            context=context,
+                            faults=self.faults,
+                        )
+                        span.set("explored", witness.explored)
+                    _trace.count("search.explored", witness.explored)
+                    with _trace.span("replay", strategy=strategy.name):
+                        result = replay_schedule(
+                            self.graph, self.protocol, model,
+                            witness.schedule, self.bit_budget,
+                            faults=self.faults,
+                        )
                     witness_runs.append((strategy.name, result))
                     yield result
             results = searched()
@@ -172,7 +198,8 @@ class ExecutionTask:
             if self.mode == "exhaustive":
                 report.exhaustive_instances = 1
         kept: Optional[list[RunResult]] = [] if self.keep_runs else None
-        worst, first_deadlock = self._fold_results(results, report, kept)
+        with _trace.span("fold", index=self.index, mode=self.mode):
+            worst, first_deadlock = self._fold_results(results, report, kept)
         if report is not None and self.capture_witnesses:
             if self.mode == "exhaustive":
                 if worst is not None:
@@ -314,11 +341,12 @@ class ExecutionTask:
         if self.minimize_witnesses:
             from ..adversaries.base import minimize_schedule
 
-            minimal = minimize_schedule(
-                self.graph, self.protocol, self.model, schedule,
-                bits=result.max_message_bits, deadlock=result.corrupted,
-                bit_budget=self.bit_budget, faults=self.faults,
-            )
+            with _trace.span("minimize", strategy=strategy, n=self.graph.n):
+                minimal = minimize_schedule(
+                    self.graph, self.protocol, self.model, schedule,
+                    bits=result.max_message_bits, deadlock=result.corrupted,
+                    bit_budget=self.bit_budget, faults=self.faults,
+                )
         report.witnesses.append(WitnessRecord(
             strategy=strategy,
             graph=self.graph,

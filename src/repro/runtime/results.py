@@ -25,6 +25,8 @@ from ..graphs.labeled_graph import LabeledGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.simulator import RunResult
+    from ..telemetry.stats import KernelAccumulator, KernelStats
+    from ..telemetry.tracer import TaskTelemetry
 
 __all__ = [
     "Failure",
@@ -35,6 +37,7 @@ __all__ = [
     "ListSink",
     "ReportMergeSink",
     "StoreBackedSink",
+    "KernelStatsSink",
 ]
 
 
@@ -148,11 +151,21 @@ class TaskOutcome:
     ``report`` is present iff the task carried a checker; ``runs`` is
     present iff the task kept its raw :class:`RunResult` transcripts
     (verification sweeps drop them so workers only ship aggregates).
+
+    The telemetry fields ride *beside* the result, never inside it:
+    ``kernel_stats`` is the deterministic search-kernel snapshot
+    (present whenever the cell touched the kernel, traced or not, and
+    identical across backends), ``telemetry`` the timing payload
+    (present only while tracing).  Both default to ``None`` so
+    pre-telemetry constructions — and cells that observed nothing —
+    stay byte-identical.
     """
 
     index: int
     report: Optional[VerificationReport]
     runs: Optional[tuple["RunResult", ...]]
+    kernel_stats: Optional["KernelStats"] = None
+    telemetry: Optional["TaskTelemetry"] = None
 
 
 class ResultSink:
@@ -205,6 +218,25 @@ class StoreBackedSink(ResultSink):
         self.store.put_outcome(
             self.fingerprints[outcome.index], outcome, campaign=self.campaign
         )
+        self.inner.add(outcome)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+class KernelStatsSink(ResultSink):
+    """Fold each outcome's deterministic kernel snapshot into an
+    accumulator, then delegate.  Pure observation: the outcome passes
+    through untouched, so wrapping any sink chain with this one cannot
+    change what the chain computes."""
+
+    def __init__(self, inner: ResultSink,
+                 accumulator: "KernelAccumulator") -> None:
+        self.inner = inner
+        self.accumulator = accumulator
+
+    def add(self, outcome: TaskOutcome) -> None:
+        self.accumulator.add(outcome.kernel_stats)
         self.inner.add(outcome)
 
     def result(self) -> Any:

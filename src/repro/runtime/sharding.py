@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from typing import Any, Optional
 
+from ..telemetry import tracer as _trace
 from .results import TaskOutcome
 
 __all__ = ["SHARD_MIN_N", "shardable", "lower", "reassemble"]
@@ -72,10 +73,23 @@ def lower(tasks: Sequence[Any], jobs: int):
             layout.append(("task",))
             continue
         weights = _batch._prefix_weights(prefixes, task.graph.n, task.faults)
+        partition = _batch.partition_weighted(weights, jobs * 2)
         lots = [
             tuple(prefixes[i] for i in idx.tolist())
-            for idx in _batch.partition_weighted(weights, jobs * 2)
+            for idx in partition
         ]
+        if _trace.active() is not None:
+            lot_weights = [float(sum(weights[i] for i in idx.tolist()))
+                           for idx in partition]
+            mean = sum(lot_weights) / len(lot_weights)
+            _trace.event(
+                "shard.lots",
+                index=task.index,
+                lots=len(lots),
+                prefixes=len(prefixes),
+                max_weight=max(lot_weights),
+                imbalance=(max(lot_weights) / mean) if mean else 0.0,
+            )
         for lot in lots:
             items.append(("shard", (task, lot)))
         layout.append(("shard", units, len(lots)))
@@ -107,10 +121,18 @@ def reassemble(tasks: Sequence[Any], layout: Sequence[Any],
             elif not failed:
                 partials.update(value)
         if failed:
+            _trace.count("shard.fallbacks")
+            _trace.event("shard.fallback", index=task.index,
+                         reason="lot-error")
             yield task.execute()
             continue
         try:
-            outcome = task._merge_shards(units, partials)
+            with _trace.span("shard.reassemble", index=task.index,
+                             lots=lot_count):
+                outcome = task._merge_shards(units, partials)
         except Exception:  # noqa: BLE001 - serial authority decides
+            _trace.count("shard.fallbacks")
+            _trace.event("shard.fallback", index=task.index,
+                         reason="merge-error")
             outcome = task.execute()
         yield outcome

@@ -1,0 +1,200 @@
+"""Deterministic kernel statistics: metrics that must equal the
+engine's own accounting.
+
+Unlike spans (timing — nondeterministic by nature), a
+:class:`KernelStats` snapshot is a pure function of the work a cell
+did: write-event steps, searches, restarts, batched lane accounting,
+transposition-table counters.  Tasks capture one *always* — traced or
+not — so the numbers are identical across serial/process backends and
+traced/untraced runs, and tests pin them field for field against the
+engine's live ``SearchStats`` / ``TranspositionTable`` counters.
+
+The table-watch registry here is how private per-cell tables become
+visible without a task attribute: ``TranspositionTable.bind`` calls
+:func:`observe_table` (one global read when nothing watches), and the
+task's collection scope dedupes by object identity.
+
+Leaf module: stdlib only.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "KernelStats",
+    "KernelAccumulator",
+    "observe_table",
+    "watching_tables",
+]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Frozen fold of a cell's deterministic search-kernel counters.
+
+    ``steps``/``searches``/``restarts``/``batch_*`` mirror
+    :class:`repro.adversaries.kernel.SearchStats`; the ``table_*``
+    fields sum the counters of every transposition table the cell
+    bound.  All sums, so :meth:`merge` is associative and a campaign
+    can fold thousands of cells into one line.
+    """
+
+    steps: int = 0
+    searches: int = 0
+    restarts: int = 0
+    batch_children: int = 0
+    batch_kept: int = 0
+    table_hits: int = 0
+    table_misses: int = 0
+    table_stores: int = 0
+    table_entries: int = 0
+    tables: int = 0
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Fraction of batch-stepped lanes that survived compaction;
+        0.0 when no batched stepping happened."""
+        if not self.batch_children:
+            return 0.0
+        return self.batch_kept / self.batch_children
+
+    @property
+    def table_probes(self) -> int:
+        return self.table_hits + self.table_misses
+
+    @property
+    def table_hit_rate(self) -> float:
+        probes = self.table_probes
+        return self.table_hits / probes if probes else 0.0
+
+    def _astuple(self) -> tuple:
+        return (
+            self.steps, self.searches, self.restarts, self.batch_children,
+            self.batch_kept, self.table_hits, self.table_misses,
+            self.table_stores, self.table_entries, self.tables,
+        )
+
+    def __bool__(self) -> bool:
+        return any(self._astuple())
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        return KernelStats(
+            *(a + b for a, b in zip(self._astuple(), other._astuple()))
+        )
+
+    def to_jsonable(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "KernelStats":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in names})
+
+    @classmethod
+    def capture(cls, stats_list: Iterator, tables) -> "Optional[KernelStats]":
+        """Fold live accounting objects (duck-typed ``SearchStats`` and
+        transposition tables) into a snapshot; ``None`` when the cell
+        observed nothing, so outcome kinds that never touched the
+        search kernel stay equal to their pre-telemetry selves."""
+        total = cls()
+        for stats in stats_list:
+            total = total.merge(cls(
+                steps=stats.steps,
+                searches=stats.searches,
+                restarts=stats.restarts,
+                batch_children=stats.batch_children,
+                batch_kept=stats.batch_kept,
+            ))
+        for table in tables:
+            total = total.merge(cls(
+                table_hits=table.hits,
+                table_misses=table.misses,
+                table_stores=table.stores,
+                table_entries=len(table),
+                tables=1,
+            ))
+        return total if total else None
+
+    def summary(self) -> str:
+        """The end-of-run kernel line (stress / campaign summaries)."""
+        parts = [f"{self.steps} steps", f"{self.searches} searches"]
+        if self.restarts:
+            parts.append(f"{self.restarts} restarts")
+        if self.batch_children:
+            parts.append(f"batch occupancy {self.batch_occupancy:.2f}")
+        if self.tables:
+            parts.append(
+                f"table hit-rate {self.table_hit_rate:.2f} "
+                f"({self.table_probes} probes, "
+                f"{self.table_entries} entries)"
+            )
+        return ", ".join(parts)
+
+
+class _TableWatch:
+    """Identity-deduplicated set of tables seen during one scope."""
+
+    __slots__ = ("tables",)
+
+    def __init__(self) -> None:
+        self.tables: dict[int, Any] = {}
+
+
+_watch: Optional[_TableWatch] = None
+
+
+def observe_table(table) -> None:
+    """Register a transposition table with the watching scope, if any.
+
+    Called from ``TranspositionTable.bind`` — once per search, one
+    global read when nothing watches.  Id-deduplicated, so a shared
+    table bound by four strategies still counts once.
+    """
+    watch = _watch
+    if watch is not None:
+        watch.tables[id(table)] = table
+
+
+def _push_watch() -> "tuple[_TableWatch, Optional[_TableWatch]]":
+    global _watch
+    previous = _watch
+    watch = _TableWatch()
+    _watch = watch
+    return watch, previous
+
+
+def _pop_watch(previous: "Optional[_TableWatch]") -> None:
+    global _watch
+    _watch = previous
+
+
+@contextmanager
+def watching_tables() -> Iterator[_TableWatch]:
+    """Collect every table bound inside the block (tests and ad-hoc
+    instrumentation; tasks use :class:`~repro.telemetry.collect.
+    TaskCollection`, which does the same push/pop inline)."""
+    watch, previous = _push_watch()
+    try:
+        yield watch
+    finally:
+        _pop_watch(previous)
+
+
+class KernelAccumulator:
+    """Mutable driving-process fold of per-task :class:`KernelStats`
+    (CLI end-of-run summaries, campaign meta persistence)."""
+
+    def __init__(self) -> None:
+        self.kernel: Optional[KernelStats] = None
+        self.outcomes = 0
+
+    def add(self, stats: Optional[KernelStats]) -> None:
+        if stats is None:
+            return
+        self.outcomes += 1
+        self.kernel = (
+            stats if self.kernel is None else self.kernel.merge(stats)
+        )

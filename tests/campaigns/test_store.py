@@ -260,3 +260,42 @@ def test_deadlock_only_cell_stores_instance_n(tmp_path):
             "SELECT protocol, n FROM results"
         ).fetchall())
     assert rows["bfs-bipartite-async"] == 5
+
+
+class TestMeta:
+    def test_meta_round_trip(self, tmp_path):
+        with ResultStore(tmp_path / "m.db") as store:
+            assert store.get_meta("k") is None
+            store.set_meta("k", "v1")
+            store.set_meta("k", "v2")
+            assert store.get_meta("k") == "v2"
+        with ResultStore(tmp_path / "m.db") as store:
+            assert store.get_meta("k") == "v2"
+
+    def test_kernel_summary_round_trip(self, tmp_path):
+        from repro.telemetry import KernelStats
+
+        kernel = KernelStats(steps=10, searches=2, restarts=1,
+                             batch_children=8, batch_kept=4)
+        with ResultStore(tmp_path / "m.db") as store:
+            assert store.kernel_summary("camp") is None
+            store.record_kernel_summary("camp", kernel)
+            assert store.kernel_summary("camp") == kernel
+            # all-zero runs record nothing (None clears nothing either)
+            store.record_kernel_summary("empty", None)
+            assert store.kernel_summary("empty") is None
+
+    def test_store_latency_metrics_only_when_traced(self, tmp_path):
+        from repro.telemetry import Tracer, activated
+
+        plan = build_plan(sizes=(4,))
+        (task,) = plan.tasks
+        fingerprint = task_fingerprint(task)
+        with ResultStore(tmp_path / "m.db") as store:
+            store.put(fingerprint, task.execute().report, n=task.graph.n)
+            tracer = Tracer()
+            with activated(tracer):
+                assert store.get(fingerprint) is not None
+            metrics = tracer.metrics.to_jsonable()
+            assert metrics["store.hits"]["value"] == 1
+            assert metrics["store.get_seconds"]["count"] == 1

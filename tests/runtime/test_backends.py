@@ -85,6 +85,27 @@ class TestEquivalence:
         with pytest.raises(MessageTooLarge):
             plan.verification_report(backend=ProcessPoolBackend(jobs=2))
 
+    @pytest.mark.parametrize("backend_cls", [SerialBackend,
+                                             ProcessPoolBackend])
+    def test_worker_exceptions_name_the_task(self, backend_cls):
+        # the exception type must survive (callers catch it); the task
+        # identity rides along as a note so a 500-cell sweep names the
+        # cell that died without re-running anything
+        plan = ExecutionPlan.build(
+            DegenerateBuildProtocol(2), SIMASYNC,
+            [gen.random_k_degenerate(8, 2, seed=1)],
+            mode="verify", checker=BuildEqualsInput(), bit_budget=lambda n: 3,
+        )
+        with pytest.raises(MessageTooLarge) as excinfo:
+            plan.verification_report(backend=backend_cls())
+        notes = getattr(excinfo.value, "__notes__", [])
+        if not hasattr(excinfo.value, "add_note"):  # pre-3.11
+            pytest.skip("PEP 678 notes need Python 3.11+")
+        note = "\n".join(notes)
+        assert "task index=0" in note
+        assert "protocol='build-degenerate(k=2)'" in note
+        assert "fingerprint=" in note
+
 
 class TestOrdering:
     def test_task_order_survives_shuffled_submission(self):

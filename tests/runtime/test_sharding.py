@@ -161,3 +161,39 @@ class TestFingerprintInvisible:
             assert hits == len(plan.tasks)
             assert store.writes == writes_before
             assert [vars(r) for r in again] == [vars(r) for r in reports]
+
+
+class TestShardTelemetry:
+    def test_lower_emits_lot_event_only_when_traced(self):
+        from repro.telemetry import Tracer, activated
+
+        plan = _stress_plan(sizes=(6,))
+        tasks = list(plan.tasks)
+        sharding.lower(tasks, 2)  # untraced: must not touch any tracer
+
+        tracer = Tracer()
+        with activated(tracer):
+            items, layout = sharding.lower(tasks, 2)
+        assert layout[0][0] == "shard"
+        (event,) = [e for e in tracer.events if e[0] == "shard.lots"]
+        attrs = event[2]
+        assert attrs["lots"] == layout[0][2]
+        assert attrs["prefixes"] >= attrs["lots"]
+        assert attrs["imbalance"] >= 1.0
+
+    def test_fallback_counts_and_events(self):
+        from repro.telemetry import Tracer, activated
+
+        plan = _stress_plan(sizes=(6,))
+        tasks = list(plan.tasks)
+        items, layout = sharding.lower(tasks, 2)
+        lot_count = layout[0][2]
+        # every lot "failed": reassemble must fall back to serial
+        outputs = [("error", "boom")] * lot_count
+        tracer = Tracer()
+        with activated(tracer):
+            (outcome,) = list(sharding.reassemble(tasks, layout, outputs))
+        assert outcome.report is not None
+        assert tracer.metrics.counter("shard.fallbacks").value == 1
+        (event,) = [e for e in tracer.events if e[0] == "shard.fallback"]
+        assert event[2]["reason"] == "lot-error"

@@ -1,0 +1,27 @@
+"""Tracing-state hygiene for telemetry tests.
+
+Tracing enablement lives in the ``REPRO_TRACE`` environment variable
+(so pool workers inherit it) plus a module-level cache.  Every test in
+this package starts and ends with tracing off and no active tracer, so
+a failing test cannot leak enablement into its neighbours.
+"""
+
+import os
+
+import pytest
+
+from repro.telemetry import tracer as _tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing_state():
+    saved = os.environ.get(_tracer.TRACE_ENV)
+    os.environ.pop(_tracer.TRACE_ENV, None)
+    _tracer._reset_tracing()
+    yield
+    if saved is None:
+        os.environ.pop(_tracer.TRACE_ENV, None)
+    else:
+        os.environ[_tracer.TRACE_ENV] = saved
+    _tracer._reset_tracing()
+    _tracer._active = None

@@ -1,0 +1,117 @@
+"""Tracer enablement, span capture and the active-tracer guard."""
+
+import os
+import pickle
+
+from repro.telemetry import tracer as _trace
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    SpanRecord,
+    TaskTelemetry,
+    Tracer,
+    activated,
+    set_tracing,
+    tracing_enabled,
+)
+
+
+class TestEnablement:
+    def test_off_by_default(self):
+        assert not tracing_enabled()
+
+    def test_env_truthy_values(self):
+        for value in ("1", "true", "YES", " on "):
+            os.environ[_trace.TRACE_ENV] = value
+            _trace._reset_tracing()
+            assert tracing_enabled(), value
+        os.environ[_trace.TRACE_ENV] = "0"
+        _trace._reset_tracing()
+        assert not tracing_enabled()
+
+    def test_set_tracing_exports_env_for_workers(self):
+        set_tracing(True)
+        assert tracing_enabled()
+        assert os.environ.get(_trace.TRACE_ENV) == "1"
+        set_tracing(False)
+        assert not tracing_enabled()
+        assert _trace.TRACE_ENV not in os.environ
+
+
+class TestSpans:
+    def test_span_records_on_exit_with_late_attrs(self):
+        clock = iter([0.0, 1.0, 3.5]).__next__
+        tracer = Tracer(clock=clock)
+        with tracer.span("work", n=6) as span:
+            span.set("explored", 42)
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.start == 1.0 and record.duration == 2.5
+        assert dict(record.attrs) == {"n": 6, "explored": 42}
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set("anything", 1)
+        assert span is NULL_SPAN
+
+    def test_record_round_trip_preserves_attr_order(self):
+        record = SpanRecord("s", 0.5, 0.25,
+                            (("zeta", 1), ("alpha", 2)))
+        again = SpanRecord.from_jsonable(record.to_jsonable())
+        assert again == record
+        assert [k for k, _ in again.attrs] == ["zeta", "alpha"]
+
+
+class TestActiveGuard:
+    def test_module_helpers_noop_without_active_tracer(self):
+        assert _trace.active() is None
+        assert _trace.span("x") is NULL_SPAN
+        _trace.event("x")
+        _trace.count("x")
+        _trace.observe("x", 1.0)  # nothing raised, nothing recorded
+
+    def test_activated_nests_and_restores(self):
+        outer, inner = Tracer(), Tracer()
+        with activated(outer):
+            assert _trace.active() is outer
+            with activated(inner):
+                assert _trace.active() is inner
+                _trace.count("seen")
+            assert _trace.active() is outer
+        assert _trace.active() is None
+        assert inner.metrics.counter("seen").value == 1
+        assert "seen" not in outer.metrics
+
+    def test_helpers_route_to_active(self):
+        tracer = Tracer()
+        with activated(tracer):
+            with _trace.span("step", phase="a"):
+                pass
+            _trace.event("tick", lot=3)
+            _trace.count("hits", 2)
+            _trace.observe("width", 7.0)
+        assert [s.name for s in tracer.spans] == ["step"]
+        assert tracer.events[0][0] == "tick"
+        assert tracer.events[0][2] == {"lot": 3}
+        assert tracer.metrics.counter("hits").value == 2
+        assert tracer.metrics.histogram("width").count == 1
+
+
+class TestTelemetryPayload:
+    def test_finish_freezes_and_round_trips(self):
+        clock = iter([0.0, 0.1, 0.3, 0.7, 1.0]).__next__
+        tracer = Tracer(clock=clock)
+        with tracer.span("a", k=1):
+            pass
+        tracer.event("e", why="because")
+        tracer.count("c", 3)
+        payload = tracer.finish()
+        assert isinstance(payload, TaskTelemetry)
+        again = TaskTelemetry.from_jsonable(payload.to_jsonable())
+        assert again == payload
+
+    def test_payload_pickles(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        payload = tracer.finish()
+        assert pickle.loads(pickle.dumps(payload)) == payload

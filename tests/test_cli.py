@@ -303,3 +303,69 @@ class TestCampaignCommands:
                      "--seeds", "0"]) == 0
         out = capsys.readouterr().out
         assert "minimal" in out and "events)" in out
+
+
+class TestTelemetryCli:
+    def test_trace_out_flag_parses_everywhere(self):
+        p = build_parser()
+        for argv in (["stress", "--protocol", "eob-bfs",
+                      "--trace-out", "t.jsonl"],
+                     ["sweep", "--protocol", "eob-bfs",
+                      "--trace-out", "t.jsonl"],
+                     ["campaign", "run", "--quick", "--store", "s.db",
+                      "--trace-out", "t.jsonl"]):
+            assert p.parse_args(argv).trace_out == "t.jsonl"
+        assert p.parse_args(["stress", "--protocol",
+                             "eob-bfs"]).trace_out is None
+
+    def test_telemetry_subcommands_parse(self):
+        p = build_parser()
+        args = p.parse_args(["telemetry", "report", "t.jsonl", "--top", "3"])
+        assert args.telemetry_command == "report"
+        assert args.trace == "t.jsonl" and args.top == 3
+        args = p.parse_args(["telemetry", "validate", "t.jsonl"])
+        assert args.telemetry_command == "validate"
+
+    def test_stress_trace_out_stdout_identical_and_valid(self, tmp_path,
+                                                         capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        base = ["stress", "--protocol", "build-degenerate",
+                "--family", "k-degenerate", "--sizes", "4", "6",
+                "--seeds", "0", "--threshold", "4"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--trace-out", trace_path]) == 0
+        traced = capsys.readouterr().out
+        # observation-only: the human listing cannot tell tracing ran
+        assert traced == plain
+
+        assert main(["telemetry", "validate", trace_path]) == 0
+        assert "ok: run" in capsys.readouterr().out
+        assert main(["telemetry", "report", trace_path]) == 0
+        report = capsys.readouterr().out
+        assert "per-cell timings:" in report
+        assert "build-degenerate(k=2)/n=6" in report
+
+    def test_campaign_trace_out_and_status_kernel(self, tmp_path, capsys):
+        store = str(tmp_path / "camp.db")
+        trace_path = str(tmp_path / "camp.jsonl")
+        assert main(["campaign", "run", "--quick", "--store", store,
+                     "--trace-out", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "validate", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "ok: run" in out and "3 tasks" in out
+
+    def test_validate_missing_trace_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["telemetry", "validate", str(tmp_path / "nope.jsonl")])
+
+    def test_kernel_summary_goes_to_stderr(self, capsys):
+        # CI byte-diffs stress stdout across backends; the kernel line
+        # must not pollute it
+        assert main(["stress", "--protocol", "build-degenerate",
+                     "--family", "k-degenerate", "--sizes", "6",
+                     "--seeds", "0", "--threshold", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "kernel:" not in captured.out
+        assert "kernel:" in captured.err

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Render a ``--trace-out`` run trace (JSONL) as a human report.
+
+``repro stress/sweep/campaign run --trace-out run.jsonl`` streams one
+JSON record per line — run metadata, per-task spans/metrics/kernel
+counters, store hits — and finishes with a manifest.  This tool
+validates the stream against the trace schema and prints the same
+report as ``python -m repro telemetry report``: per-cell timings,
+span hotspots, shard lot balance and store latency.
+
+Usage::
+
+    python tools/trace_report.py run.jsonl [--top K]
+    python tools/trace_report.py run.jsonl --validate-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry import (  # noqa: E402 - path bootstrap above
+    TraceSchemaError,
+    load_trace,
+    render_report,
+    validate_trace,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a --trace-out run trace as a human report.")
+    parser.add_argument("trace", help="path to the run .jsonl trace")
+    parser.add_argument("--top", type=int, default=10,
+                        help="span hotspots to show (default 10)")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="check the schema and print a one-line verdict")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.validate_only:
+            manifest = validate_trace(args.trace)
+            print(f"ok: run {manifest['run_id']} — {manifest['tasks']} tasks, "
+                  f"schema {manifest['schema']}")
+            return 0
+        trace = load_trace(args.trace)
+    except FileNotFoundError:
+        print(f"trace_report: no such trace {args.trace!r}", file=sys.stderr)
+        return 2
+    except TraceSchemaError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(trace, top=args.top), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
