@@ -56,10 +56,28 @@ a trajectory in ``BENCH_perf.json`` at the repo root so later PRs can see
   baseline: the single-process batched count of the same cell — before
   intra-cell sharding one process was the only way to enumerate one
   cell.  The sharded total must equal the single-process total before
-  timing counts, and the recorded entry carries the job count.  Each
-  trajectory run also records machine metadata (cpu count, python and
-  numpy versions) so ``tools/bench_report.py`` can flag cross-machine
-  comparisons.
+  timing counts, and the recorded entry carries the job count.  On a
+  single-core runner the honest ratio is below 1 (spawn and pickle
+  overhead with no second core to pay for it), so the smoke gate
+  auto-skips its floor there and the recorded entry carries the
+  ``skipped_reason``.  Each trajectory run also records machine
+  metadata (cpu count, python and numpy versions) so
+  ``tools/bench_report.py`` can flag cross-machine comparisons.
+* ``bnb_bound_n7`` — the bounded branch-and-bound sweep (admissible
+  suffix bounds + transposition table) of an n=7 BUILD cell under a
+  one-crash fault budget, against the identical sweep with bounding
+  off.  The witness must be field-identical (schedule, bits, total,
+  deadlock) before timing counts — bound pruning buys time, never
+  answers — and the recorded entry carries the prune count.
+* ``warm_frontier_n6`` — one warm-frontier search cell (the
+  ``warm_smoke_campaign`` n=6 asynchronous EOB cell) executed with the
+  cold run's exported frontier rows preloaded.  Seed baseline: the
+  identical cold cell.  The warm report must be field-identical and
+  the warm kernel steps strictly fewer before timing counts; at this
+  smoke scale the wall-clock ratio is ~1x (replays and heuristics
+  dominate) — the recorded step and frontier-hit extras are the
+  honest measurement, and the campaign-level CI smoke gates the
+  strict step reduction.
 
 ``--smoke`` runs a trimmed version (< 30 s) and exits nonzero when the
 hot paths regress, so CI fails loudly.  The gate never compares CI
@@ -142,6 +160,15 @@ SEED_BASELINE = {
     # pre-telemetry execute (~= the NULL_COLLECTION path) is the seed
     # baseline; the entry pins that the guards stay free.
     "telemetry_overhead_n6": 0.0585,
+    # Boundless (bounds=False) branch-and-bound on the identical n=7
+    # faulted cell on the recording machine — before the admissible
+    # bound lattice, exhausting the subtree was bnb's only way to prove
+    # a frontier exact, so the boundless sweep is the seed baseline.
+    "bnb_bound_n7": 0.6791,
+    # Cold (no preloaded frontiers) execution of the identical search
+    # cell on the recording machine — before the persistent frontier
+    # store every run re-derived its table from scratch.
+    "warm_frontier_n6": 0.0129,
 }
 
 #: CI gate: minimum acceptable *same-machine* ratio of the seed-style
@@ -167,13 +194,19 @@ SMOKE_FLOORS = {
     "stress_portfolio_ratio": 3.0,
     "batched_beam_ratio": 3.0,
     # Lot-sharded (jobs=2) vs single-process batched count of the same
-    # n=8 cell.  Measured 0.75x on the 1-core recording container
-    # (process spawn + pickle overhead with no second core to pay for
-    # it); >= 1.5x expected on a 2-core machine.  The floor gates only
-    # the pathological case — sharding collapsing to serial re-runs or
-    # per-schedule pickling — without flaking on single-core runners,
-    # where the honest ratio is below 1.
-    "sharded_enumeration_ratio": 0.2,
+    # n=8 cell.  >= 1.5x expected on a 2-core machine; the floor is
+    # only applied when the runner actually has a second core —
+    # ``run_smoke_gate`` auto-skips it (and the recorded entry carries
+    # a ``skipped_reason``) when ``os.process_cpu_count() < 2``, where
+    # the honest ratio is below 1 and a documented low-floor escape
+    # would gate nothing.
+    "sharded_enumeration_ratio": 1.2,
+    # Bounded vs boundless branch-and-bound on the identical n=7
+    # faulted cell (measured ~600x: the admissible bound collapses the
+    # post-incumbent subtrees the boundless sweep exhausts).  The floor
+    # leaves an enormous margin while catching bounds that silently
+    # stop pruning.
+    "bnb_bound_ratio": 1.3,
     # Untraced instrumented execute() vs the guard-free NULL_COLLECTION
     # reference on the identical cells: telemetry that is off must cost
     # nothing, so the honest ratio is ~1.0.  The 0.95 floor allows ~5%
@@ -469,6 +502,19 @@ def _telemetry_overhead_ratio(reps: int) -> float:
     return min(t_ref) / min(t_now)
 
 
+def _cpu_count() -> int:
+    counter = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return counter() or 1
+
+
+#: Why a single-core runner's sharded floor (and recorded entry) is
+#: skipped rather than gated against a meaningless sub-1x ratio.
+_SHARDED_SKIP_REASON = (
+    "single-core runner (process_cpu_count < 2): the honest jobs=2 "
+    "ratio is below 1, so the floor would gate machine shape, not code"
+)
+
+
 def _sharded_count_fixture():
     from repro.core.simulator import count_executions
 
@@ -482,7 +528,9 @@ def bench_sharded_enumeration_n8(reps: int) -> tuple[float, dict]:
 
     Asserts the sharded total equals the single-process batched total
     before any timing counts.  The recorded entry carries the job count
-    so trajectory readers can normalise by machine parallelism.
+    so trajectory readers can normalise by machine parallelism — and,
+    on a single-core machine, the ``skipped_reason`` explaining why the
+    smoke floor did not apply to this run.
     """
     g8, proto, count_executions = _sharded_count_fixture()
     sharded = count_executions(g8, proto, SIMASYNC, batch=True, jobs=2)
@@ -491,7 +539,94 @@ def bench_sharded_enumeration_n8(reps: int) -> tuple[float, dict]:
     seconds = _median_time(
         lambda: count_executions(g8, proto, SIMASYNC, batch=True, jobs=2),
         reps)
-    return seconds, {"jobs": 2}
+    extras: dict = {"jobs": 2}
+    if _cpu_count() < 2:
+        extras["skipped_reason"] = _SHARDED_SKIP_REASON
+    return seconds, extras
+
+
+def _bnb_bound_fixture():
+    """The n=7 cell where bounding bites: a faulted BUILD instance
+    whose post-incumbent subtrees a boundless sweep must exhaust."""
+    return gen.random_k_degenerate(7, 2, seed=0), DegenerateBuildProtocol(2)
+
+
+def _run_bnb_n7(bounds: bool):
+    from repro.adversaries import (
+        BranchAndBoundAdversary,
+        SearchContext,
+        TranspositionTable,
+    )
+
+    g7, proto = _bnb_bound_fixture()
+    context = SearchContext(table=TranspositionTable())
+    adversary = BranchAndBoundAdversary(bounds=bounds)
+    witness = adversary.search(g7, proto, SIMASYNC, context=context,
+                               faults="crash:1")
+    return witness, context
+
+
+def bench_bnb_bound_n7(reps: int) -> tuple[float, dict]:
+    """Bounded vs boundless branch-and-bound on one n=7 faulted cell.
+
+    The bounded sweep must return a field-identical witness (bound
+    pruning is admissible: it skips work, never answers) before any
+    timing counts; the recorded entry carries the prune count.
+    """
+    off, _ = _run_bnb_n7(bounds=False)
+    on, context = _run_bnb_n7(bounds=True)
+    assert (on.schedule, on.bits, on.total_bits, on.deadlock) == (
+        off.schedule, off.bits, off.total_bits, off.deadlock
+    ), "bounded bnb witness diverged from the boundless sweep"
+    seconds = _median_time(lambda: _run_bnb_n7(bounds=True), reps)
+    return seconds, {"bound_prunes": context.stats.bound_prunes}
+
+
+def _time_boundless_bnb_n7(reps: int) -> float:
+    """The boundless sweep of the same cell — the pre-bound execution
+    path and the same-machine reference for the smoke gate."""
+    return _median_time(lambda: _run_bnb_n7(bounds=False), reps)
+
+
+def _warm_frontier_tasks():
+    """(cold task, warm task, cold outcome) for the warm-frontier cell:
+    the warm task preloads exactly what the cold execution exported."""
+    from dataclasses import replace
+
+    from repro.campaigns import warm_smoke_campaign
+
+    _, plan = next(iter(warm_smoke_campaign().plans()))
+    task = next(t for t in plan.tasks if t.mode == "search")
+    cold = replace(task, frontiers=())
+    outcome = cold.execute()
+    warm = replace(task, frontiers=outcome.frontiers)
+    return cold, warm, outcome
+
+
+def bench_warm_frontier_n6(reps: int) -> tuple[float, dict]:
+    """Warm-frontier execution of the ``warm_smoke_campaign`` search
+    cell, seeded with the cold run's exported rows.
+
+    Asserts the warm report is field-identical and the warm kernel
+    steps strictly fewer before timing counts.  The honest measurement
+    at this scale is the step/hit extras, not the ~1x wall clock (see
+    the module docstring).
+    """
+    _cold, warm, cold_outcome = _warm_frontier_tasks()
+    warm_outcome = warm.execute()
+    assert _report_snapshot(warm_outcome.report) == _report_snapshot(
+        cold_outcome.report
+    ), "warm-frontier report diverged from the cold run"
+    cold_steps = cold_outcome.kernel_stats.steps
+    warm_steps = warm_outcome.kernel_stats.steps
+    assert warm_steps < cold_steps, (warm_steps, cold_steps)
+    seconds = _median_time(lambda: warm.execute(), reps)
+    return seconds, {
+        "frontier_rows": len(cold_outcome.frontiers),
+        "frontier_hits": warm_outcome.kernel_stats.frontier_hits,
+        "kernel_steps_cold": cold_steps,
+        "kernel_steps_warm": warm_steps,
+    }
 
 
 def _time_batched_count_n8(reps: int) -> float:
@@ -511,6 +646,8 @@ BENCHES = {
     "stress_portfolio_n6": bench_stress_portfolio_n6,
     "batched_beam_n6": bench_batched_beam_n6,
     "sharded_enumeration_n8": bench_sharded_enumeration_n8,
+    "bnb_bound_n7": bench_bnb_bound_n7,
+    "warm_frontier_n6": bench_warm_frontier_n6,
     "telemetry_overhead_n6": bench_telemetry_overhead_n6,
 }
 
@@ -525,6 +662,7 @@ BENCHES = {
 SMOKE_BENCHES = ("sketch_n96", "all_executions_n6", "adversary_search_n6",
                  "adversary_table_n6", "stress_portfolio_n6",
                  "batched_beam_n6", "sharded_enumeration_n8",
+                 "bnb_bound_n7", "warm_frontier_n6",
                  "telemetry_overhead_n6")
 
 
@@ -633,10 +771,28 @@ def run_smoke_gate(reps: int) -> tuple[dict, list[str]]:
     ratios["batched_beam_ratio"] = round(t_ref / t_now, 2)
 
     # Sharded vs single-process enumeration of the same cell; the bench
-    # asserts count equality before any timing counts.
+    # asserts count equality before any timing counts.  The floor only
+    # measures code on machines that can actually run jobs=2 in
+    # parallel — on a single-core runner the honest ratio is below 1,
+    # so the gate is skipped (the bench's asserts still ran above).
     t_ref = _time_batched_count_n8(max(1, reps // 2))
     t_now, _extras = bench_sharded_enumeration_n8(reps)
-    ratios["sharded_enumeration_ratio"] = round(t_ref / t_now, 2)
+    if _cpu_count() >= 2:
+        ratios["sharded_enumeration_ratio"] = round(t_ref / t_now, 2)
+    else:
+        print(f"sharded_enumeration_ratio: skipped ({_SHARDED_SKIP_REASON})")
+
+    # Bounded vs boundless branch-and-bound on the n=7 faulted cell;
+    # the bench asserts witness field-identity before any timing counts.
+    t_ref = _time_boundless_bnb_n7(max(1, reps // 2))
+    t_now, _extras = bench_bnb_bound_n7(reps)
+    ratios["bnb_bound_ratio"] = round(t_ref / t_now, 2)
+
+    # warm_frontier_n6 has no wall-clock floor: at smoke scale the cell
+    # is replay/greedy-dominated (~1x wall clock) and the real invariant
+    # — strictly fewer warm kernel steps with a byte-identical report —
+    # is asserted inside the bench itself (which ``--smoke`` timing
+    # already ran) and CI-gated at campaign level by tools/warm_smoke.py.
 
     # Untraced instrumented execute() vs the guard-free reference path:
     # tracing-off telemetry must stay within noise (<= ~5% overhead).

@@ -11,10 +11,11 @@ from ..core.models import MODELS_BY_NAME, ModelSpec
 from ..core.protocol import Protocol
 from ..faults.spec import FaultSpec, resolve_faults
 from ..graphs.labeled_graph import LabeledGraph
-from .base import AdversarySearch, Witness, worst_witness
+from .base import AdversarySearch, Witness, witness_rank, worst_witness
 from .kernel import (BudgetMeter, OutOfBudget, SearchContext, SearchStats,
                      complete_ascending)
-from .transposition import Completion, dominance_frontier, iter_composed
+from .transposition import (Completion, dominance_frontier, iter_composed,
+                            join_bounds, merge_bounds)
 
 __all__ = ["BranchAndBoundAdversary"]
 
@@ -80,6 +81,34 @@ class BranchAndBoundAdversary(AdversarySearch):
       keep the first-discovered completion — the same rule the incumbent
       update uses — a table-backed sweep returns the field-identical
       witness of the plain sweep, just cheaper.
+    * **Admissible-bound pruning** (shared-table contexts, ``bounds``
+      on).  Before expanding a subtree the sweep composes the state's
+      intrinsic :meth:`~repro.core.execution.ExecutionState.
+      suffix_bound` with any bound the table stored for the
+      configuration; a subtree whose composed bound cannot beat the
+      incumbent — ``(deadlock, max bits, total bits)`` rank at most the
+      incumbent's — is skipped entirely.  Admissibility (the bound is
+      never below the true subtree maximum) plus the first-on-tie
+      incumbent rule make pruning invisible to the returned witness:
+      every skipped completion would have lost (or tie-lost) the
+      incumbent update.  Truncated and pruned subtrees *store* their
+      bound in the table, so later passes — and, through the persistent
+      frontier store, later runs — prune them without a single step.
+      Pruning coexists with the frontier bookkeeping: a pruned child
+      whose composed bound an earlier sibling's completion dominates is
+      *absorbed* (dominance filtering would have dropped everything it
+      held, so the parent's frontier stays exact), and an unabsorbed
+      prune degrades the parent to a **partial frontier** — the swept
+      completions plus a bound over the pruned remainder — which later
+      passes consume like an exact hit once their incumbent beats the
+      remainder bound.
+      One caveat: a pruned subtree is never stepped, so a
+      ``MessageTooLarge`` a boundless sweep would have raised inside it
+      is not raised — a search-order artifact (exhaustive enumeration
+      still surfaces the violating schedule; pruning only engages above
+      the exhaustive threshold).  The table-free sweep never prunes:
+      it is the sharding-compatible authority whose explored counts
+      define the ``jobs=N`` field identity.
 
     Within ``max_steps`` the sweep is complete, so the witness is the
     exact worst case (ties broken towards the DFS-first schedule).  When
@@ -96,6 +125,7 @@ class BranchAndBoundAdversary(AdversarySearch):
         max_steps: Optional[int] = None,
         restarts: int = 2,
         seed: int = 0,
+        bounds: bool = True,
     ) -> None:
         if max_steps is not None and max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {max_steps}")
@@ -104,6 +134,7 @@ class BranchAndBoundAdversary(AdversarySearch):
         self.max_steps = max_steps
         self.restarts = restarts
         self.seed = seed
+        self.bounds = bounds
 
     def search(
         self,
@@ -324,11 +355,33 @@ class BranchAndBoundAdversary(AdversarySearch):
     #: without touching the hits that matter (near the root).
     MIN_TABLE_SUBTREE = 2
 
+    def _prunable(self, state: ExecutionState,
+                  bound: tuple[bool, int, int]) -> bool:
+        """Whether the subtree's composed bound rank cannot beat the
+        incumbent.  Rank-equal completions lose too: the incumbent was
+        discovered earlier in DFS order, and ties keep the first."""
+        best = self._best
+        if best is None:
+            return False
+        deadlock, top, total = bound
+        board = state.board
+        rank = (deadlock, max(board.max_bits(), top),
+                board.total_bits() + total)
+        return rank <= witness_rank(best)
+
     def _dfs(self, state: ExecutionState, rng: Optional[random.Random],
-             limit: Optional[int]) -> Optional[tuple[Completion, ...]]:
+             limit: Optional[int],
+             ) -> tuple[tuple[Completion, ...], bool, Optional[tuple]]:
         """Sweep the subtree under ``state``; with a table attached,
-        returns its exact completion frontier (suffixes relative to
-        ``state``) so parents can compose and store it.  Without a
+        returns ``(frontier, exact, remainder bound)`` — the completion
+        frontier relative to ``state`` (exact when ``exact``, else the
+        partial frontier of the swept part), and, when inexact, an
+        admissible bound over the *pruned remainder* so parents can
+        compose both halves.  A pruned child is **absorbed** when an
+        earlier-kept completion dominates its composed bound (every
+        completion it could hold would have been dominance-dropped
+        anyway, so exactness survives); otherwise the parent stores a
+        partial frontier plus the joined remainder bound.  Without a
         table the frontier is dead weight, so none is built — the
         table-off sweep stays exactly the pre-kernel loop."""
         table = self._table
@@ -340,16 +393,39 @@ class BranchAndBoundAdversary(AdversarySearch):
             if remaining >= self.MIN_TABLE_SUBTREE
             else None
         )
+        entry = None
         if key is not None:
             entry = table.lookup(key)
             if entry is not None and entry.exact:
                 self._compose_hit(state, entry.completions)
-                return entry.completions
+                return entry.completions, True, None
+            if self.bounds and entry is not None:
+                stored = entry.effective_bound()
+                if stored is not None and self._prunable(state, stored):
+                    # Partial (or bound-only) hit: the unexplored
+                    # remainder cannot beat the incumbent, so the stored
+                    # completions are every update an expansion would
+                    # have made.
+                    self._compose_hit(state, entry.completions)
+                    self._meter.stats.bound_prunes += 1
+                    return entry.completions, False, stored
         if state.terminal:
             self._record(state)
             frontier = (Completion(state.deadlocked, 0, 0, ()),)
             table.record_exact(key, frontier)
-            return frontier
+            return frontier, True, None
+        if self.bounds:
+            bound = state.suffix_bound()
+            if entry is not None and not entry.completions:
+                # A bound without completions covers the whole subtree,
+                # so it tightens the intrinsic one.  A partial entry's
+                # bound covers only its remainder — merging it here
+                # would prune completions the entry does hold.
+                bound = merge_bounds(bound, entry.effective_bound())
+            if bound is not None and self._prunable(state, bound):
+                self._meter.stats.bound_prunes += 1
+                table.record_bound(key, bound)
+                return (), False, bound
         if self._frozen_tail(state):
             # Frozen tail: every completion writes the same multiset and
             # none deadlocks — one ascending completion is exact.
@@ -367,31 +443,75 @@ class BranchAndBoundAdversary(AdversarySearch):
             ),)
             state.restore(checkpoint)
             table.record_exact(key, frontier)
-            return frontier
+            return frontier, True, None
         candidates = list(state.candidates)
         if rng is not None:
             rng.shuffle(candidates)
         completions: list[Completion] = []
+        exact = True
+        rem_bound: Optional[tuple] = (False, 0, 0)  # join identity
         for choice in candidates:
+            prior = len(completions)
             checkpoint = state.snapshot()
-            self._advance(state, choice, limit)
-            # last_event accounting, not the board tail: a crash or loss
-            # edge costs 0 bits and a duplicated write doubles the total
-            # while counting once for the maximum.
-            edge_bits = state.last_event_bits
-            edge_total = state.last_event_total
-            child_frontier = self._dfs(state, rng, limit)
+            try:
+                self._advance(state, choice, limit)
+                # last_event accounting, not the board tail: a crash or
+                # loss edge costs 0 bits and a duplicated write doubles
+                # the total while counting once for the maximum.
+                edge_bits = state.last_event_bits
+                edge_total = state.last_event_total
+                child_front, child_exact, child_bound = self._dfs(
+                    state, rng, limit)
+            except OutOfBudget:
+                # Truncated mid-subtree: the bound is still admissible,
+                # so store it — the next pass (or the next warm run)
+                # prunes this subtree instead of re-truncating inside it.
+                state.restore(checkpoint)
+                if self.bounds:
+                    table.record_bound(key, state.suffix_bound())
+                raise
             state.restore(checkpoint)
-            for c in child_frontier:
+            for c in child_front:
                 completions.append(Completion(
                     deadlock=c.deadlock,
                     max_bits=max(edge_bits, c.max_bits),
                     total_bits=edge_total + c.total_bits,
                     suffix=(choice,) + c.suffix,
                 ))
+            if child_exact:
+                continue
+            composed = None if child_bound is None else Completion(
+                deadlock=child_bound[0],
+                max_bits=max(edge_bits, child_bound[1]),
+                total_bits=edge_total + child_bound[2],
+                suffix=(),
+            )
+            if composed is not None and any(
+                earlier.dominates(composed)
+                for earlier in completions[:prior]
+            ):
+                # Absorbed: an earlier sibling's completion dominates
+                # the whole pruned remainder, so dominance filtering
+                # would have dropped every completion it could hold —
+                # the frontier is exact without it.  Only *earlier
+                # siblings* qualify: this child's own completions may be
+                # DFS-later than its pruned parts, and a later dominator
+                # flips first-on-tie.
+                continue
+            exact = False
+            rem_bound = None if composed is None else join_bounds(
+                rem_bound,
+                (composed.deadlock, composed.max_bits, composed.total_bits),
+            )
         frontier = dominance_frontier(completions)
+        if not exact:
+            # An unabsorbed pruned child leaves the frontier partial:
+            # store what was swept plus the joined remainder bound, so
+            # later passes compose the known half and prune the rest.
+            table.record_partial(key, frontier, rem_bound)
+            return frontier, False, rem_bound
         table.record_exact(key, frontier)
-        return frontier
+        return frontier, True, None
 
     @staticmethod
     def _frozen_tail(state: ExecutionState) -> bool:

@@ -118,8 +118,12 @@ class GreedyBitsAdversary(AdversarySearch):
         while not state.terminal:
             if table is not None:
                 entry = table.lookup(table.key_for(state))
-                if entry is not None and entry.exact:
+                if entry is not None and entry.exact and not entry.warm:
                     # The rest of this descent is already solved exactly.
+                    # Warm (frontier-store) entries are skipped: greedy
+                    # runs before any exact sweep, so consuming them
+                    # would make a warm run's witness diverge from the
+                    # cold run's byte-identical report.
                     return best_composed(self.name, state, entry,
                                          meter.spent)
             candidates = list(state.candidates)

@@ -46,7 +46,7 @@ class SearchStats:
     """Cumulative accounting across every search a context hosted."""
 
     __slots__ = ("steps", "searches", "restarts", "batch_children",
-                 "batch_kept")
+                 "batch_kept", "bound_prunes")
 
     def __init__(self) -> None:
         self.steps = 0
@@ -58,6 +58,9 @@ class SearchStats:
         #: dead lanes away.  Both stay 0 on purely scalar searches.
         self.batch_children = 0
         self.batch_kept = 0
+        #: Subtrees skipped because an admissible bound (intrinsic or
+        #: table-stored) proved they cannot beat the incumbent.
+        self.bound_prunes = 0
 
     @property
     def batch_occupancy(self) -> float:

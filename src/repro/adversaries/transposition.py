@@ -50,7 +50,41 @@ from ..telemetry.stats import observe_table
 from .base import Witness
 
 __all__ = ["Completion", "TableEntry", "TranspositionTable",
-           "dominance_frontier", "iter_composed", "best_composed"]
+           "dominance_frontier", "iter_composed", "best_composed",
+           "merge_bounds", "join_bounds"]
+
+#: An admissible completion bound: ``(deadlock_possible, suffix max
+#: bits, suffix total bits)`` — every completion of the configuration
+#: is component-wise covered (see ``ExecutionState.suffix_bound``).
+Bound = tuple[bool, int, int]
+
+
+def merge_bounds(a: Optional[Bound], b: Optional[Bound]) -> Optional[Bound]:
+    """The tighter of two admissible bounds, component-wise.
+
+    Both are valid upper covers of the same completion set, so their
+    component-wise minimum is too (``False`` beats ``True`` on the
+    deadlock component: a subtree proven deadlock-free by either bound
+    is deadlock-free).  ``None`` means unbounded and loses to anything.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return (a[0] and b[0], min(a[1], b[1]), min(a[2], b[2]))
+
+
+def join_bounds(a: Optional[Bound], b: Optional[Bound]) -> Optional[Bound]:
+    """An admissible cover of the *union* of two completion sets.
+
+    Dual of :func:`merge_bounds`: each input covers its own set, so the
+    component-wise maximum covers both (and dominates each input
+    lexicographically, which is what prune checks compare).  ``None``
+    means unbounded and is absorbing.
+    """
+    if a is None or b is None:
+        return None
+    return (a[0] or b[0], max(a[1], b[1]), max(a[2], b[2]))
 
 
 @dataclass(frozen=True)
@@ -82,17 +116,52 @@ class Completion:
 class TableEntry:
     """What the table knows about one configuration.
 
-    ``completions`` is the dominance frontier in first-discovered order
-    (meaningful only when ``exact``); ``exact`` means the frontier
-    enumerates every non-dominated outcome of the full subtree;
-    ``deadlock_free`` is the one fact that is useful on its own — a
-    complete sweep below the configuration found no deadlock — and may
-    be known even when the bits frontier is not.
+    ``completions`` is the dominance frontier in first-discovered order;
+    ``exact`` means it enumerates every non-dominated outcome of the
+    full subtree; ``deadlock_free`` is the one fact that is useful on
+    its own — no completion of the configuration deadlocks — and may be
+    known even when the bits frontier is not.
+
+    ``bound`` is an admissible bound ``(deadlock_possible, suffix max
+    bits, suffix total bits)`` — never below the true maximum of what it
+    covers — and *what it covers depends on the completions*:
+
+    * ``completions`` empty: the bound covers **every** completion of
+      the configuration (a truncated or fully bound-pruned subtree).
+    * ``completions`` non-empty, not exact: a **partial frontier** —
+      the bound covers only the *unexplored remainder*, every
+      completion not dominated by a stored one.  A search whose
+      incumbent already beats the remainder bound can consume the
+      partial frontier exactly like an exact hit (the remainder could
+      not have updated its incumbent), so one pruned child no longer
+      poisons an ancestor chain for every later pass.
+
+    An exact entry needs no bound (the frontier is strictly stronger),
+    so ``record_bound``/``record_partial`` skip exact entries.
+
+    ``warm`` marks an entry served from a persistent frontier store
+    (a previous run) rather than recorded by the current one.  Warm
+    entries are invisible to the greedy descent — which runs before any
+    exact sweep and must behave byte-identically with or without a warm
+    store — while branch-and-bound and the deadlock seeker may consume
+    them freely (their results are invariant under any sound table
+    content).  Re-recording an entry this run clears the flag.
     """
 
     completions: tuple[Completion, ...] = ()
     exact: bool = False
     deadlock_free: bool = False
+    bound: Optional[Bound] = None
+    warm: bool = False
+
+    def effective_bound(self) -> Optional[Bound]:
+        """The entry's bound with the standalone deadlock-free fact
+        folded in (a deadlock-free subtree cannot complete with
+        deadlock, whatever the stored bound says)."""
+        bound = self.bound
+        if bound is not None and self.deadlock_free and bound[0]:
+            return (False, bound[1], bound[2])
+        return bound
 
 
 def dominance_frontier(
@@ -176,9 +245,12 @@ class TranspositionTable:
     def __init__(self) -> None:
         self._entries: dict[Any, TableEntry] = {}
         self._scope: Optional[tuple] = None
+        self._dirty: set = set()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.frontier_hits = 0
+        self.frontier_stores = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -249,6 +321,8 @@ class TranspositionTable:
             self.misses += 1
         else:
             self.hits += 1
+            if entry.warm:
+                self.frontier_hits += 1
         return entry
 
     def get(self, key: Optional[tuple]) -> Optional[TableEntry]:
@@ -284,7 +358,10 @@ class TranspositionTable:
             entry.deadlock_free = not any(
                 c.deadlock for c in entry.completions
             )
+            entry.bound = None  # the exact frontier subsumes any bound
+            entry.warm = False
             self.stores += 1
+            self._dirty.add(key)
         return entry
 
     def record_deadlock_free(self, key: Optional[tuple]) -> None:
@@ -296,3 +373,94 @@ class TranspositionTable:
         if not entry.deadlock_free:
             entry.deadlock_free = True
             self.stores += 1
+            self._dirty.add(key)
+
+    def record_bound(self, key: Optional[tuple],
+                     bound: Optional[Bound]) -> None:
+        """Record (or tighten) the admissible bound of a truncated
+        subtree.  Exact entries are left alone — their frontier already
+        answers every question the bound could.
+
+        Tightening is sound for partial entries too: a whole-subtree
+        bound covers the unexplored remainder a fortiori, so the
+        component-wise minimum is still a remainder cover.  A bound
+        whose deadlock component is ``False`` additionally proves the
+        standalone ``deadlock_free`` fact — no completion it covers can
+        deadlock — which the deadlock seeker prunes on.
+        """
+        if key is None or bound is None:
+            return
+        entry = self._entry(key)
+        if entry.exact:
+            return
+        changed = False
+        merged = merge_bounds(entry.bound, bound)
+        if merged != entry.bound:
+            entry.bound = merged
+            changed = True
+        if not bound[0] and not entry.completions and not entry.deadlock_free:
+            entry.deadlock_free = True
+            changed = True
+        if changed:
+            self.stores += 1
+            self._dirty.add(key)
+
+    def record_partial(self, key: Optional[tuple],
+                       completions: Iterable[Completion],
+                       bound: Optional[Bound]) -> None:
+        """Record a partial frontier: the dominance-filtered completions
+        an incompletely swept subtree *did* discover, plus an admissible
+        bound over the pruned remainder.
+
+        First frontier wins, like :meth:`record_exact` — a later pass in
+        shuffled order must not replace the DFS-first one — and an entry
+        that already holds completions keeps its own bound untouched
+        (remainder bounds from *different* partial decompositions do not
+        compose).  Entries without completions upgrade freely: their
+        whole-subtree bound covers any remainder, so tightening with the
+        new remainder bound stays sound.
+        """
+        if key is None:
+            return
+        entry = self._entry(key)
+        if entry.exact or entry.completions:
+            return
+        entry.completions = dominance_frontier(completions)
+        if not entry.completions:
+            return
+        entry.bound = merge_bounds(entry.bound, bound)
+        entry.deadlock_free = entry.deadlock_free or (
+            not any(c.deadlock for c in entry.completions)
+            and entry.bound is not None and not entry.bound[0]
+        )
+        entry.warm = False
+        self.stores += 1
+        self._dirty.add(key)
+
+    # -- persistent frontiers ------------------------------------------
+
+    def preload(self, items: "Iterable[tuple[tuple, TableEntry]]") -> int:
+        """Seed the table from a persistent frontier store.
+
+        Every served entry is marked ``warm``; preloaded rows are not
+        dirty (exporting them back would be a no-op write).  Returns the
+        number of entries loaded.  Must run before any search probes the
+        table (preloading never overwrites an existing entry).
+        """
+        count = 0
+        for key, entry in items:
+            if key in self._entries:
+                continue
+            entry.warm = True
+            self._entries[key] = entry
+            count += 1
+        return count
+
+    def export_dirty(self) -> list:
+        """The ``(key, entry)`` rows recorded or tightened by this run,
+        for the persistent frontier store.  Counts each exported row in
+        ``frontier_stores`` and clears the dirty set."""
+        rows = [(key, self._entries[key]) for key in self._dirty]
+        self.frontier_stores += len(rows)
+        self._dirty.clear()
+        return rows

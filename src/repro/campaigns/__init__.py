@@ -22,6 +22,7 @@ stateless, which is what keeps every future sharding/distribution
 backend compatible.
 """
 
+from .frontiers import task_cell_key
 from .runner import (
     Campaign,
     CampaignCell,
@@ -30,6 +31,7 @@ from .runner import (
     CellResult,
     quick_campaign,
     run_plan_with_store,
+    warm_smoke_campaign,
 )
 from .store import ResultStore, code_version_salt, task_fingerprint
 from .trajectories import (
@@ -46,7 +48,9 @@ __all__ = [
     "CampaignSpec",
     "CellResult",
     "quick_campaign",
+    "warm_smoke_campaign",
     "run_plan_with_store",
+    "task_cell_key",
     "ResultStore",
     "code_version_salt",
     "task_fingerprint",

@@ -26,7 +26,7 @@ The three guarantees campaigns are built around (pinned by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional, Sequence
 
 from ..analysis.checkers import default_checker
@@ -43,6 +43,7 @@ from ..runtime.results import (
     VerificationReport,
 )
 from ..telemetry import KernelAccumulator, KernelStats, RunTelemetry
+from .frontiers import task_cell_key
 from .store import ResultStore
 from .trajectories import record_generation
 
@@ -53,6 +54,7 @@ __all__ = [
     "CampaignResult",
     "Campaign",
     "quick_campaign",
+    "warm_smoke_campaign",
     "run_plan_with_store",
 ]
 
@@ -254,6 +256,7 @@ def _run_tasks_with_store(
     campaign: Optional[str] = None,
     telemetry: Optional[RunTelemetry] = None,
     kernel: Optional[KernelAccumulator] = None,
+    warm_frontiers: bool = False,
 ) -> tuple[list[VerificationReport], int]:
     """Execute ``tasks`` through ``store``: misses run on ``backend`` and
     are committed as they stream; hits are deserialized.  Returns the
@@ -262,6 +265,14 @@ def _run_tasks_with_store(
     ``telemetry``/``kernel`` are pure observers layered over the sink
     chain (store commit first, then stats fold, then trace line) — the
     reports are field-identical with or without them.
+
+    ``warm_frontiers`` seeds every executed search cell's transposition
+    table from the store's persistent frontiers (current-salt rows for
+    the cell's exact scope) and commits the cell's dirty rows back,
+    parent-side, the moment its outcome streams out.  Report-invariant
+    by construction — warm entries never change a witness, only the
+    kernel steps spent finding it — so the fingerprints (and therefore
+    the hit/miss split) are identical with the knob on or off.
     """
     backend = backend if backend is not None else SerialBackend()
     fingerprints = {task.index: store.fingerprint(task) for task in tasks}
@@ -275,7 +286,22 @@ def _run_tasks_with_store(
             cached[task.index] = report
             if telemetry is not None:
                 telemetry.record_hit(task.index, fingerprints[task.index])
-    sink: ResultSink = StoreBackedSink(store, fingerprints, campaign=campaign)
+    frontier_keys: Optional[dict[int, str]] = None
+    if warm_frontiers:
+        frontier_keys = {}
+        warmed: list[ExecutionTask] = []
+        for task in misses:
+            if task.mode != "search":
+                warmed.append(task)
+                continue
+            cell_key = task_cell_key(task)
+            frontier_keys[task.index] = cell_key
+            warmed.append(replace(
+                task, frontiers=tuple(store.load_frontiers(cell_key))
+            ))
+        misses = warmed
+    sink: ResultSink = StoreBackedSink(store, fingerprints, campaign=campaign,
+                                       frontier_keys=frontier_keys)
     inner = sink
     if kernel is not None:
         sink = KernelStatsSink(sink, kernel)
@@ -302,6 +328,7 @@ def run_plan_with_store(
     campaign: Optional[str] = None,
     telemetry: Optional[RunTelemetry] = None,
     kernel: Optional[KernelAccumulator] = None,
+    warm_frontiers: bool = False,
 ) -> VerificationReport:
     """Opportunistic store reuse for any checker-carrying plan.
 
@@ -312,7 +339,7 @@ def run_plan_with_store(
     """
     reports, _ = _run_tasks_with_store(
         plan.tasks, store, backend=backend, campaign=campaign,
-        telemetry=telemetry, kernel=kernel,
+        telemetry=telemetry, kernel=kernel, warm_frontiers=warm_frontiers,
     )
     merged = VerificationReport(
         "+".join(plan.protocol_names), "+".join(plan.model_names)
@@ -337,11 +364,24 @@ class Campaign:
             for task in plan.tasks
         }
 
+    def live_frontier_cell_keys(self) -> set[str]:
+        """Frontier cell keys of every search cell the spec currently
+        enumerates — the liveness set ``gc_frontiers`` keeps.  Salt-free
+        on purpose: stale-salt rows are swept by ``gc_frontiers``
+        itself, since no future run can serve them."""
+        return {
+            task_cell_key(task)
+            for _, plan in self.spec.plans()
+            for task in plan.tasks
+            if task.mode == "search"
+        }
+
     def run(
         self,
         store: ResultStore,
         backend: Optional[Backend] = None,
         telemetry: Optional[RunTelemetry] = None,
+        warm_frontiers: bool = False,
     ) -> CampaignResult:
         """Run (or resume, or replay from cache) the whole campaign.
 
@@ -362,6 +402,7 @@ class Campaign:
             reports, hits = _run_tasks_with_store(
                 plan.tasks, store, backend=backend, campaign=spec.name,
                 telemetry=telemetry, kernel=kernel,
+                warm_frontiers=warm_frontiers,
             )
             merged = VerificationReport(
                 "+".join(plan.protocol_names), "+".join(plan.model_names)
@@ -405,6 +446,29 @@ def quick_campaign(name: str = "quick") -> CampaignSpec:
                 sizes=(5,),
                 seeds=(0,),
                 allow_deadlock=True,
+            ),
+        ),
+        mode="stress",
+        exhaustive_threshold=5,
+    )
+
+
+def warm_smoke_campaign(name: str = "warm-smoke") -> CampaignSpec:
+    """The warm-frontier smoke campaign (CI, tests): one genuinely
+    *searched* cell — an n=6 asynchronous EOB-BFS instance above the
+    exhaustive threshold — so a ``--warm-frontiers`` run exercises the
+    full store → preload → prune → export loop.  Small enough that
+    every portfolio search completes within its step budget, which is
+    the precondition for the warm run's merged report being
+    byte-identical to the cold run's (see ROADMAP "Search kernel")."""
+    return CampaignSpec(
+        name=name,
+        cells=(
+            CampaignCell(
+                protocol_key="bfs-bipartite-async",
+                family="even-odd-bipartite",
+                sizes=(6,),
+                seeds=(0,),
             ),
         ),
         mode="stress",

@@ -116,6 +116,15 @@ CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS frontiers (
+    cell_key      TEXT NOT NULL,
+    digest        TEXT NOT NULL,
+    salt          TEXT NOT NULL,
+    key_json      TEXT NOT NULL,
+    entry_json    TEXT NOT NULL,
+    created_at    REAL NOT NULL,
+    PRIMARY KEY (cell_key, digest)
+);
 """
 
 
@@ -608,6 +617,85 @@ class ResultStore:
         self._conn.commit()
         return len(doomed)
 
+    # -- persistent transposition frontiers ----------------------------
+
+    def put_frontiers(self, cell_key: str, rows: Iterable[tuple]) -> int:
+        """Persist ``(config_key, TableEntry)`` pairs for one search
+        cell (the dirty-row export of the cell's table); returns the
+        number of rows written.
+
+        Rows are stamped with this store's salt: a later load under a
+        different salt (any source edit) serves none of them.  An
+        ``INSERT OR REPLACE`` per digest means re-running a cell
+        replaces its rows with at-least-as-tight knowledge (exact
+        entries are terminal; bounds only ever tighten within a run).
+        """
+        from .frontiers import encode_rows
+
+        encoded = encode_rows(rows)
+        if not encoded:
+            return 0
+        now = time.time()
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO frontiers "
+            "(cell_key, digest, salt, key_json, entry_json, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            [(cell_key, digest, self.salt, key_json, entry_json, now)
+             for digest, key_json, entry_json in encoded],
+        )
+        self._conn.commit()
+        self.writes += 1
+        return len(encoded)
+
+    def load_frontiers(self, cell_key: str) -> list:
+        """The stored ``(config_key, TableEntry)`` pairs for one cell,
+        in digest order — **current-salt rows only**, so frontiers
+        recorded by different code are never served."""
+        from .frontiers import decode_rows
+
+        rows = self._conn.execute(
+            "SELECT key_json, entry_json FROM frontiers "
+            "WHERE cell_key = ? AND salt = ? ORDER BY digest",
+            (cell_key, self.salt),
+        ).fetchall()
+        return decode_rows(rows)
+
+    def frontier_count(self, cell_key: Optional[str] = None) -> int:
+        """Stored frontier rows (one cell, or the whole table),
+        regardless of salt."""
+        if cell_key is None:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM frontiers"
+            ).fetchone()
+        else:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM frontiers WHERE cell_key = ?",
+                (cell_key,),
+            ).fetchone()
+        return count
+
+    def gc_frontiers(self, live_cell_keys: Iterable[str]) -> int:
+        """Delete frontier rows whose cell key is not live, plus every
+        stale-salt row (unservable by construction); returns the number
+        removed.  Complements :meth:`gc`, which never touches
+        frontiers — result rows and frontier rows have independent
+        lifetimes (dropping a cached report deliberately keeps the
+        frontier knowledge that re-running the cell would reuse)."""
+        keep = set(live_cell_keys)
+        candidates = self._conn.execute(
+            "SELECT cell_key, digest, salt FROM frontiers"
+        ).fetchall()
+        doomed = [
+            (ck, digest) for ck, digest, salt in candidates
+            if ck not in keep or salt != self.salt
+        ]
+        self._conn.executemany(
+            "DELETE FROM frontiers WHERE cell_key = ? AND digest = ?",
+            doomed,
+        )
+        self._conn.commit()
+        return len(doomed)
+
     # -- meta ----------------------------------------------------------
 
     def set_meta(self, key: str, value: str) -> None:
@@ -708,6 +796,7 @@ class ResultStore:
             "salt": self.salt,
             "results": self.result_count(),
             "results_by_campaign": per_campaign,
+            "frontiers": self.frontier_count(),
             "generations": generations,
             "session": {
                 "hits": self.hits,

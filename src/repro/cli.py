@@ -276,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--quick", action="store_true",
                       help="use the built-in smoke campaign spec instead of "
                            "the --protocol/--family arguments")
+    crun.add_argument("--warm-smoke", action="store_true",
+                      help="use the built-in warm-frontier smoke spec (one "
+                           "searched n=6 cell) instead of --protocol/--family")
+    crun.add_argument("--warm-frontiers", action="store_true",
+                      help="seed each search cell's transposition table from "
+                           "the store's persistent frontiers and commit what "
+                           "the run learned back; reports are identical, "
+                           "re-expansion work shrinks run over run")
     crun.add_argument("--jobs", type=int, default=None,
                       help="worker processes (default: serial)")
     crun.add_argument("--expect-hit-rate", type=float, default=None,
@@ -307,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     _spec_args(cgc, required=False)
     cgc.add_argument("--quick", action="store_true",
                      help="liveness from the built-in smoke campaign spec")
+    cgc.add_argument("--warm-smoke", action="store_true",
+                     help="liveness from the built-in warm-frontier smoke "
+                          "spec")
 
     cclaims = csub.add_parser(
         "claims",
@@ -680,11 +691,20 @@ def _campaign_spec(args):
     surface here as clean usage errors; anything raised later in the
     run is a real failure and keeps its traceback.
     """
-    from .campaigns import CampaignCell, CampaignSpec, quick_campaign
+    from .campaigns import (
+        CampaignCell,
+        CampaignSpec,
+        quick_campaign,
+        warm_smoke_campaign,
+    )
 
     try:
-        if getattr(args, "quick", False):
-            spec = quick_campaign(args.name)
+        if getattr(args, "quick", False) or getattr(args, "warm_smoke", False):
+            preset = (
+                quick_campaign if getattr(args, "quick", False)
+                else warm_smoke_campaign
+            )
+            spec = preset(args.name)
             if getattr(args, "faults", None) is not None:
                 import dataclasses
 
@@ -748,8 +768,10 @@ def _cmd_campaign_run(args) -> int:
     with ResultStore(args.store) as store:
         try:
             with _activated(session):
-                result = Campaign(spec).run(store, backend=backend,
-                                            telemetry=session)
+                result = Campaign(spec).run(
+                    store, backend=backend, telemetry=session,
+                    warm_frontiers=getattr(args, "warm_frontiers", False),
+                )
         except (KeyboardInterrupt, OutOfBudget) as exc:
             if session is not None:
                 session.finish("interrupted")
@@ -782,6 +804,7 @@ def _cmd_campaign_status(args) -> int:
         stats = store.stats()
         print(f"store {stats['path']} (code salt {stats['salt']})")
         print(f"  cached results: {stats['results']}")
+        print(f"  frontier rows: {stats['frontiers']}")
         names = sorted(
             set(stats["results_by_campaign"]) | set(stats["generations"])
         )
@@ -819,11 +842,17 @@ def _cmd_campaign_gc(args) -> int:
     spec = _campaign_spec(args)
     with _existing_store(args.store) as store:
         before = store.result_count()
+        campaign = Campaign(spec)
         removed = store.gc(
-            Campaign(spec).live_fingerprints(store), campaign=spec.name
+            campaign.live_fingerprints(store), campaign=spec.name
+        )
+        frontiers_removed = store.gc_frontiers(
+            campaign.live_frontier_cell_keys()
         )
         print(f"gc[{spec.name}]: removed {removed} stale results, "
-              f"{before - removed} remain in the store")
+              f"{before - removed} remain in the store; "
+              f"{frontiers_removed} stale frontier rows removed, "
+              f"{store.frontier_count()} remain")
     return 0
 
 

@@ -897,6 +897,46 @@ class BatchedExecutionState:
             )
         return base
 
+    def suffix_bound_of(self, lane: int) -> Optional[tuple]:
+        """The lane's admissible completion bound, field-identical to
+        the scalar ``ExecutionState.suffix_bound()``."""
+        cell = self.cell
+        unterminated = (cell.n - int(self.written[lane]).bit_count()
+                        - int(self.crashed[lane]).bit_count())
+        if unterminated == 0:
+            return (False, 0, 0)
+        active_mask = int(self.active[lane])
+        active_count = active_mask.bit_count()
+        deadlock_possible = active_count != unterminated
+        budget = cell.bit_budget
+        top = 0
+        total = 0
+        if cell.model.asynchronous:
+            for v in _iter_bits(active_mask):
+                rec = (cell._static_rec[v - 1]
+                       if cell._static_rec is not None
+                       else int(self.frozen[lane, v - 1]))
+                try:
+                    bits = cell._bits_of(rec)
+                except ProtocolViolation:
+                    return None  # the write itself will raise it
+                if bits > top:
+                    top = bits
+                total += bits
+            inactive = unterminated - active_count
+        else:
+            inactive = unterminated
+        if inactive:
+            if budget is None:
+                return None
+            if budget > top:
+                top = budget
+            total += inactive * budget
+        dups_left = int(self.dl[lane])
+        if dups_left:
+            total += dups_left * top
+        return (deadlock_possible, top, total)
+
     # -- results -------------------------------------------------------
 
     def result_of(self, lane: int) -> RunResult:

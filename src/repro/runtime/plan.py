@@ -116,6 +116,16 @@ class ExecutionTask:
     #: field-identical to scalar — so ``task_fingerprint`` deliberately
     #: excludes it: the same cell batched or not is the same work.
     batch: Optional[bool] = None
+    #: Warm transposition frontiers: ``(config_key, TableEntry)`` pairs
+    #: preloaded into the cell's table before any search runs, served by
+    #: a persistent frontier store (see :mod:`repro.campaigns.frontiers`).
+    #: ``None`` disables the frontier path entirely; a (possibly empty)
+    #: tuple enables it — the cell attaches a table, preloads the seeds,
+    #: and exports its dirty rows on the outcome.  Like ``batch``, the
+    #: knob is report-invariant (warm entries never change a witness,
+    #: only the work done to find it), so ``task_fingerprint``
+    #: deliberately excludes it.
+    frontiers: Optional[tuple] = None
 
     @property
     def model(self) -> ModelSpec:
@@ -159,9 +169,14 @@ class ExecutionTask:
             # the ensure(None) each strategy would otherwise do: the
             # table is None unless shared, max_steps is None, and
             # nothing reads the stats back into the search.
-            context = SearchContext(
-                table=TranspositionTable() if self.share_table else None
+            table = (
+                TranspositionTable()
+                if self.share_table or self.frontiers is not None
+                else None
             )
+            if table is not None and self.frontiers:
+                table.preload(self.frontiers)
+            context = SearchContext(table=table)
             collect.observe_context(context)
 
             def searched() -> Iterable[RunResult]:
@@ -211,8 +226,15 @@ class ExecutionTask:
             else:
                 for strategy_name, result in witness_runs:
                     self._record_witness(report, strategy_name, result)
+        frontier_rows: Optional[tuple] = None
+        if self.mode == "search" and self.frontiers is not None:
+            # Everything this run recorded or tightened, for the
+            # persistent store; preloaded (warm) rows are not dirty, so
+            # a pure re-serve exports nothing.
+            frontier_rows = tuple(table.export_dirty())
         return TaskOutcome(
-            self.index, report, tuple(kept) if kept is not None else None
+            self.index, report, tuple(kept) if kept is not None else None,
+            frontiers=frontier_rows,
         )
 
     def _fold_results(

@@ -166,6 +166,12 @@ class TaskOutcome:
     runs: Optional[tuple["RunResult", ...]]
     kernel_stats: Optional["KernelStats"] = None
     telemetry: Optional["TaskTelemetry"] = None
+    #: Transposition rows this cell recorded or tightened, as raw
+    #: ``(config_key, TableEntry)`` pairs for the persistent frontier
+    #: store (:mod:`repro.campaigns.frontiers` owns the codec).  Only
+    #: search cells executed with warm frontiers enabled carry them;
+    #: ``None`` keeps every other outcome byte-identical.
+    frontiers: Optional[tuple] = None
 
 
 class ResultSink:
@@ -208,16 +214,26 @@ class StoreBackedSink(ResultSink):
 
     def __init__(self, store: Any, fingerprints: "dict[int, str]",
                  inner: Optional[ResultSink] = None,
-                 campaign: Optional[str] = None) -> None:
+                 campaign: Optional[str] = None,
+                 frontier_keys: "Optional[dict[int, str]]" = None) -> None:
         self.store = store
         self.fingerprints = dict(fingerprints)
         self.inner = inner if inner is not None else ListSink()
         self.campaign = campaign
+        #: Task index → frontier cell key (``put_frontiers`` scope) for
+        #: warm-frontier runs; ``None`` leaves frontier rows uncommitted.
+        self.frontier_keys = (
+            dict(frontier_keys) if frontier_keys is not None else None
+        )
 
     def add(self, outcome: TaskOutcome) -> None:
         self.store.put_outcome(
             self.fingerprints[outcome.index], outcome, campaign=self.campaign
         )
+        if self.frontier_keys is not None and outcome.frontiers:
+            cell_key = self.frontier_keys.get(outcome.index)
+            if cell_key is not None:
+                self.store.put_frontiers(cell_key, outcome.frontiers)
         self.inner.add(outcome)
 
     def result(self) -> Any:

@@ -47,11 +47,14 @@ class KernelStats:
     restarts: int = 0
     batch_children: int = 0
     batch_kept: int = 0
+    bound_prunes: int = 0
     table_hits: int = 0
     table_misses: int = 0
     table_stores: int = 0
     table_entries: int = 0
     tables: int = 0
+    frontier_hits: int = 0
+    frontier_stores: int = 0
 
     @property
     def batch_occupancy(self) -> float:
@@ -73,8 +76,9 @@ class KernelStats:
     def _astuple(self) -> tuple:
         return (
             self.steps, self.searches, self.restarts, self.batch_children,
-            self.batch_kept, self.table_hits, self.table_misses,
-            self.table_stores, self.table_entries, self.tables,
+            self.batch_kept, self.bound_prunes, self.table_hits,
+            self.table_misses, self.table_stores, self.table_entries,
+            self.tables, self.frontier_hits, self.frontier_stores,
         )
 
     def __bool__(self) -> bool:
@@ -107,6 +111,7 @@ class KernelStats:
                 restarts=stats.restarts,
                 batch_children=stats.batch_children,
                 batch_kept=stats.batch_kept,
+                bound_prunes=stats.bound_prunes,
             ))
         for table in tables:
             total = total.merge(cls(
@@ -115,6 +120,8 @@ class KernelStats:
                 table_stores=table.stores,
                 table_entries=len(table),
                 tables=1,
+                frontier_hits=table.frontier_hits,
+                frontier_stores=table.frontier_stores,
             ))
         return total if total else None
 
@@ -125,11 +132,18 @@ class KernelStats:
             parts.append(f"{self.restarts} restarts")
         if self.batch_children:
             parts.append(f"batch occupancy {self.batch_occupancy:.2f}")
+        if self.bound_prunes:
+            parts.append(f"{self.bound_prunes} bound prunes")
         if self.tables:
             parts.append(
                 f"table hit-rate {self.table_hit_rate:.2f} "
                 f"({self.table_probes} probes, "
                 f"{self.table_entries} entries)"
+            )
+        if self.frontier_hits or self.frontier_stores:
+            parts.append(
+                f"frontiers {self.frontier_hits} hits / "
+                f"{self.frontier_stores} stores"
             )
         return ", ".join(parts)
 

@@ -9,10 +9,12 @@ benchmarks.
 
 The report is also a *drift gate*: it exits nonzero when the latest
 recorded run is missing a benchmark that earlier runs (or the seed
-baseline) cover, or when one of the committed ``reports/`` sections is
+baseline) cover, when one of the committed ``reports/`` sections is
 missing, empty, or visibly stale (it no longer names every fixture or
-strategy the current code ships).  Use ``--allow-stale`` to render
-anyway while investigating.
+strategy the current code ships), or when a bench's recorded
+``table_hit_rate`` dropped more than 20% against the previous run on
+the same machine (hit rates, unlike seconds, only compare within one
+machine).  Use ``--allow-stale`` to render anyway while investigating.
 
 With ``--campaign STORE.db`` it instead renders the cross-run witness
 trajectories a campaign store has accumulated
@@ -150,6 +152,57 @@ def check_latest_run(trajectory: dict) -> list[str]:
     ]
 
 
+#: Keys every recorded result carries; anything else is a bench-specific
+#: extra (prune counts, hit rates, kernel steps, skip reasons) worth
+#: surfacing next to the latest timings.
+_TIMING_KEYS = frozenset({"seconds", "seed_seconds", "speedup_vs_seed"})
+
+
+def _result_extras(result: dict) -> str:
+    """The bench-specific extras of one result, rendered inline ("")."""
+    extras = {k: v for k, v in result.items() if k not in _TIMING_KEYS}
+    if not extras:
+        return ""
+    return ", ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+
+
+def hit_rate_regressions(trajectory: dict) -> list[str]:
+    """Benches whose ``table_hit_rate`` fell >20% since the previous
+    same-machine run ([] = none).
+
+    A hit-rate collapse means the search stopped reusing its own work —
+    a perf cliff that absolute seconds on a fast machine can hide.  Only
+    runs recording the *same* machine compare: hit rates depend on the
+    portfolio's timing-free structure, but guarding on the machine keeps
+    the gate honest when the fleet mixes hosts mid-trajectory.
+    """
+    runs = trajectory.get("runs", [])
+    if len(runs) < 2:
+        return []
+    latest = runs[-1]
+    machine = latest.get("machine")
+    previous = next(
+        (run for run in reversed(runs[:-1])
+         if machine is not None and run.get("machine") == machine),
+        None,
+    )
+    if previous is None:
+        return []
+    problems = []
+    for name, result in latest.get("results", {}).items():
+        now = result.get("table_hit_rate")
+        before = previous.get("results", {}).get(name, {}).get("table_hit_rate")
+        if now is None or before is None or before <= 0:
+            continue
+        if now < 0.8 * before:
+            problems.append(
+                f"{name}: table_hit_rate fell {before:.3f} -> {now:.3f} "
+                f"(> 20% regression vs the previous same-machine run — "
+                "the search stopped reusing its table)"
+            )
+    return problems
+
+
 def _machine_label(run: dict) -> str:
     """One-line machine summary of a run ("" when not recorded)."""
     machine = run.get("machine")
@@ -219,10 +272,12 @@ def render(trajectory: dict) -> str:
     for name in names:
         r = latest.get(name)
         if r:
-            lines.append(
-                f"latest {name}: {r['seconds']:.4f}s, "
-                f"{r['speedup_vs_seed']:.1f}x faster than seed"
-            )
+            line = (f"latest {name}: {r['seconds']:.4f}s, "
+                    f"{r['speedup_vs_seed']:.1f}x faster than seed")
+            extras = _result_extras(r)
+            if extras:
+                line += f" [{extras}]"
+            lines.append(line)
     label = _machine_label(runs[-1])
     if label:
         lines.append(f"latest machine: {label}")
@@ -299,7 +354,8 @@ def main(argv=None) -> int:
     if curve:
         print(curve)
 
-    problems = check_latest_run(trajectory) + check_sections()
+    problems = (check_latest_run(trajectory) + check_sections()
+                + hit_rate_regressions(trajectory))
     if problems:
         print()
         for problem in problems:
